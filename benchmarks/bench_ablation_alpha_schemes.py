@@ -1,0 +1,52 @@
+"""Ablation: the effect of the diffusion weights ``alpha_{i,j}`` (Section 2.1).
+
+The paper quotes two "common choices" for the FOS weights —
+``1/(2 max(d_i, d_j))`` and ``1/(max(d_i, d_j) + 1)`` — and our library adds a
+global-degree variant.  The choice changes the spectral gap and therefore the
+continuous balancing time ``T``; it must NOT change the discrete guarantee of
+Algorithm 1 (the ``2 d w_max + 2`` bound is scheme-independent).  This
+ablation measures both effects.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.core.algorithm1 import DeterministicFlowImitation, theorem3_discrepancy_bound
+from repro.network import topologies
+from repro.network.spectral import AlphaScheme, compute_alphas, diffusion_matrix, second_largest_eigenvalue
+from repro.simulation.experiments import format_table
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.generators import point_load
+
+
+def run_schemes():
+    network = topologies.torus(8, dims=2)
+    loads = point_load(network, 32 * network.num_nodes)
+    rows = []
+    for scheme in AlphaScheme.ALL:
+        alphas = compute_alphas(network, scheme)
+        lam = second_largest_eigenvalue(diffusion_matrix(network, alphas=alphas))
+        assignment = TaskAssignment.from_unit_loads(network, loads)
+        continuous = FirstOrderDiffusion(network, assignment.loads(), alphas=alphas)
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        T = balancer.run_until_continuous_balanced(max_rounds=200_000)
+        rows.append({
+            "scheme": scheme,
+            "lambda": lam,
+            "balancing_time_T": T,
+            "final_max_min": balancer.max_min_discrepancy(),
+            "bound": theorem3_discrepancy_bound(network.max_degree, 1.0),
+        })
+    return rows
+
+
+def test_alpha_scheme_ablation(benchmark):
+    rows = run_once(benchmark, run_schemes)
+    print_table("Alpha-scheme ablation (Algorithm 1 on an 8x8 torus)", format_table(rows))
+    # The discrete bound holds for every scheme.
+    assert all(row["final_max_min"] <= row["bound"] + 1e-9 for row in rows)
+    # The scheme with the smallest lambda balances fastest (ordering check).
+    by_lambda = sorted(rows, key=lambda row: row["lambda"])
+    assert by_lambda[0]["balancing_time_T"] <= by_lambda[-1]["balancing_time_T"]

@@ -1,0 +1,36 @@
+"""Continuous balancing times vs the spectral predictions of Section 2.1.
+
+Measures the balancing time ``T`` of FOS, SOS and the two matching models on
+the Table 1 graph classes and checks the qualitative predictions:
+
+* SOS balances no slower than FOS (and strictly faster on the poorly
+  expanding classes);
+* the measured FOS time correlates with ``1 / (1 - lambda)`` across classes.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.simulation.experiments import continuous_convergence_rows, format_table
+
+
+def test_continuous_balancing_times(benchmark):
+    rows = run_once(benchmark, lambda: continuous_convergence_rows(
+        size="small", tokens_per_node=32, seed=7))
+    print_table("Continuous balancing times (point load)",
+                format_table(rows, columns=["graph", "n", "kind", "measured_T",
+                                            "lambda", "spectral_gap", "gamma"]))
+
+    by_graph = {}
+    for row in rows:
+        by_graph.setdefault(row["graph"], {})[row["kind"]] = row
+
+    for graph, kinds in by_graph.items():
+        assert kinds["sos"]["measured_T"] <= kinds["fos"]["measured_T"], graph
+
+    # FOS time ordering follows the spectral-gap ordering across graph classes.
+    fos_rows = sorted((kinds["fos"] for kinds in by_graph.values()),
+                      key=lambda row: row["spectral_gap"])
+    times = [row["measured_T"] for row in fos_rows]
+    assert times[0] >= times[-1], "smallest spectral gap should need the most rounds"

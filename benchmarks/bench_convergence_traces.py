@@ -1,0 +1,37 @@
+"""Figure-style experiment: per-round discrepancy traces of the discrete processes.
+
+Not a table in the paper, but the standard companion figure: how the max-min
+discrepancy evolves round by round for the round-down baseline and the two
+flow-imitation algorithms on a torus.  The trace must be (eventually)
+decreasing for every algorithm and end below the starting discrepancy by a
+large factor.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.network import topologies
+from repro.simulation.experiments import convergence_trace_rows, format_table
+
+
+def test_convergence_traces_on_torus(benchmark):
+    network = topologies.torus(8, dims=2)
+    rows = run_once(benchmark, lambda: convergence_trace_rows(
+        network, algorithms=("round-down", "algorithm1", "algorithm2"),
+        tokens_per_node=32, seed=7))
+
+    by_algorithm = {}
+    for row in rows:
+        by_algorithm.setdefault(row["algorithm"], []).append(row["max_min"])
+
+    # Print a compact view: every 5th round.
+    sample = [row for row in rows if row["round"] % 5 == 0]
+    print_table("Discrepancy traces (8x8 torus, every 5th round)",
+                format_table(sample, columns=["algorithm", "round", "max_min"]))
+
+    for algorithm, trace in by_algorithm.items():
+        assert trace[0] > 0
+        assert trace[-1] <= trace[0] / 8, algorithm
+        # The flow-imitation algorithms end close to their constant bound.
+    assert by_algorithm["algorithm1"][-1] <= 2 * 4 + 2

@@ -1,0 +1,60 @@
+"""Deterministic vs randomized flow imitation as the degree grows (Section 1.1).
+
+The paper notes that "for large values of d these [randomized] bounds improve
+the results of the deterministic transformation": Algorithm 1's discrepancy
+scales like ``2d`` whereas Algorithm 2's scales like ``d/4 + sqrt(d log n)``,
+so the randomized variant should win increasingly clearly as the degree
+grows.  This benchmark sweeps the degree of random regular graphs at fixed
+``n`` and reports both algorithms' discrepancies together with their bounds.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.core.algorithm1 import theorem3_discrepancy_bound
+from repro.core.algorithm2 import theorem8_max_avg_bound
+from repro.network import topologies
+from repro.simulation.engine import compare_algorithms
+from repro.simulation.experiments import format_table
+from repro.tasks.generators import point_load
+
+DEGREES = (4, 8, 16, 32)
+NUM_NODES = 64
+
+
+def run_degree_sweep():
+    rows = []
+    for degree in DEGREES:
+        network = topologies.random_regular(NUM_NODES, degree, seed=3)
+        load = point_load(network, 64 * network.num_nodes)
+        results = {r.algorithm: r for r in compare_algorithms(
+            network, load, ["algorithm1", "algorithm2"], seed=11)}
+        rows.append({
+            "degree": degree,
+            "n": NUM_NODES,
+            "rounds": results["algorithm1"].rounds,
+            "alg1_max_min": results["algorithm1"].final_max_min,
+            "alg1_bound": theorem3_discrepancy_bound(degree, 1.0),
+            "alg2_max_min": results["algorithm2"].final_max_min,
+            "alg2_bound_shape": theorem8_max_avg_bound(degree, NUM_NODES),
+        })
+    return rows
+
+
+def test_randomized_wins_at_large_degree(benchmark):
+    rows = run_once(benchmark, run_degree_sweep)
+    print_table("Algorithm 1 vs Algorithm 2 as the degree grows (64 nodes)",
+                format_table(rows))
+    for row in rows:
+        assert row["alg1_max_min"] <= row["alg1_bound"] + 1e-9
+        assert row["alg2_max_min"] <= 2 * theorem8_max_avg_bound(
+            row["degree"], NUM_NODES, constant=3.0)
+    # At the largest degree the randomized algorithm is at least as good as the
+    # deterministic one, and its advantage does not shrink as d grows.
+    densest = rows[-1]
+    sparsest = rows[0]
+    assert densest["alg2_max_min"] <= densest["alg1_max_min"]
+    gap_dense = densest["alg1_max_min"] - densest["alg2_max_min"]
+    gap_sparse = sparsest["alg1_max_min"] - sparsest["alg2_max_min"]
+    assert gap_dense >= gap_sparse - 2  # allow small-instance noise

@@ -1,0 +1,44 @@
+"""The sufficient-initial-load condition of Theorems 3(2) and 8(2).
+
+Sweeps the balanced base load added on top of a hot-spot workload and records
+whether the flow-imitation algorithms ever need the infinite source.  Above
+the ``d * w_max`` threshold of Theorem 3(2) the source must never be used;
+below it dummy tokens may appear (and the max-avg bound still holds after
+eliminating them, per Theorem 3(1)).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.core.algorithm1 import theorem3_discrepancy_bound
+from repro.network import topologies
+from repro.simulation.experiments import format_table, initial_load_condition_rows
+
+
+def test_initial_load_sweep_algorithm1(benchmark):
+    network = topologies.torus(6, dims=2)
+    rows = run_once(benchmark, lambda: initial_load_condition_rows(
+        network=network, base_levels=(0, 1, 2, 4, 8), tokens_on_hotspot=512,
+        algorithm="algorithm1", seed=7))
+    print_table("Sufficient initial load sweep (Algorithm 1, 6x6 torus)",
+                format_table(rows))
+    bound = theorem3_discrepancy_bound(network.max_degree, 1.0)
+    for row in rows:
+        # The max-avg bound (after eliminating dummies) holds at every base level.
+        assert row["max_avg_no_dummies"] <= bound + 1e-9
+        # At or above the d * w_max threshold the infinite source is never used.
+        if row["base_level"] >= row["required_level"]:
+            assert not row["used_infinite_source"]
+            assert row["dummy_tokens"] == 0
+
+
+def test_initial_load_sweep_algorithm2(benchmark):
+    network = topologies.torus(6, dims=2)
+    rows = run_once(benchmark, lambda: initial_load_condition_rows(
+        network=network, base_levels=(0, 2, 4, 8, 16), tokens_on_hotspot=512,
+        algorithm="algorithm2", seed=11))
+    print_table("Sufficient initial load sweep (Algorithm 2, 6x6 torus)",
+                format_table(rows))
+    # With a generous base load the randomized algorithm also avoids the source.
+    assert not rows[-1]["used_infinite_source"]

@@ -1,0 +1,57 @@
+"""Full-run invariant audit of the flow-imitation algorithms.
+
+Every round of a flow-imitation run must satisfy the paper's intermediate
+results (Observation 4/9 flow-error bound, Lemma 6 load-deviation bound and
+identity, conservation, non-negativity).  This benchmark audits complete runs
+of Algorithm 1 and Algorithm 2 on all four Table 1 graph classes — a stronger
+statement than checking only the final discrepancy — and reports the largest
+observed flow error and load deviation relative to their bounds.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.core.algorithm1 import DeterministicFlowImitation
+from repro.core.algorithm2 import RandomizedFlowImitation
+from repro.core.diagnostics import FlowImitationAuditor
+from repro.simulation.experiments import format_table, table1_graph_families
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.generators import point_load
+
+
+def run_audits():
+    rows = []
+    for family, network in table1_graph_families(size="small", seed=7).items():
+        loads = point_load(network, 32 * network.num_nodes)
+        for label, build in (
+            ("algorithm1", lambda cont, assign: DeterministicFlowImitation(cont, assign)),
+            ("algorithm2", lambda cont, assign: RandomizedFlowImitation(cont, assign, seed=5)),
+        ):
+            assignment = TaskAssignment.from_unit_loads(network, loads)
+            continuous = FirstOrderDiffusion(network, assignment.loads())
+            balancer = build(continuous, assignment)
+            auditor = FlowImitationAuditor(balancer)
+            report = auditor.run_until_continuous_balanced(max_rounds=100_000)
+            rows.append({
+                "graph": family,
+                "algorithm": label,
+                "rounds_audited": report.rounds_checked,
+                "violations": len(report.violations),
+                "max_flow_error": report.max_flow_error,
+                "error_bound": balancer.w_max,
+                "max_load_deviation": report.max_load_deviation,
+                "deviation_bound": network.max_degree * balancer.w_max,
+                "dummy_tokens": report.dummy_tokens,
+            })
+    return rows
+
+
+def test_invariants_hold_on_every_round(benchmark):
+    rows = run_once(benchmark, run_audits)
+    print_table("Per-round invariant audit (point load, horizon T)",
+                format_table(rows, float_format="{:.3f}"))
+    assert all(row["violations"] == 0 for row in rows)
+    assert all(row["max_flow_error"] <= row["error_bound"] + 1e-9 for row in rows)
+    assert all(row["max_load_deviation"] <= row["deviation_bound"] + 1e-9 for row in rows)

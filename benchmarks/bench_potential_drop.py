@@ -1,0 +1,62 @@
+"""The classical potential-function analysis, reproduced empirically (Section 2.2).
+
+Muthukrishnan et al. [34] show that the continuous FOS potential drops by a
+factor of ``lambda^2`` per round, and that the discrete round-down process
+matches this multiplicative drop while the potential is above
+``16 d^2 n^2 / eps^2``.  This benchmark tracks both potentials on an expander
+and checks the two regimes — the motivation for the paper's different
+(flow-imitation) analysis, which does not need a "large potential" phase.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.analysis.potential import estimate_drop_factor, track_potential
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.discrete.baselines.diffusion import RoundDownDiffusion
+from repro.network import topologies
+from repro.network.spectral import diffusion_matrix, second_largest_eigenvalue
+from repro.simulation.experiments import format_table
+from repro.tasks.generators import point_load
+
+
+def run_potential_experiment():
+    network = topologies.random_regular(64, 6, seed=3)
+    lam = second_largest_eigenvalue(diffusion_matrix(network))
+    tokens = 2000 * network.num_nodes  # keeps Phi above the threshold for several rounds
+    rows = []
+
+    continuous = FirstOrderDiffusion(network, point_load(network, tokens).astype(float))
+    continuous_trace = track_potential(continuous, rounds=15)
+    rows.append({
+        "process": "continuous FOS",
+        "rounds_above_threshold": continuous_trace.rounds_above_threshold,
+        "drop_factor": estimate_drop_factor(continuous_trace),
+        "lambda_squared": lam**2,
+        "total_reduction": continuous_trace.total_reduction,
+    })
+
+    discrete = RoundDownDiffusion(network, point_load(network, tokens))
+    discrete_trace = track_potential(discrete, rounds=15)
+    rows.append({
+        "process": "discrete round-down",
+        "rounds_above_threshold": discrete_trace.rounds_above_threshold,
+        "drop_factor": estimate_drop_factor(discrete_trace, above_threshold_only=True),
+        "lambda_squared": lam**2,
+        "total_reduction": discrete_trace.total_reduction,
+    })
+    return rows
+
+
+def test_potential_drop_matches_classical_analysis(benchmark):
+    rows = run_once(benchmark, run_potential_experiment)
+    print_table("Potential drop per round (64-node 6-regular expander)",
+                format_table(rows, float_format="{:.4f}"))
+    continuous, discrete = rows
+    # Continuous FOS drops at least as fast as lambda^2 per round.
+    assert continuous["drop_factor"] <= continuous["lambda_squared"] + 1e-6
+    # The discrete process stays within a modest factor of the same rate while
+    # the potential is large.
+    assert discrete["rounds_above_threshold"] > 0
+    assert discrete["drop_factor"] <= min(1.0, 1.5 * discrete["lambda_squared"] + 0.1)

@@ -1,0 +1,57 @@
+"""Figure-style experiment: final discrepancy as ``n`` grows at fixed degree.
+
+The headline claim of the paper is that the discrepancy of Algorithm 1 is
+independent of ``n`` (and of the graph expansion), in contrast to the classic
+round-down scheme whose discrepancy grows with the diameter.  This benchmark
+sweeps the network size for cycles (degree 2) and 2-dimensional tori
+(degree 4) and checks both trends.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.core.algorithm1 import theorem3_discrepancy_bound
+from repro.simulation.experiments import format_table, scaling_in_n_rows
+
+
+def _split(rows):
+    by_algorithm = {}
+    for row in rows:
+        by_algorithm.setdefault(row["algorithm"], []).append(row)
+    for values in by_algorithm.values():
+        values.sort(key=lambda row: row["n"])
+    return by_algorithm
+
+
+def test_scaling_on_cycles(benchmark):
+    rows = run_once(benchmark, lambda: scaling_in_n_rows(
+        family="cycle", sizes=(16, 32, 64),
+        algorithms=("round-down", "quasirandom", "algorithm1", "algorithm2"),
+        tokens_per_node=32, seed=7))
+    print_table("Scaling in n (cycles, degree 2)",
+                format_table(rows, columns=["graph", "n", "degree", "algorithm",
+                                            "rounds", "max_min", "max_avg"]))
+    by_algorithm = _split(rows)
+    round_down = [row["max_min"] for row in by_algorithm["round-down"]]
+    algorithm1 = [row["max_min"] for row in by_algorithm["algorithm1"]]
+    # Round-down grows (at least doubles from n=16 to n=64); Algorithm 1 stays bounded.
+    assert round_down[-1] >= 2 * round_down[0]
+    assert max(algorithm1) <= theorem3_discrepancy_bound(2, 1.0) + 1e-9
+
+
+def test_scaling_on_tori(benchmark):
+    rows = run_once(benchmark, lambda: scaling_in_n_rows(
+        family="torus", sizes=(16, 36, 64, 100),
+        algorithms=("round-down", "algorithm1", "algorithm2"),
+        tokens_per_node=32, seed=7))
+    print_table("Scaling in n (2-d tori, degree 4)",
+                format_table(rows, columns=["graph", "n", "degree", "algorithm",
+                                            "rounds", "max_min", "max_avg"]))
+    by_algorithm = _split(rows)
+    round_down = [row["max_min"] for row in by_algorithm["round-down"]]
+    algorithm1 = [row["max_min"] for row in by_algorithm["algorithm1"]]
+    assert round_down[-1] > round_down[0]
+    assert max(algorithm1) <= theorem3_discrepancy_bound(4, 1.0) + 1e-9
+    # Algorithm 1's spread across sizes is flat (n-independence).
+    assert max(algorithm1) - min(algorithm1) <= theorem3_discrepancy_bound(4, 1.0)

@@ -1,0 +1,51 @@
+"""Table 1: final discrepancies of discrete diffusion processes per graph class.
+
+The paper's Table 1 compares the final max-min discrepancy of deterministic
+and randomized discrete diffusion schemes on arbitrary graphs,
+constant-degree expanders, hypercubes and 2-dimensional tori.  This benchmark
+measures all of them empirically (point load, FOS substrate, horizon = the
+continuous balancing time ``T``) and checks the shape of the comparison:
+
+* Algorithm 1 stays within its ``2 d w_max + 2`` bound on every class;
+* Algorithm 2 stays within the ``d/4 + O(sqrt(d log n))`` shape;
+* the round-down baseline is the worst algorithm on the poorly-expanding
+  classes (torus / arbitrary geometric graph).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.core.algorithm1 import theorem3_discrepancy_bound
+from repro.core.algorithm2 import theorem8_max_avg_bound
+from repro.simulation.experiments import DEFAULT_TABLE1_ALGORITHMS, format_table, table1_rows
+
+
+def test_table1_diffusion_comparison(benchmark):
+    rows = run_once(benchmark, lambda: table1_rows(
+        size="small", algorithms=DEFAULT_TABLE1_ALGORITHMS, tokens_per_node=32, seed=7))
+    print_table("Table 1 (diffusion model, point load, horizon T)",
+                format_table(rows, columns=["graph", "n", "degree", "algorithm",
+                                            "rounds", "max_min", "max_avg",
+                                            "dummy_tokens", "went_negative"]))
+
+    by_graph = {}
+    for row in rows:
+        by_graph.setdefault(row["graph"], {})[row["algorithm"]] = row
+
+    for graph, results in by_graph.items():
+        degree = results["algorithm1"]["degree"]
+        n = results["algorithm1"]["n"]
+        bound1 = theorem3_discrepancy_bound(degree, 1.0)
+        assert results["algorithm1"]["max_min"] <= bound1 + 1e-9, graph
+        bound2 = 2 * theorem8_max_avg_bound(degree, n, constant=3.0)
+        assert results["algorithm2"]["max_min"] <= bound2 + 1e-9, graph
+
+    # On the poorly-expanding torus round-down is at least as bad as Algorithm 1,
+    # and its worst case over all classes dominates Algorithm 1's worst case —
+    # the qualitative message of Table 1.
+    torus = by_graph["torus (2d)"]
+    assert torus["round-down"]["max_min"] >= torus["algorithm1"]["max_min"]
+    worst_round_down = max(r["round-down"]["max_min"] for r in by_graph.values())
+    worst_algorithm1 = max(r["algorithm1"]["max_min"] for r in by_graph.values())
+    assert worst_round_down >= worst_algorithm1

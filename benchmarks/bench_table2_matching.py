@@ -1,0 +1,45 @@
+"""Table 2: final discrepancies in the matching models (periodic and random).
+
+The paper's Table 2 compares discrete processes whose balancing actions are
+restricted to matchings.  This benchmark runs the round-down and
+randomized-rounding matching baselines together with Algorithms 1 and 2 under
+both the periodic (edge-colouring) and the random matching schedule and
+checks that the flow-imitation bounds hold in both models.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.core.algorithm1 import theorem3_discrepancy_bound
+from repro.core.algorithm2 import theorem8_max_avg_bound
+from repro.simulation.experiments import DEFAULT_TABLE2_ALGORITHMS, format_table, table2_rows
+
+
+def _check_rows(rows):
+    for row in rows:
+        if row["algorithm"] == "algorithm1":
+            assert row["max_min"] <= theorem3_discrepancy_bound(row["degree"], 1.0) + 1e-9
+        if row["algorithm"] == "algorithm2":
+            bound = 2 * theorem8_max_avg_bound(row["degree"], row["n"], constant=3.0)
+            assert row["max_min"] <= bound + 1e-9
+
+
+def test_table2_periodic_matchings(benchmark):
+    rows = run_once(benchmark, lambda: table2_rows(
+        size="small", algorithms=DEFAULT_TABLE2_ALGORITHMS,
+        matching_kind="periodic-matching", tokens_per_node=32, seed=7))
+    print_table("Table 2 (periodic matchings)",
+                format_table(rows, columns=["graph", "n", "degree", "algorithm",
+                                            "rounds", "max_min", "max_avg"]))
+    _check_rows(rows)
+
+
+def test_table2_random_matchings(benchmark):
+    rows = run_once(benchmark, lambda: table2_rows(
+        size="small", algorithms=DEFAULT_TABLE2_ALGORITHMS,
+        matching_kind="random-matching", tokens_per_node=32, seed=11))
+    print_table("Table 2 (random matchings)",
+                format_table(rows, columns=["graph", "n", "degree", "algorithm",
+                                            "rounds", "max_min", "max_avg"]))
+    _check_rows(rows)

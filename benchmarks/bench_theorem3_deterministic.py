@@ -1,0 +1,27 @@
+"""Theorem 3: Algorithm 1 with weighted tasks and heterogeneous speeds.
+
+Sweeps the maximum degree ``d`` and the maximum task weight ``w_max`` on
+random regular graphs with random integer speeds and verifies that the final
+max-min discrepancy stays below ``2 d w_max + 2`` (and that the infinite
+source is never used when the Theorem 3(2) base load is provided).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.simulation.experiments import format_table, theorem3_rows
+
+
+def test_theorem3_bound_sweep(benchmark):
+    rows = run_once(benchmark, lambda: theorem3_rows(
+        degrees=(3, 5, 8), max_weights=(1, 2, 4), num_nodes=48,
+        tasks_per_node=24, max_speed=3, seed=11))
+    print_table("Theorem 3 sweep (weighted tasks, heterogeneous speeds)",
+                format_table(rows))
+    assert all(row["within_bound"] for row in rows)
+    assert all(not row["used_infinite_source"] for row in rows)
+    # The measured discrepancy grows no faster than the bound as d * w_max grows.
+    small = [row for row in rows if row["degree"] == 3 and row["w_max"] == 1][0]
+    large = [row for row in rows if row["degree"] == 8 and row["w_max"] == 4][0]
+    assert large["bound"] > small["bound"]

@@ -1,0 +1,27 @@
+"""Theorem 8: Algorithm 2 on hypercubes of growing dimension.
+
+For each dimension the base load satisfies the Theorem 8(2) condition and
+Algorithm 2 runs until the FOS substrate balances; the worst measured
+discrepancy over several seeds must stay within a small constant multiple of
+the ``d/4 + sqrt(d log n)`` reference shape, and the infinite source must
+never be used.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.simulation.experiments import format_table, theorem8_rows
+
+
+def test_theorem8_hypercube_sweep(benchmark):
+    rows = run_once(benchmark, lambda: theorem8_rows(
+        dimensions=(4, 5, 6), tokens_per_node=64, seeds=(3, 5, 7)))
+    print_table("Theorem 8 sweep (Algorithm 2, hypercubes)", format_table(rows))
+    for row in rows:
+        assert not row["used_infinite_source"]
+        assert row["max_min_worst"] <= 4.0 * row["reference_shape"]
+    # The discrepancy grows sub-linearly in d (shape check, not absolute numbers).
+    d4 = [row for row in rows if row["degree"] == 4][0]
+    d6 = [row for row in rows if row["degree"] == 6][0]
+    assert d6["max_min_worst"] <= 4.0 * max(d4["max_min_worst"], 1.0)

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in ``DESIGN.md``): it runs the corresponding experiment from
+:mod:`repro.simulation.experiments` under ``pytest-benchmark``, prints the
+resulting rows as a plain-text table, and asserts the qualitative shape the
+paper reports.  Absolute timings are a by-product; the printed tables are the
+reproduction artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import pytest
+
+
+def run_once(benchmark, function: Callable[[], List[Dict[str, object]]]):
+    """Execute an experiment exactly once under pytest-benchmark and return its rows."""
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title: str, text: str) -> None:
+    """Print a titled table so it shows up in the benchmark output."""
+    print(f"\n=== {title} ===")
+    print(text)

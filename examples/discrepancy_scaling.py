@@ -1,0 +1,63 @@
+"""Discrepancy scaling: why flow imitation matters on poorly-expanding networks.
+
+The classic round-down diffusion leaves a residual imbalance proportional to
+``d * diam(G)``: on rings and grids it degrades as the network grows.  The
+paper's Algorithm 1 keeps the final discrepancy at ``O(d)`` regardless of the
+network size.  This example sweeps ring sizes, prints the measured final
+discrepancies of both algorithms side by side with the theoretical shapes,
+and renders a small ASCII plot.
+
+Run with::
+
+    python examples/discrepancy_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import theorem3_discrepancy_bound, topologies
+from repro.simulation.engine import compare_algorithms
+from repro.simulation.experiments import format_table
+from repro.tasks.generators import point_load
+
+SIZES = (8, 16, 32, 64)
+ALGORITHMS = ("round-down", "quasirandom", "algorithm1", "algorithm2")
+
+
+def ascii_bar(value: float, scale: float, width: int = 40) -> str:
+    filled = int(round(width * min(value / scale, 1.0)))
+    return "#" * filled
+
+
+def main() -> None:
+    rows = []
+    per_size = {}
+    for n in SIZES:
+        network = topologies.cycle(n)
+        load = point_load(network, 32 * n)
+        results = compare_algorithms(network, load, ALGORITHMS, seed=7)
+        per_size[n] = {result.algorithm: result.final_max_min for result in results}
+        for result in results:
+            rows.append({
+                "n": n,
+                "algorithm": result.algorithm,
+                "rounds (T)": result.rounds,
+                "final max-min": result.final_max_min,
+            })
+
+    print("Ring networks, 32 tokens per node initially all on node 0\n")
+    print(format_table(rows))
+
+    bound = theorem3_discrepancy_bound(2, 1.0)
+    scale = max(values["round-down"] for values in per_size.values())
+    print(f"\nfinal max-min discrepancy (scale: {scale:.0f} tokens)\n")
+    for n in SIZES:
+        for algorithm in ("round-down", "algorithm1"):
+            value = per_size[n][algorithm]
+            print(f"  n={n:>3} {algorithm:<12} {value:6.1f} |{ascii_bar(value, scale)}")
+        print()
+    print(f"Algorithm 1 never exceeds its bound 2*d*w_max + 2 = {bound:.0f}, "
+          "while round-down grows linearly with the ring size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Second-order diffusion: faster convergence — and the negative-load caveat.
+
+The framework of the paper applies to *any* additive terminating continuous
+process, so Algorithm 1 can discretize the second-order scheme (SOS) just as
+easily as first-order diffusion (FOS).  SOS balances in roughly
+``sqrt(1/(1-lambda))`` fewer rounds, which is a big win on poorly-expanding
+networks.
+
+There is a catch, and the paper states it explicitly (Definition 1 and the
+preconditions of Theorems 3 and 8): among the processes considered, **only
+SOS may induce negative load** — its outgoing demand can exceed the available
+load.  When that happens the discrete guarantees no longer apply and the
+flow-imitation algorithm has to draw many dummy tokens from the infinite
+source.  This example shows both sides:
+
+* on a 6-dimensional hypercube the violation is mild and the discretized SOS
+  still balances well while using a fraction of the FOS rounds;
+* on a 64-node ring the optimal SOS relaxation parameter is so aggressive
+  that Definition 1 is badly violated and the discrete output degrades —
+  exactly the case the paper excludes.
+
+Run with::
+
+    python examples/second_order_speedup.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DeterministicFlowImitation,
+    FirstOrderDiffusion,
+    SecondOrderDiffusion,
+    TaskAssignment,
+    spectral_summary,
+    theorem3_discrepancy_bound,
+    topologies,
+)
+from repro.core.algorithm1 import theorem3_required_base_load
+from repro.tasks.generators import balanced_load, point_load
+from repro.tasks.load import max_avg_discrepancy
+
+
+def run_substrate(network, loads, continuous_factory, label: str) -> None:
+    assignment = TaskAssignment.from_unit_loads(network, loads)
+    continuous = continuous_factory(network, assignment.loads())
+    balancer = DeterministicFlowImitation(continuous, assignment)
+    T = balancer.run_until_continuous_balanced(max_rounds=500_000)
+    discrepancy = max_avg_discrepancy(balancer.loads(include_dummies=False), network,
+                                      total_weight=balancer.original_weight)
+    bound = theorem3_discrepancy_bound(network.max_degree, 1.0)
+    verdict = "guarantee applies" if not continuous.induced_negative_load else \
+        "negative load induced -> guarantee void"
+    print(f"  {label:<28} T = {T:>5}  max-avg = {discrepancy:8.1f}  "
+          f"(bound {bound:.0f})  dummies = {balancer.dummy_tokens_created:>6}  [{verdict}]")
+
+
+def demo(network) -> None:
+    summary = spectral_summary(network)
+    base = int(theorem3_required_base_load(network.max_degree, 1.0))
+    loads = point_load(network, 32 * network.num_nodes) + balanced_load(network, base)
+    print(f"\n{network.name}: n={network.num_nodes}, d={network.max_degree}, "
+          f"1-lambda={summary.gap:.4f}, optimal beta={summary.optimal_beta:.3f}")
+    run_substrate(network, loads, lambda net, x: FirstOrderDiffusion(net, x),
+                  "FOS substrate")
+    run_substrate(network, loads, lambda net, x: SecondOrderDiffusion(net, x),
+                  "SOS substrate (optimal beta)")
+
+
+def main() -> None:
+    print("Algorithm 1 on different continuous substrates (hot-spot workload, "
+          "base load d*w_max per node)")
+    demo(topologies.hypercube(6))
+    demo(topologies.cycle(64))
+    print("\nTakeaway: SOS buys a large reduction in balancing time, but with an")
+    print("aggressive relaxation parameter it can violate the no-negative-load")
+    print("precondition (Definition 1); the paper's discrete guarantees only cover")
+    print("substrates that keep their demands within the available load.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro: discrete neighbourhood load balancing via continuous-flow imitation.
+
+This package reproduces "A Simple Approach for Adapting Continuous Load
+Balancing Processes to Discrete Settings" (Akbari, Berenbrink & Sauerwald,
+PODC 2012).  The public API is re-exported here; see ``README.md`` for a
+quickstart and ``DESIGN.md`` for the system inventory.
+"""
+
+from .core import (
+    DeterministicFlowImitation,
+    RandomizedFlowImitation,
+    TaskSelectionPolicy,
+    theorem3_discrepancy_bound,
+    theorem8_max_avg_bound,
+)
+from .continuous import (
+    DimensionExchange,
+    FirstOrderDiffusion,
+    SecondOrderDiffusion,
+    periodic_dimension_exchange,
+    random_matching_exchange,
+)
+from .network import (
+    AlphaScheme,
+    Network,
+    PeriodicMatchingSchedule,
+    RandomMatchingSchedule,
+    spectral_summary,
+    topologies,
+)
+from .simulation import (
+    ALL_ALGORITHMS,
+    RunResult,
+    compare_algorithms,
+    determine_balancing_time,
+    run_algorithm,
+)
+from .tasks import (
+    Task,
+    TaskAssignment,
+    TaskFactory,
+    generators,
+    max_avg_discrepancy,
+    max_min_discrepancy,
+    summarize_loads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core contribution
+    "DeterministicFlowImitation",
+    "RandomizedFlowImitation",
+    "TaskSelectionPolicy",
+    "theorem3_discrepancy_bound",
+    "theorem8_max_avg_bound",
+    # continuous substrates
+    "FirstOrderDiffusion",
+    "SecondOrderDiffusion",
+    "DimensionExchange",
+    "periodic_dimension_exchange",
+    "random_matching_exchange",
+    # network substrate
+    "Network",
+    "AlphaScheme",
+    "PeriodicMatchingSchedule",
+    "RandomMatchingSchedule",
+    "spectral_summary",
+    "topologies",
+    # tasks and metrics
+    "Task",
+    "TaskFactory",
+    "TaskAssignment",
+    "generators",
+    "max_min_discrepancy",
+    "max_avg_discrepancy",
+    "summarize_loads",
+    # simulation
+    "ALL_ALGORITHMS",
+    "RunResult",
+    "run_algorithm",
+    "compare_algorithms",
+    "determine_balancing_time",
+]

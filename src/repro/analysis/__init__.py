@@ -1,0 +1,37 @@
+"""Analysis toolkit: process properties, convergence measurement, aggregation."""
+
+from .aggregate import SampleStatistics, aggregate_by, summarize_samples
+from .convergence import ConvergenceTrace, convergence_trace, measure_balancing_time
+from .potential import (
+    PotentialTrace,
+    estimate_drop_factor,
+    muthukrishnan_threshold,
+    track_potential,
+)
+from .properties import (
+    PropertyReport,
+    induces_negative_load,
+    is_additive,
+    is_terminating,
+    max_additivity_violation,
+    max_termination_violation,
+)
+
+__all__ = [
+    "SampleStatistics",
+    "aggregate_by",
+    "summarize_samples",
+    "ConvergenceTrace",
+    "convergence_trace",
+    "measure_balancing_time",
+    "PotentialTrace",
+    "estimate_drop_factor",
+    "muthukrishnan_threshold",
+    "track_potential",
+    "PropertyReport",
+    "induces_negative_load",
+    "is_additive",
+    "is_terminating",
+    "max_additivity_violation",
+    "max_termination_violation",
+]

@@ -1,0 +1,71 @@
+"""Aggregation of repeated (multi-seed) experiment measurements.
+
+Randomized algorithms (Algorithm 2, the randomized-rounding baselines, random
+matching schedules) are evaluated over several seeds; this module provides a
+small, dependency-free statistics helper used by the experiment harness and
+the benchmarks to report means, spreads and high quantiles of the measured
+discrepancies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+
+__all__ = ["SampleStatistics", "summarize_samples", "aggregate_by"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class SampleStatistics:
+    """Summary statistics of a collection of scalar measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    percentile_90: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "p90": self.percentile_90,
+        }
+
+
+def summarize_samples(samples: Sequence[float]) -> SampleStatistics:
+    """Compute :class:`SampleStatistics` over a non-empty sequence of scalars."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ExperimentError("cannot summarize an empty sample set")
+    return SampleStatistics(
+        count=int(values.size),
+        mean=float(values.mean()),
+        std=float(values.std(ddof=0)),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        median=float(np.median(values)),
+        percentile_90=float(np.percentile(values, 90)),
+    )
+
+
+def aggregate_by(items: Iterable[T], key: Callable[[T], str],
+                 value: Callable[[T], float]) -> Dict[str, SampleStatistics]:
+    """Group ``items`` by ``key`` and summarize ``value`` within each group."""
+    groups: Dict[str, List[float]] = {}
+    for item in items:
+        groups.setdefault(key(item), []).append(value(item))
+    return {name: summarize_samples(values) for name, values in groups.items()}

@@ -1,0 +1,134 @@
+"""Checks for the structural properties required by the framework.
+
+The paper's transformation applies to continuous processes that are
+*additive* (Definition 3) and *terminating* (Definition 2).  Lemma 1 proves
+both properties for FOS, SOS and the matching-based processes; the functions
+in this module verify them numerically for concrete instances and are used
+both by the test-suite (including hypothesis property tests) and by users who
+plug in their own continuous processes.
+
+A *process factory* is a callable ``factory(initial_load) -> ContinuousProcess``
+building a fresh process on a fixed network from a given initial load vector.
+For randomized processes (random matchings) the factory must couple all the
+instances it creates to the same schedule — e.g. by closing over a shared
+:class:`~repro.network.matchings.RandomMatchingSchedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..continuous.base import ContinuousProcess
+from ..exceptions import ProcessError
+from ..network.graph import Network
+
+__all__ = [
+    "ProcessFactory",
+    "PropertyReport",
+    "max_additivity_violation",
+    "max_termination_violation",
+    "is_additive",
+    "is_terminating",
+    "induces_negative_load",
+]
+
+ProcessFactory = Callable[[Sequence[float]], ContinuousProcess]
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Result of a numerical property check."""
+
+    property_name: str
+    max_violation: float
+    tolerance: float
+
+    @property
+    def holds(self) -> bool:
+        """Whether the property holds up to the tolerance."""
+        return self.max_violation <= self.tolerance
+
+
+def max_additivity_violation(factory: ProcessFactory, load_a: Sequence[float],
+                             load_b: Sequence[float], rounds: int) -> float:
+    """Return the largest additivity violation over ``rounds`` rounds.
+
+    Three coupled instances are run from ``load_a``, ``load_b`` and their sum;
+    the violation of round ``t`` is the maximum over edges of
+    ``|y(t) - y'(t) - y''(t)|`` (checked separately for both directions) plus
+    the corresponding load-vector deviation.
+    """
+    if rounds < 1:
+        raise ProcessError("need at least one round to check additivity")
+    load_a = np.asarray(list(load_a), dtype=float)
+    load_b = np.asarray(list(load_b), dtype=float)
+    process_sum = factory(load_a + load_b)
+    process_a = factory(load_a)
+    process_b = factory(load_b)
+    worst = 0.0
+    for _ in range(rounds):
+        flows_sum = process_sum.advance()
+        flows_a = process_a.advance()
+        flows_b = process_b.advance()
+        worst = max(
+            worst,
+            float(np.max(np.abs(flows_sum.forward - flows_a.forward - flows_b.forward))),
+            float(np.max(np.abs(flows_sum.backward - flows_a.backward - flows_b.backward))),
+            float(np.max(np.abs(process_sum.load - process_a.load - process_b.load))),
+        )
+    return worst
+
+
+def max_termination_violation(factory: ProcessFactory, network: Network,
+                              level: float, rounds: int) -> float:
+    """Return the largest flow sent by a process started from a balanced vector.
+
+    A terminating process transfers zero net load when started from
+    ``level * (s_1, ..., s_n)``; the returned value is the maximum absolute
+    net per-edge flow observed over ``rounds`` rounds (0 for a terminating
+    process), plus the drift of the load vector.
+    """
+    if rounds < 1:
+        raise ProcessError("need at least one round to check termination")
+    if level < 0:
+        raise ProcessError("the balanced level must be non-negative")
+    balanced = level * network.speeds
+    process = factory(balanced)
+    worst = 0.0
+    for _ in range(rounds):
+        flows = process.advance()
+        worst = max(worst, float(np.max(np.abs(flows.net()))) if len(flows.net()) else 0.0)
+        worst = max(worst, float(np.max(np.abs(process.load - balanced))))
+    return worst
+
+
+def is_additive(factory: ProcessFactory, load_a: Sequence[float], load_b: Sequence[float],
+                rounds: int = 10, tolerance: float = 1e-8) -> PropertyReport:
+    """Check additivity (Definition 3) numerically."""
+    violation = max_additivity_violation(factory, load_a, load_b, rounds)
+    return PropertyReport("additive", violation, tolerance)
+
+
+def is_terminating(factory: ProcessFactory, network: Network, level: float = 5.0,
+                   rounds: int = 10, tolerance: float = 1e-8) -> PropertyReport:
+    """Check the terminating property (Definition 2) numerically."""
+    violation = max_termination_violation(factory, network, level, rounds)
+    return PropertyReport("terminating", violation, tolerance)
+
+
+def induces_negative_load(factory: ProcessFactory, load: Sequence[float],
+                          rounds: int) -> bool:
+    """Whether the process induces negative load on ``load`` within ``rounds`` rounds.
+
+    This is the numerical counterpart of Definition 1: it runs the process and
+    reports whether any node's outgoing demand ever exceeded its load.
+    """
+    process = factory(load)
+    for _ in range(rounds):
+        process.advance()
+        if process.induced_negative_load:
+            return True
+    return process.induced_negative_load

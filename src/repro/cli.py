@@ -1,0 +1,193 @@
+"""Command line interface: run a single comparison or a named experiment.
+
+Examples
+--------
+Compare algorithms on a hypercube::
+
+    repro-loadbalance compare --topology hypercube --nodes 64 \
+        --algorithms round-down algorithm1 algorithm2
+
+Regenerate the Table 1 comparison::
+
+    repro-loadbalance table1 --size small
+
+The CLI is intentionally thin: it parses arguments, calls the experiment
+harness and prints plain-text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .network import topologies
+from .simulation.engine import ALL_ALGORITHMS, compare_algorithms
+from .simulation.experiments import (
+    DEFAULT_TABLE1_ALGORITHMS,
+    DEFAULT_TABLE2_ALGORITHMS,
+    continuous_convergence_rows,
+    format_table,
+    initial_load_condition_rows,
+    scaling_in_n_rows,
+    table1_rows,
+    table2_rows,
+    theorem3_rows,
+    theorem8_rows,
+)
+from .tasks.generators import point_load
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-loadbalance`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-loadbalance",
+        description="Discrete load balancing via continuous-flow imitation (PODC 2012 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="compare algorithms on one instance")
+    compare.add_argument("--topology", default="torus",
+                         help="topology family name (see repro.network.topologies.named_topology)")
+    compare.add_argument("--nodes", type=int, default=64, help="approximate number of nodes")
+    compare.add_argument("--tokens-per-node", type=int, default=32,
+                         help="total tokens divided by n (all placed on node 0)")
+    compare.add_argument("--algorithms", nargs="+", default=["round-down", "algorithm1", "algorithm2"],
+                         choices=list(ALL_ALGORITHMS), help="algorithms to run")
+    compare.add_argument("--continuous", default="fos",
+                         choices=["fos", "sos", "periodic-matching", "random-matching"],
+                         help="continuous substrate")
+    compare.add_argument("--seed", type=int, default=7)
+
+    table1 = subparsers.add_parser("table1", help="reproduce the Table 1 comparison")
+    table1.add_argument("--size", default="small", choices=["small", "medium", "large"])
+    table1.add_argument("--seed", type=int, default=7)
+
+    table2 = subparsers.add_parser("table2", help="reproduce the Table 2 comparison")
+    table2.add_argument("--size", default="small", choices=["small", "medium", "large"])
+    table2.add_argument("--matching", default="random-matching",
+                        choices=["periodic-matching", "random-matching"])
+    table2.add_argument("--seed", type=int, default=7)
+
+    subparsers.add_parser("theorem3", help="validate the Theorem 3 bound (Algorithm 1)")
+    subparsers.add_parser("theorem8", help="validate the Theorem 8 bound (Algorithm 2)")
+    subparsers.add_parser("convergence", help="continuous balancing times vs spectral predictions")
+
+    scaling = subparsers.add_parser("scaling", help="discrepancy as n grows at fixed degree")
+    scaling.add_argument("--family", default="torus")
+    scaling.add_argument("--sizes", nargs="+", type=int, default=[16, 36, 64, 100])
+
+    subparsers.add_parser("initial-load", help="sweep of the sufficient-initial-load condition")
+
+    scenario = subparsers.add_parser("scenario", help="run a scenario described by a JSON file")
+    scenario.add_argument("--file", required=True, help="path to the scenario JSON file")
+    scenario.add_argument("--csv", help="optional path to append the result row as CSV")
+
+    sweep = subparsers.add_parser("sweep", help="run one configuration over several seeds")
+    sweep.add_argument("--algorithm", required=True, choices=list(ALL_ALGORITHMS))
+    sweep.add_argument("--topology", default="torus")
+    sweep.add_argument("--nodes", type=int, default=64)
+    sweep.add_argument("--tokens-per-node", type=int, default=32)
+    sweep.add_argument("--workload", default="point",
+                       choices=["point", "uniform", "half-nodes", "gradient"])
+    sweep.add_argument("--continuous", default="fos",
+                       choices=["fos", "sos", "periodic-matching", "random-matching"])
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3, 4, 5])
+
+    audit = subparsers.add_parser(
+        "audit", help="run a flow-imitation algorithm and check the paper's invariants each round")
+    audit.add_argument("--algorithm", default="algorithm1", choices=["algorithm1", "algorithm2"])
+    audit.add_argument("--topology", default="torus")
+    audit.add_argument("--nodes", type=int, default=64)
+    audit.add_argument("--tokens-per-node", type=int, default=32)
+    audit.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-loadbalance`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "compare":
+        network = topologies.named_topology(args.topology, args.nodes, seed=args.seed)
+        load = point_load(network, args.tokens_per_node * network.num_nodes)
+        results = compare_algorithms(network, load, args.algorithms,
+                                     continuous_kind=args.continuous, seed=args.seed)
+        rows = [result.as_dict() for result in results]
+        print(format_table(rows, columns=["algorithm", "network", "n", "max_degree",
+                                          "rounds", "max_min", "max_avg",
+                                          "dummy_tokens", "went_negative"]))
+    elif args.command == "table1":
+        rows = table1_rows(size=args.size, seed=args.seed)
+        print(format_table(rows))
+    elif args.command == "table2":
+        rows = table2_rows(size=args.size, matching_kind=args.matching, seed=args.seed)
+        print(format_table(rows))
+    elif args.command == "theorem3":
+        print(format_table(theorem3_rows()))
+    elif args.command == "theorem8":
+        print(format_table(theorem8_rows()))
+    elif args.command == "convergence":
+        print(format_table(continuous_convergence_rows()))
+    elif args.command == "scaling":
+        print(format_table(scaling_in_n_rows(family=args.family, sizes=args.sizes)))
+    elif args.command == "initial-load":
+        print(format_table(initial_load_condition_rows()))
+    elif args.command == "scenario":
+        from .simulation.reporting import rows_to_csv
+        from .simulation.scenario import load_scenario, run_scenario
+
+        scenario = load_scenario(args.file)
+        result = run_scenario(scenario)
+        row = {"scenario": scenario.name, **result.as_dict()}
+        print(format_table([row], columns=["scenario", "algorithm", "network", "n",
+                                           "rounds", "max_min", "max_avg",
+                                           "dummy_tokens", "went_negative"]))
+        if args.csv:
+            rows_to_csv([row], args.csv)
+            print(f"wrote {args.csv}")
+    elif args.command == "sweep":
+        from .simulation.sweep import SweepConfiguration, run_sweep
+
+        configuration = SweepConfiguration(
+            algorithm=args.algorithm, topology=args.topology, num_nodes=args.nodes,
+            tokens_per_node=args.tokens_per_node, workload=args.workload,
+            continuous_kind=args.continuous,
+        )
+        result = run_sweep(configuration, seeds=args.seeds)
+        print(format_table([result.as_row()]))
+    elif args.command == "audit":
+        from .continuous.fos import FirstOrderDiffusion
+        from .core.algorithm1 import DeterministicFlowImitation
+        from .core.algorithm2 import RandomizedFlowImitation
+        from .core.diagnostics import FlowImitationAuditor
+        from .tasks.assignment import TaskAssignment
+
+        network = topologies.named_topology(args.topology, args.nodes, seed=args.seed)
+        loads = point_load(network, args.tokens_per_node * network.num_nodes)
+        assignment = TaskAssignment.from_unit_loads(network, loads)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        if args.algorithm == "algorithm1":
+            balancer = DeterministicFlowImitation(continuous, assignment)
+        else:
+            balancer = RandomizedFlowImitation(continuous, assignment, seed=args.seed)
+        auditor = FlowImitationAuditor(balancer)
+        report = auditor.run_until_continuous_balanced()
+        print(f"{args.algorithm} on {network.name} (n={network.num_nodes}, "
+              f"d={network.max_degree}):")
+        print(report.summary())
+        print(f"final max-min discrepancy: {balancer.max_min_discrepancy():.1f} "
+              f"(Theorem 3 bound {2 * network.max_degree * balancer.w_max + 2:.0f})")
+        for violation in report.violations:
+            print(f"  VIOLATION round {violation.round_index}: "
+                  f"{violation.invariant} — {violation.detail}")
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

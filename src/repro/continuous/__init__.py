@@ -1,0 +1,29 @@
+"""Continuous (divisible-load) balancing processes: FOS, SOS and dimension exchange."""
+
+from .base import BALANCE_TOLERANCE, ContinuousProcess, RoundFlows
+from .dimension_exchange import (
+    DimensionExchange,
+    periodic_dimension_exchange,
+    random_matching_exchange,
+)
+from .fos import FirstOrderDiffusion
+from .general import (
+    GeneralLinearProcess,
+    constant_alpha_provider,
+    matching_alpha_provider,
+)
+from .sos import SecondOrderDiffusion
+
+__all__ = [
+    "BALANCE_TOLERANCE",
+    "ContinuousProcess",
+    "RoundFlows",
+    "FirstOrderDiffusion",
+    "SecondOrderDiffusion",
+    "DimensionExchange",
+    "periodic_dimension_exchange",
+    "random_matching_exchange",
+    "GeneralLinearProcess",
+    "constant_alpha_provider",
+    "matching_alpha_provider",
+]

@@ -1,0 +1,88 @@
+"""First-order diffusion (FOS) with heterogeneous speeds.
+
+The first order schedule (Cybenko; Boillat; generalised to speeds by
+Elsässer, Monien & Preis) transfers, in every round and over every edge,
+
+    ``y_{i,j}(t) = (alpha_{i,j} / s_i) * x_i(t)``            (Equation (1))
+
+so that the load evolves as ``x(t+1) = x(t) P`` for the diffusion matrix
+``P`` built in :mod:`repro.network.spectral`.  FOS is additive and
+terminating (Lemma 1) and never induces negative load because
+``sum_j alpha_{i,j} < s_i``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ProcessError
+from ..network.graph import Edge, Network
+from ..network.spectral import AlphaScheme, compute_alphas
+from .base import ContinuousProcess, RoundFlows
+
+__all__ = ["FirstOrderDiffusion"]
+
+
+class FirstOrderDiffusion(ContinuousProcess):
+    """The first-order diffusion process (FOS).
+
+    Parameters
+    ----------
+    network:
+        The network to balance on.
+    initial_load:
+        Initial load vector ``x(0)``.
+    alphas:
+        Optional explicit symmetric edge weights ``alpha_{i,j}`` (mapping from
+        canonical edge to value).  When omitted they are derived from
+        ``scheme``.
+    scheme:
+        One of the :class:`~repro.network.spectral.AlphaScheme` names; ignored
+        when ``alphas`` is given.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        initial_load: Sequence[float],
+        alphas: Optional[Dict[Edge, float]] = None,
+        scheme: str = AlphaScheme.MAX_DEGREE_PLUS_ONE,
+        check_negative_load: bool = False,
+    ) -> None:
+        super().__init__(network, initial_load, check_negative_load=check_negative_load)
+        if alphas is None:
+            alphas = compute_alphas(network, scheme)
+        self._alpha_array = _alphas_to_array(network, alphas)
+        self._alphas = dict(alphas)
+        speeds = network.speeds
+        sources, targets = self._edge_endpoint_arrays()
+        # Pre-compute the per-edge transfer rates alpha_e / s_u and alpha_e / s_v.
+        self._rate_forward = self._alpha_array / speeds[sources]
+        self._rate_backward = self._alpha_array / speeds[targets]
+
+    @property
+    def alphas(self) -> Dict[Edge, float]:
+        """The symmetric edge weights used by this process (copy)."""
+        return dict(self._alphas)
+
+    def _compute_flows(self) -> RoundFlows:
+        sources, targets = self._edge_endpoint_arrays()
+        load = self._load
+        forward = self._rate_forward * load[sources]
+        backward = self._rate_backward * load[targets]
+        return RoundFlows(self.network, forward=forward, backward=backward)
+
+
+def _alphas_to_array(network: Network, alphas: Dict[Edge, float]) -> np.ndarray:
+    """Convert an alpha mapping into an array aligned with the network edge order."""
+    array = np.zeros(network.num_edges, dtype=float)
+    for (u, v), value in alphas.items():
+        if value <= 0:
+            raise ProcessError(f"alpha for edge {(u, v)} must be positive")
+        array[network.edge_index(u, v)] = value
+    if np.any(array == 0):
+        missing = [edge for edge in network.edges if alphas.get(edge, 0) == 0]
+        raise ProcessError(f"alphas missing for edges {missing[:5]}")
+    return array

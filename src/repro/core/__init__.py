@@ -1,0 +1,41 @@
+"""The paper's primary contribution: flow-imitation discretizations.
+
+* :class:`DeterministicFlowImitation` — Algorithm 1 (Theorem 3).
+* :class:`RandomizedFlowImitation` — Algorithm 2 (Theorem 8).
+"""
+
+from .algorithm1 import (
+    DeterministicFlowImitation,
+    theorem3_discrepancy_bound,
+    theorem3_required_base_load,
+)
+from .algorithm2 import (
+    RandomizedFlowImitation,
+    theorem8_max_avg_bound,
+    theorem8_max_min_bound,
+    theorem8_required_base_load,
+)
+from .diagnostics import AuditReport, FlowImitationAuditor, InvariantViolation
+from .flow_imitation import (
+    EdgeSendPlan,
+    FlowImitationBalancer,
+    RoundReport,
+    TaskSelectionPolicy,
+)
+
+__all__ = [
+    "AuditReport",
+    "FlowImitationAuditor",
+    "InvariantViolation",
+    "DeterministicFlowImitation",
+    "RandomizedFlowImitation",
+    "FlowImitationBalancer",
+    "EdgeSendPlan",
+    "RoundReport",
+    "TaskSelectionPolicy",
+    "theorem3_discrepancy_bound",
+    "theorem3_required_base_load",
+    "theorem8_max_avg_bound",
+    "theorem8_max_min_bound",
+    "theorem8_required_base_load",
+]

@@ -1,0 +1,147 @@
+"""Algorithm 1: deterministic flow imitation (Section 4 of the paper).
+
+Given a continuous, additive and terminating process ``A``, the discrete
+process ``D(A)`` tries, in every round ``t`` and over every edge ``(i, j)``,
+to send a set of whole tasks whose total weight is as close as possible to
+the residual flow
+
+    ``y^hat_{i,j}(t) = f^A_{i,j}(t) - f^{D(A)}_{i,j}(t - 1)``.
+
+For identical unit-weight tokens this means sending ``floor(y^hat)`` tokens;
+for weighted tasks the node keeps adding tasks to the outgoing set while the
+residual exceeds ``w_max`` (the while-loop of the pseudocode).  Nodes whose
+own tasks do not suffice draw unit-weight dummy tokens from an infinite
+source; dummy tokens travel like normal tasks and are eliminated at the end.
+
+Guarantees (Theorem 3): at the continuous balancing time ``T^A``,
+
+* the max-avg discrepancy is at most ``2 d w_max + 2``;
+* if the initial load of every node ``i`` is at least ``d * w_max * s_i``
+  on top of a load vector on which ``A`` induces no negative load, the same
+  bound holds for the max-min discrepancy and the infinite source is never
+  used (Lemma 7).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..continuous.base import ContinuousProcess
+from ..exceptions import ProcessError
+from ..tasks.assignment import TaskAssignment
+from ..tasks.task import Task
+from .flow_imitation import EdgeSendPlan, FlowImitationBalancer, TaskSelectionPolicy
+
+__all__ = ["DeterministicFlowImitation", "theorem3_discrepancy_bound", "theorem3_required_base_load"]
+
+
+def theorem3_discrepancy_bound(max_degree: int, max_task_weight: float) -> float:
+    """Return the Theorem 3 discrepancy bound ``2 * d * w_max + 2``."""
+    return 2.0 * max_degree * max_task_weight + 2.0
+
+
+def theorem3_required_base_load(max_degree: int, max_task_weight: float) -> float:
+    """Return the per-speed-unit base load ``d * w_max`` required by Theorem 3(2)."""
+    return float(max_degree) * float(max_task_weight)
+
+
+class DeterministicFlowImitation(FlowImitationBalancer):
+    """The paper's Algorithm 1: deterministic flow imitation ``D(A)``.
+
+    Parameters
+    ----------
+    continuous:
+        The continuous process ``A`` to discretize (fresh, round 0, starting
+        from the same load vector as ``assignment``).
+    assignment:
+        The discrete workload at time 0.
+    selection_policy:
+        How the "arbitrary" task of the pseudocode is chosen when forwarding
+        weighted tasks; one of :class:`TaskSelectionPolicy`.  Irrelevant for
+        unit tokens.
+    max_task_weight:
+        Override for ``w_max`` (defaults to the maximum task weight present).
+    """
+
+    def __init__(
+        self,
+        continuous: ContinuousProcess,
+        assignment: TaskAssignment,
+        selection_policy: str = TaskSelectionPolicy.FIFO,
+        max_task_weight: Optional[float] = None,
+    ) -> None:
+        super().__init__(continuous, assignment, max_task_weight=max_task_weight)
+        if selection_policy not in TaskSelectionPolicy.ALL:
+            raise ProcessError(
+                f"unknown selection policy {selection_policy!r}; "
+                f"valid policies: {TaskSelectionPolicy.ALL}"
+            )
+        self._policy = selection_policy
+        self._unit_tokens_only = all(
+            task.is_token
+            for node in assignment.network.nodes
+            for task in assignment.tasks_at(node)
+        )
+
+    @property
+    def selection_policy(self) -> str:
+        """The task-selection policy in use."""
+        return self._policy
+
+    @property
+    def unit_tokens_only(self) -> bool:
+        """Whether the workload consists exclusively of unit-weight tokens."""
+        return self._unit_tokens_only
+
+    def discrepancy_bound(self) -> float:
+        """The Theorem 3 bound ``2 d w_max + 2`` for this instance."""
+        return theorem3_discrepancy_bound(self.network.max_degree, self.w_max)
+
+    # ------------------------------------------------------------------ #
+    # per-edge planning
+    # ------------------------------------------------------------------ #
+
+    def _plan_edge_send(self, source: int, destination: int, residual: float,
+                        pool: List[Task]) -> EdgeSendPlan:
+        if self._unit_tokens_only:
+            return self._plan_unit_tokens(source, destination, residual, pool)
+        return self._plan_weighted(source, destination, residual, pool)
+
+    def _plan_unit_tokens(self, source: int, destination: int, residual: float,
+                          pool: List[Task]) -> EdgeSendPlan:
+        """Unit-token fast path: send ``floor(residual)`` tokens."""
+        amount = int(math.floor(residual + 1e-9))
+        if amount <= 0:
+            return EdgeSendPlan(source=source, destination=destination)
+        tasks, missing = self._take_unit_tokens(pool, amount)
+        return EdgeSendPlan(source=source, destination=destination,
+                            tasks=tasks, dummy_tokens=missing)
+
+    def _plan_weighted(self, source: int, destination: int, residual: float,
+                       pool: List[Task]) -> EdgeSendPlan:
+        """General weighted-task path: the while-loop of the pseudocode."""
+        plan = EdgeSendPlan(source=source, destination=destination)
+        committed = 0.0
+        # while y^hat - |S| > w_max: add another task (real if available, dummy otherwise)
+        while residual - committed > self.w_max + 1e-9:
+            task = self._pick_task(pool)
+            if task is None:
+                plan.dummy_tokens += 1
+                committed += 1.0
+            else:
+                plan.tasks.append(task)
+                committed += task.weight
+        return plan
+
+    def _pick_task(self, pool: List[Task]) -> Optional[Task]:
+        """Remove and return one task from ``pool`` according to the policy."""
+        if not pool:
+            return None
+        if self._policy == TaskSelectionPolicy.FIFO:
+            return pool.pop(0)
+        if self._policy == TaskSelectionPolicy.LARGEST_FIRST:
+            index = max(range(len(pool)), key=lambda k: pool[k].weight)
+        else:  # SMALLEST_FIRST
+            index = min(range(len(pool)), key=lambda k: pool[k].weight)
+        return pool.pop(index)

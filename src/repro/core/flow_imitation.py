@@ -1,0 +1,297 @@
+"""Shared machinery for the paper's flow-imitation discretizations.
+
+Both Algorithm 1 (deterministic flow imitation, Section 4) and Algorithm 2
+(randomized flow imitation, Section 5) follow the same template:
+
+1. simulate the continuous process ``A`` in parallel (every node can do this
+   locally because the continuous dynamics are deterministic given the shared
+   matching schedule);
+2. per edge ``(i, j)`` track the *residual flow*
+   ``y^hat_{i,j}(t) = f^A_{i,j}(t) - f^{D(A)}_{i,j}(t-1)`` — how much the
+   discrete process lags behind the continuous one;
+3. move whole tasks so that the discrete flow catches up with the continuous
+   flow as closely as the task granularity allows, drawing unit-weight dummy
+   tasks from an *infinite source* when a node's own tasks do not suffice.
+
+The two algorithms differ only in how the target amount for a single edge and
+round is derived from the residual; subclasses implement
+:meth:`FlowImitationBalancer._plan_edge_send`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..continuous.base import BALANCE_TOLERANCE, ContinuousProcess
+from ..discrete.base import DiscreteBalancer
+from ..exceptions import ConvergenceError, ProcessError
+from ..tasks.assignment import TaskAssignment
+from ..tasks.task import Task, TaskFactory
+
+__all__ = ["EdgeSendPlan", "RoundReport", "FlowImitationBalancer", "TaskSelectionPolicy"]
+
+#: Dummy tasks receive identifiers starting at this offset so they never clash
+#: with identifiers of the original workload.
+_DUMMY_ID_OFFSET = 10**12
+
+
+class TaskSelectionPolicy:
+    """Policies for choosing which "arbitrary" task to forward (Algorithm 1).
+
+    The theorem holds for any choice; the policy only affects which concrete
+    tasks travel, which matters for locality-style analyses.
+    """
+
+    FIFO = "fifo"
+    LARGEST_FIRST = "largest-first"
+    SMALLEST_FIRST = "smallest-first"
+
+    ALL = (FIFO, LARGEST_FIRST, SMALLEST_FIRST)
+
+
+@dataclass
+class EdgeSendPlan:
+    """A planned transfer over a single edge in a single round."""
+
+    source: int
+    destination: int
+    tasks: List[Task] = field(default_factory=list)
+    dummy_tokens: int = 0
+
+    @property
+    def weight(self) -> float:
+        """Total weight that will be transferred (real tasks plus dummies)."""
+        return sum(task.weight for task in self.tasks) + float(self.dummy_tokens)
+
+
+@dataclass(frozen=True)
+class RoundReport:
+    """Statistics of one executed round of a flow-imitation process."""
+
+    round_index: int
+    transfers: int
+    tasks_moved: int
+    weight_moved: float
+    dummy_tokens_created: int
+
+
+class FlowImitationBalancer(DiscreteBalancer):
+    """Base class implementing the flow-imitation bookkeeping.
+
+    Parameters
+    ----------
+    continuous:
+        The continuous process ``A`` to imitate.  It must be freshly
+        constructed (round 0) and its initial load vector must equal the load
+        vector induced by ``assignment``.  The balancer *owns* the process and
+        advances it internally; callers should not advance it themselves.
+    assignment:
+        The discrete workload: which node holds which (possibly weighted)
+        tasks at time 0.
+    max_task_weight:
+        Override for ``w_max``.  Defaults to the maximum weight present in
+        ``assignment`` (at least 1, the weight of dummy tasks).
+    """
+
+    def __init__(
+        self,
+        continuous: ContinuousProcess,
+        assignment: TaskAssignment,
+        max_task_weight: Optional[float] = None,
+    ) -> None:
+        super().__init__(continuous.network)
+        if assignment.network is not continuous.network:
+            raise ProcessError(
+                "the task assignment and the continuous process must share the same network"
+            )
+        if continuous.round_index != 0:
+            raise ProcessError("the continuous process must not have been advanced yet")
+        if not np.allclose(assignment.loads(), continuous.load, atol=1e-9):
+            raise ProcessError(
+                "the continuous process must start from the load vector induced by the assignment"
+            )
+        self._continuous = continuous
+        self._assignment = assignment
+        if max_task_weight is None:
+            max_task_weight = max(1.0, assignment.max_task_weight())
+        if max_task_weight <= 0:
+            raise ProcessError("max_task_weight must be positive")
+        self._w_max = float(max_task_weight)
+        self._original_weight = assignment.total_weight()
+        self._discrete_cumulative = np.zeros(continuous.network.num_edges, dtype=float)
+        self._dummy_factory = TaskFactory(start_id=_DUMMY_ID_OFFSET)
+        self._dummy_tokens_created = 0
+        self._used_infinite_source = False
+        self._reports: List[RoundReport] = []
+
+    # ------------------------------------------------------------------ #
+    # state inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def continuous(self) -> ContinuousProcess:
+        """The continuous process being imitated."""
+        return self._continuous
+
+    @property
+    def assignment(self) -> TaskAssignment:
+        """The discrete task assignment (mutated in place as rounds execute)."""
+        return self._assignment
+
+    @property
+    def w_max(self) -> float:
+        """The maximum task weight ``w_max`` used in the residual bookkeeping."""
+        return self._w_max
+
+    @property
+    def original_weight(self) -> float:
+        """The total weight of the original workload (excluding any dummies)."""
+        return self._original_weight
+
+    @property
+    def used_infinite_source(self) -> bool:
+        """Whether any node ever had to draw dummy tasks from the infinite source."""
+        return self._used_infinite_source
+
+    @property
+    def dummy_tokens_created(self) -> int:
+        """The total number of dummy tokens created so far."""
+        return self._dummy_tokens_created
+
+    @property
+    def round_reports(self) -> List[RoundReport]:
+        """Per-round statistics of the executed rounds (copy)."""
+        return list(self._reports)
+
+    def loads(self, include_dummies: bool = True) -> np.ndarray:
+        """Return the current discrete load vector."""
+        return self._assignment.loads(include_dummies=include_dummies)
+
+    def discrete_cumulative_flows(self) -> np.ndarray:
+        """Per-edge cumulative net discrete flow ``f^{D(A)}_{u,v}`` (canonical direction)."""
+        return self._discrete_cumulative.copy()
+
+    def flow_errors(self) -> np.ndarray:
+        """Per-edge flow error ``e_{u,v}(t) = f^A_{u,v}(t) - f^{D(A)}_{u,v}(t)``.
+
+        Observation 4 of the paper shows ``|e| <= w_max`` for Algorithm 1;
+        Observation 9 gives the corresponding bound for Algorithm 2.
+        """
+        return self._continuous.cumulative_flows - self._discrete_cumulative
+
+    def load_deviation(self) -> np.ndarray:
+        """Per-node deviation of the discrete load from the continuous load.
+
+        Lemma 6(1): ``x^{D(A)}_i(t) - x^A_i(t) = sum_{j in N(i)} e_{i,j}(t-1)``
+        as long as no infinite source has been used, hence the deviation is
+        bounded by ``d * w_max`` (Lemma 6(2)).
+        """
+        return self.loads(include_dummies=True) - self._continuous.load
+
+    # ------------------------------------------------------------------ #
+    # the round
+    # ------------------------------------------------------------------ #
+
+    def _execute_round(self) -> None:
+        self._continuous.advance()
+        residual = self._continuous.cumulative_flows - self._discrete_cumulative
+
+        # Partition residuals into per-sender requests (only one direction of an
+        # edge can have positive residual flow).
+        requests: Dict[int, List[Tuple[int, int, float]]] = {}
+        for edge_idx, value in enumerate(residual):
+            if value == 0.0:
+                continue
+            u, v = self.network.edges[edge_idx]
+            if value > 0:
+                requests.setdefault(u, []).append((v, edge_idx, float(value)))
+            else:
+                requests.setdefault(v, []).append((u, edge_idx, float(-value)))
+
+        plans: List[Tuple[int, EdgeSendPlan]] = []
+        for node in sorted(requests):
+            pool = list(self._assignment.tasks_at(node))
+            for neighbor, edge_idx, amount in sorted(requests[node]):
+                plan = self._plan_edge_send(node, neighbor, amount, pool)
+                if plan.tasks or plan.dummy_tokens:
+                    plans.append((edge_idx, plan))
+
+        transfers = 0
+        tasks_moved = 0
+        weight_moved = 0.0
+        dummies_this_round = 0
+        for edge_idx, plan in plans:
+            for task in plan.tasks:
+                self._assignment.move(task, plan.source, plan.destination)
+                tasks_moved += 1
+            for _ in range(plan.dummy_tokens):
+                dummy = self._dummy_factory.create_dummy(origin=plan.source)
+                self._assignment.add(plan.destination, dummy)
+                dummies_this_round += 1
+            sent = plan.weight
+            weight_moved += sent
+            transfers += 1
+            u, _ = self.network.edges[edge_idx]
+            signed = sent if plan.source == u else -sent
+            self._discrete_cumulative[edge_idx] += signed
+
+        if dummies_this_round:
+            self._used_infinite_source = True
+            self._dummy_tokens_created += dummies_this_round
+
+        self._reports.append(
+            RoundReport(
+                round_index=self._round,
+                transfers=transfers,
+                tasks_moved=tasks_moved,
+                weight_moved=weight_moved,
+                dummy_tokens_created=dummies_this_round,
+            )
+        )
+
+    def _plan_edge_send(self, source: int, destination: int, residual: float,
+                        pool: List[Task]) -> EdgeSendPlan:
+        """Decide which tasks ``source`` forwards to ``destination`` this round.
+
+        ``pool`` contains the tasks of ``source`` that have not yet been
+        committed to another neighbour in the same round; the implementation
+        must remove any task it selects from ``pool``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # driving the run
+    # ------------------------------------------------------------------ #
+
+    def run_until_continuous_balanced(self, tolerance: float = BALANCE_TOLERANCE,
+                                      max_rounds: int = 1_000_000) -> int:
+        """Run the coupled processes until the continuous one is balanced.
+
+        Returns the balancing time ``T^A``.  This is the time horizon at
+        which Theorems 3 and 8 bound the discrete discrepancy.
+        """
+        while not self._continuous.is_balanced(tolerance):
+            if self._round >= max_rounds:
+                raise ConvergenceError(
+                    f"continuous process did not balance within {max_rounds} rounds"
+                )
+            self.advance()
+        return self._round
+
+    def remove_dummies(self) -> float:
+        """Eliminate all dummy tasks (the final step of the balancing process)."""
+        return self._assignment.remove_dummies()
+
+    # ------------------------------------------------------------------ #
+    # helpers available to subclasses
+    # ------------------------------------------------------------------ #
+
+    def _take_unit_tokens(self, pool: List[Task], count: int) -> Tuple[List[Task], int]:
+        """Take up to ``count`` tasks from ``pool``; return (tasks, missing)."""
+        taken: List[Task] = []
+        while pool and len(taken) < count:
+            taken.append(pool.pop(0))
+        return taken, count - len(taken)

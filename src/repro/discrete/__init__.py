@@ -1,0 +1,6 @@
+"""Discrete balancing processes: the common interface and the literature baselines."""
+
+from .base import DiscreteBalancer, IntegerLoadBalancer
+from . import baselines
+
+__all__ = ["DiscreteBalancer", "IntegerLoadBalancer", "baselines"]

@@ -1,0 +1,160 @@
+"""Common interface for discrete (indivisible-task) balancing processes.
+
+Two families of discrete processes live in this library:
+
+* the paper's **flow imitation** algorithms (:mod:`repro.core`), which couple
+  themselves to a continuous process and imitate its cumulative flow, and
+* the **baselines** from the prior literature (:mod:`repro.discrete.baselines`),
+  which each round compute the flow the continuous process *would* send given
+  the current discrete load and round it (down, quasirandomly, or randomly).
+
+Both expose the same minimal interface so the simulation engine, metrics and
+benchmarks can treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ProcessError
+from ..network.graph import Network
+from ..tasks.load import LoadSummary, summarize_loads
+
+__all__ = ["DiscreteBalancer", "IntegerLoadBalancer"]
+
+
+class DiscreteBalancer(ABC):
+    """Abstract base class for discrete balancing processes.
+
+    Subclasses maintain whatever internal representation they need (a
+    :class:`~repro.tasks.assignment.TaskAssignment` for weighted tasks, a
+    plain integer vector for token-only baselines) but must expose the load
+    vector, the network and a synchronous :meth:`advance`.
+    """
+
+    def __init__(self, network: Network) -> None:
+        network.require_connected()
+        self._network = network
+        self._round = 0
+
+    @property
+    def network(self) -> Network:
+        """The network being balanced."""
+        return self._network
+
+    @property
+    def round_index(self) -> int:
+        """The index ``t`` of the next round to be executed."""
+        return self._round
+
+    @abstractmethod
+    def loads(self, include_dummies: bool = True) -> np.ndarray:
+        """Return the current load vector of the discrete process."""
+
+    @abstractmethod
+    def _execute_round(self) -> None:
+        """Execute the balancing actions of the current round."""
+
+    def advance(self) -> None:
+        """Execute one synchronous round."""
+        self._execute_round()
+        self._round += 1
+
+    def run(self, rounds: int) -> None:
+        """Execute ``rounds`` rounds."""
+        if rounds < 0:
+            raise ProcessError("cannot run a negative number of rounds")
+        for _ in range(rounds):
+            self.advance()
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+
+    def total_weight(self, include_dummies: bool = True) -> float:
+        """Return the total weight currently in the system."""
+        return float(self.loads(include_dummies=include_dummies).sum())
+
+    def summary(self, include_dummies: bool = True,
+                reference_weight: Optional[float] = None) -> LoadSummary:
+        """Return a :class:`~repro.tasks.load.LoadSummary` of the current loads.
+
+        ``reference_weight`` overrides the total weight used for the average
+        makespan — pass the *original* workload weight when dummy tasks have
+        been created so the max-avg discrepancy refers to the real workload.
+        """
+        return summarize_loads(self.loads(include_dummies=include_dummies),
+                               self._network, total_weight=reference_weight)
+
+    def max_min_discrepancy(self, include_dummies: bool = True) -> float:
+        """Return the current max-min discrepancy of the makespans."""
+        return self.summary(include_dummies=include_dummies).max_min_discrepancy
+
+    def max_avg_discrepancy(self, include_dummies: bool = True,
+                            reference_weight: Optional[float] = None) -> float:
+        """Return the current max-avg discrepancy of the makespans."""
+        return self.summary(include_dummies=include_dummies,
+                            reference_weight=reference_weight).max_avg_discrepancy
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n={self._network.num_nodes}, round={self._round}, "
+            f"W={self.total_weight():.1f})"
+        )
+
+
+class IntegerLoadBalancer(DiscreteBalancer):
+    """Base class for token-only processes that track an integer load vector.
+
+    The baselines of the prior literature are defined on identical unit-weight
+    tokens; they only need the per-node token counts, not task identity.
+    Loads are stored as a (possibly negative, for processes that can create
+    negative load) integer vector.
+    """
+
+    def __init__(self, network: Network, initial_load) -> None:
+        super().__init__(network)
+        loads = np.asarray(list(initial_load), dtype=float)
+        if loads.shape != (network.num_nodes,):
+            raise ProcessError(
+                f"initial load must have length {network.num_nodes}, got {loads.shape}"
+            )
+        if np.any(loads < 0):
+            raise ProcessError("initial load must be non-negative")
+        if not np.allclose(loads, np.round(loads)):
+            raise ProcessError("token processes require integer initial loads")
+        self._loads = np.round(loads).astype(np.int64)
+        self._initial_loads = self._loads.copy()
+        self._went_negative = False
+
+    @property
+    def initial_loads(self) -> np.ndarray:
+        """The initial integer load vector (copy)."""
+        return self._initial_loads.copy()
+
+    @property
+    def went_negative(self) -> bool:
+        """Whether any node's load ever became negative during the run."""
+        return self._went_negative
+
+    def loads(self, include_dummies: bool = True) -> np.ndarray:
+        """Return the current integer load vector as floats (dummies do not apply)."""
+        return self._loads.astype(float)
+
+    def _apply_edge_moves(self, moves) -> None:
+        """Apply a list of ``(source, destination, tokens)`` moves synchronously.
+
+        All moves are computed against the pre-round load vector by the
+        subclass; this helper applies them at once and records whether any
+        load became negative.
+        """
+        for source, destination, tokens in moves:
+            if tokens < 0:
+                raise ProcessError("token moves must be non-negative")
+            self._loads[source] -= tokens
+            self._loads[destination] += tokens
+        if np.any(self._loads < 0):
+            self._went_negative = True

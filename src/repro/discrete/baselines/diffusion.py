@@ -1,0 +1,308 @@
+"""Discrete diffusion baselines from the prior literature (Section 2.2 / 2.3).
+
+All baselines work on identical unit-weight tokens.  Each round they compute
+the flow the continuous FOS process *would* send given the **current discrete
+load vector** and round it:
+
+* :class:`RoundDownDiffusion` — the classical scheme analysed by Rabani,
+  Sinclair & Wanka [37]: round the per-edge net flow down.  Final max-min
+  discrepancy ``O(d log n / (1 - lambda))``; lower bound ``Omega(d diam(G))``.
+* :class:`QuasirandomDiffusion` — the deterministic rounding of Friedrich,
+  Gairing & Sauerwald [26]: per edge, keep the accumulated rounding error
+  bounded by choosing floor or ceiling (may create negative load).
+* :class:`RandomizedRoundingDiffusion` — randomized rounding [26]: round the
+  per-edge net flow up with probability equal to its fractional part (may
+  create negative load).
+* :class:`ExcessTokenDiffusion` — Berenbrink et al. [9]: round every directed
+  flow down and forward the node's excess tokens to neighbours chosen at
+  random without replacement (never creates negative load).
+
+Except for :class:`ExcessTokenDiffusion` (whose mechanism is inherently
+per-direction) the implementations round the *net* flow of each edge, i.e.
+``alpha_{i,j} (x_i/s_i - x_j/s_j)`` is rounded by the endpoint with the larger
+makespan.  This matches the "standard diffusion algorithm" described in the
+paper's introduction and the framework of [37].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...exceptions import ProcessError
+from ...network.graph import Edge, Network
+from ...network.spectral import AlphaScheme, compute_alphas
+from ..base import IntegerLoadBalancer
+
+__all__ = [
+    "DiffusionBaseline",
+    "RoundDownDiffusion",
+    "RoundDownSecondOrder",
+    "QuasirandomDiffusion",
+    "RandomizedRoundingDiffusion",
+    "ExcessTokenDiffusion",
+]
+
+
+class DiffusionBaseline(IntegerLoadBalancer):
+    """Shared FOS bookkeeping for the diffusion baselines.
+
+    Parameters
+    ----------
+    network:
+        The network to balance on.
+    initial_load:
+        Integer token counts per node.
+    alphas / scheme:
+        FOS edge weights, as in :class:`~repro.continuous.fos.FirstOrderDiffusion`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        initial_load: Sequence[int],
+        alphas: Optional[Dict[Edge, float]] = None,
+        scheme: str = AlphaScheme.MAX_DEGREE_PLUS_ONE,
+    ) -> None:
+        super().__init__(network, initial_load)
+        if alphas is None:
+            alphas = compute_alphas(network, scheme)
+        self._alphas = dict(alphas)
+        self._alpha_array = np.zeros(network.num_edges, dtype=float)
+        for (u, v), value in alphas.items():
+            self._alpha_array[network.edge_index(u, v)] = value
+        if np.any(self._alpha_array <= 0):
+            raise ProcessError("every edge needs a positive alpha weight")
+        edges = network.edges
+        self._sources = np.fromiter((u for u, _ in edges), dtype=int, count=len(edges))
+        self._targets = np.fromiter((v for _, v in edges), dtype=int, count=len(edges))
+
+    @property
+    def alphas(self) -> Dict[Edge, float]:
+        """The symmetric FOS edge weights in use (copy)."""
+        return dict(self._alphas)
+
+    def _net_continuous_flows(self) -> np.ndarray:
+        """Per-edge continuous net flow ``alpha_e (x_u/s_u - x_v/s_v)`` (canonical direction)."""
+        speeds = self.network.speeds
+        spans = self._loads.astype(float) / speeds
+        return self._alpha_array * (spans[self._sources] - spans[self._targets])
+
+    def _apply_net_moves(self, sent: np.ndarray) -> None:
+        """Apply integer net moves (canonical direction, may be negative)."""
+        moves: List[Tuple[int, int, int]] = []
+        for edge_idx, amount in enumerate(sent):
+            amount = int(amount)
+            if amount == 0:
+                continue
+            u = int(self._sources[edge_idx])
+            v = int(self._targets[edge_idx])
+            if amount > 0:
+                moves.append((u, v, amount))
+            else:
+                moves.append((v, u, -amount))
+        self._apply_edge_moves(moves)
+
+
+class RoundDownDiffusion(DiffusionBaseline):
+    """Rabani et al. [37]: round the net continuous flow of every edge down.
+
+    The sender of each edge is the endpoint with the larger makespan; it sends
+    ``floor`` of the continuous net amount, which can never exceed its load,
+    so negative load is impossible.
+    """
+
+    def _execute_round(self) -> None:
+        net = self._net_continuous_flows()
+        sent = np.where(net >= 0, np.floor(net + 1e-12), -np.floor(-net + 1e-12))
+        self._apply_net_moves(sent.astype(int))
+
+
+class RoundDownSecondOrder(DiffusionBaseline):
+    """Discrete second-order scheme with round-down (Elsässer & Monien [18]).
+
+    The continuous SOS flow is computed from the **discrete** load vector,
+    using the same recursion as Equation (4) but applied to the net per-edge
+    flow, and rounded down by the sending endpoint.  The (real-valued)
+    previous-round flow is carried along so the momentum term matches the
+    continuous scheme.  Like continuous SOS, the momentum can make the
+    outgoing demand exceed a node's load, so the process may create negative
+    load; the paper's Section 2.2 discusses the resulting analysis.
+    """
+
+    def __init__(self, network: Network, initial_load: Sequence[int],
+                 beta: Optional[float] = None,
+                 alphas: Optional[Dict[Edge, float]] = None,
+                 scheme: str = AlphaScheme.MAX_DEGREE_PLUS_ONE) -> None:
+        super().__init__(network, initial_load, alphas=alphas, scheme=scheme)
+        if beta is None:
+            from ...network.spectral import (
+                diffusion_matrix,
+                optimal_sos_beta,
+                second_largest_eigenvalue,
+            )
+
+            lam = second_largest_eigenvalue(diffusion_matrix(network, alphas=self._alphas))
+            beta = optimal_sos_beta(min(lam, 1.0 - 1e-12))
+        if not 0.0 < beta <= 2.0:
+            raise ProcessError(f"beta must lie in (0, 2], got {beta}")
+        self._beta = float(beta)
+        self._previous_net = np.zeros(network.num_edges, dtype=float)
+
+    @property
+    def beta(self) -> float:
+        """The SOS relaxation parameter in use."""
+        return self._beta
+
+    def _execute_round(self) -> None:
+        first_order = self._net_continuous_flows()
+        if self.round_index == 0:
+            net = first_order
+        else:
+            net = (self._beta - 1.0) * self._previous_net + self._beta * first_order
+        self._previous_net = net
+        sent = np.where(net >= 0, np.floor(net + 1e-12), -np.floor(-net + 1e-12))
+        self._apply_net_moves(sent.astype(int))
+
+
+class QuasirandomDiffusion(DiffusionBaseline):
+    """Friedrich, Gairing & Sauerwald [26], deterministic rounding.
+
+    Per edge the process keeps the accumulated rounding error
+    ``hat_delta_e(t) = sum_{l <= t} (y_e(l) - sent_e(l))`` and each round sends
+    the rounding (floor or ceiling) of the continuous amount that minimises
+    the absolute accumulated error.  The process has the *bounded error
+    property*; it may create negative load on some nodes.
+    """
+
+    def __init__(self, network: Network, initial_load: Sequence[int],
+                 alphas: Optional[Dict[Edge, float]] = None,
+                 scheme: str = AlphaScheme.MAX_DEGREE_PLUS_ONE) -> None:
+        super().__init__(network, initial_load, alphas=alphas, scheme=scheme)
+        self._accumulated_error = np.zeros(network.num_edges, dtype=float)
+
+    @property
+    def accumulated_errors(self) -> np.ndarray:
+        """The per-edge accumulated rounding error (copy)."""
+        return self._accumulated_error.copy()
+
+    def _execute_round(self) -> None:
+        net = self._net_continuous_flows()
+        floor = np.floor(net)
+        ceiling = np.ceil(net)
+        error_floor = np.abs(self._accumulated_error + net - floor)
+        error_ceiling = np.abs(self._accumulated_error + net - ceiling)
+        sent = np.where(error_floor <= error_ceiling, floor, ceiling)
+        self._accumulated_error += net - sent
+        self._apply_net_moves(sent.astype(int))
+
+
+class RandomizedRoundingDiffusion(DiffusionBaseline):
+    """Friedrich, Gairing & Sauerwald [26], randomized rounding.
+
+    The net continuous amount of every edge is rounded up with probability
+    equal to its fractional part, so the expected discrete flow matches the
+    continuous flow.  Rounding up on too many edges can create negative load.
+    """
+
+    def __init__(self, network: Network, initial_load: Sequence[int],
+                 alphas: Optional[Dict[Edge, float]] = None,
+                 scheme: str = AlphaScheme.MAX_DEGREE_PLUS_ONE,
+                 seed: Optional[int] = None) -> None:
+        super().__init__(network, initial_load, alphas=alphas, scheme=scheme)
+        self._rng = np.random.default_rng(seed)
+
+    def _execute_round(self) -> None:
+        net = self._net_continuous_flows()
+        magnitude = np.abs(net)
+        base = np.floor(magnitude)
+        fraction = magnitude - base
+        round_up = self._rng.random(len(net)) < fraction
+        sent_magnitude = base + round_up.astype(float)
+        sent = np.sign(net) * sent_magnitude
+        self._apply_net_moves(sent.astype(int))
+
+
+class ExcessTokenDiffusion(DiffusionBaseline):
+    """Berenbrink et al. [9]: round directed flows down, then spread excess tokens.
+
+    Every node computes its directed FOS flows ``y_{i,j} = alpha_{i,j}/s_i x_i``,
+    rounds each down, and forwards the remaining *excess tokens* (the integer
+    number of tokens left over after all floors, including the floor of the
+    load it keeps) to neighbours chosen without replacement.  The node never
+    promises more than it holds, so negative load cannot occur.
+
+    Two distribution strategies are supported (both analysed in the follow-up
+    work cited as [5] in the paper):
+
+    * ``"random"`` — neighbours chosen uniformly at random without replacement
+      (the original scheme of [9]);
+    * ``"round-robin"`` — neighbours served in round-robin order starting from
+      a random offset that advances every round.
+    """
+
+    STRATEGIES = ("random", "round-robin")
+
+    def __init__(self, network: Network, initial_load: Sequence[int],
+                 alphas: Optional[Dict[Edge, float]] = None,
+                 scheme: str = AlphaScheme.MAX_DEGREE_PLUS_ONE,
+                 seed: Optional[int] = None, strategy: str = "random") -> None:
+        super().__init__(network, initial_load, alphas=alphas, scheme=scheme)
+        if strategy not in self.STRATEGIES:
+            raise ProcessError(
+                f"unknown excess-token strategy {strategy!r}; valid: {self.STRATEGIES}"
+            )
+        self._strategy = strategy
+        self._rng = np.random.default_rng(seed)
+        self._round_robin_offsets = self._rng.integers(
+            0, np.maximum(self.network.degrees, 1))
+
+    @property
+    def strategy(self) -> str:
+        """The excess-token distribution strategy in use."""
+        return self._strategy
+
+    def _execute_round(self) -> None:
+        speeds = self.network.speeds
+        loads = self._loads.astype(float)
+        moves: List[Tuple[int, int, int]] = []
+        for node in self.network.nodes:
+            load = loads[node]
+            if load <= 0:
+                continue
+            neighbors = self.network.neighbors(node)
+            directed = []
+            total_floor = 0
+            for neighbor in neighbors:
+                alpha = self._alphas[(node, neighbor) if node < neighbor else (neighbor, node)]
+                amount = alpha / speeds[node] * load
+                floor_amount = int(math.floor(amount + 1e-12))
+                directed.append((neighbor, floor_amount))
+                total_floor += floor_amount
+            kept = load - sum(
+                self._alphas[(node, nbr) if node < nbr else (nbr, node)] / speeds[node] * load
+                for nbr in neighbors
+            )
+            kept_floor = int(math.floor(kept + 1e-12))
+            excess = int(round(load - total_floor - kept_floor))
+            for neighbor, floor_amount in directed:
+                if floor_amount > 0:
+                    moves.append((node, neighbor, floor_amount))
+            if excess > 0:
+                # Distribute the excess tokens among N(i) plus the node itself,
+                # without replacement; a token "sent to itself" is simply kept.
+                candidates = list(neighbors) + [node]
+                count = min(excess, len(candidates))
+                if self._strategy == "random":
+                    chosen = self._rng.choice(len(candidates), size=count, replace=False)
+                else:
+                    offset = int(self._round_robin_offsets[node])
+                    chosen = [(offset + k) % len(candidates) for k in range(count)]
+                    self._round_robin_offsets[node] = (offset + count) % len(candidates)
+                for index in chosen:
+                    target = candidates[int(index)]
+                    if target != node:
+                        moves.append((node, target, 1))
+        self._apply_edge_moves(moves)

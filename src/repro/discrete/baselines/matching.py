@@ -1,0 +1,121 @@
+"""Discrete matching-model baselines (Section 2.2 / 2.3 of the paper).
+
+In the matching model, balancing actions are restricted to the edges of a
+matching each round (periodic matchings from an edge colouring, or a fresh
+random matching each round).  For a matched edge ``(i, j)`` the continuous
+dimension-exchange process would move
+
+    ``delta = (s_j x_i - s_i x_j) / (s_i + s_j)``
+
+from ``i`` to ``j`` (when positive), equalising the two makespans.  The
+discrete baselines round ``delta``:
+
+* :class:`RoundDownMatching` — round down (Rabani et al. [37]); never creates
+  negative load; lower bound ``Omega(diam(G))``.
+* :class:`RandomizedRoundingMatching` — randomized rounding in the style of
+  Friedrich & Sauerwald [24] / Sauerwald & Sun [38]; either round up/down with
+  probability 1/2 each (``probability="half"``, the rule of [24]) or with
+  probability equal to the fractional part (``probability="fractional"``).
+  The "half" rule can create negative load when the sender holds very little.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...exceptions import ProcessError
+from ...network.graph import Network
+from ...network.matchings import MatchingSchedule
+from ..base import IntegerLoadBalancer
+
+__all__ = ["MatchingBaseline", "RoundDownMatching", "RandomizedRoundingMatching"]
+
+
+class MatchingBaseline(IntegerLoadBalancer):
+    """Shared bookkeeping for the discrete matching-model baselines.
+
+    Parameters
+    ----------
+    network:
+        The network to balance on.
+    initial_load:
+        Integer token counts per node.
+    schedule:
+        The matching schedule; share the instance with any other process that
+        should observe the same matchings.
+    """
+
+    def __init__(self, network: Network, initial_load: Sequence[int],
+                 schedule: MatchingSchedule) -> None:
+        super().__init__(network, initial_load)
+        if schedule.network is not network:
+            raise ProcessError("the matching schedule must be built on the same network")
+        self._schedule = schedule
+
+    @property
+    def schedule(self) -> MatchingSchedule:
+        """The matching schedule driving this process."""
+        return self._schedule
+
+    def _matched_deltas(self) -> List[Tuple[int, int, float]]:
+        """Return ``(sender, receiver, delta)`` for every matched edge with positive delta."""
+        speeds = self.network.speeds
+        loads = self._loads.astype(float)
+        result = []
+        for (u, v) in self._schedule.matching(self.round_index):
+            delta = (speeds[v] * loads[u] - speeds[u] * loads[v]) / (speeds[u] + speeds[v])
+            if delta > 0:
+                result.append((u, v, delta))
+            elif delta < 0:
+                result.append((v, u, -delta))
+        return result
+
+
+class RoundDownMatching(MatchingBaseline):
+    """Round the dimension-exchange amount of every matched edge down."""
+
+    def _execute_round(self) -> None:
+        moves = []
+        for sender, receiver, delta in self._matched_deltas():
+            amount = int(math.floor(delta + 1e-12))
+            if amount > 0:
+                moves.append((sender, receiver, amount))
+        self._apply_edge_moves(moves)
+
+
+class RandomizedRoundingMatching(MatchingBaseline):
+    """Randomized rounding in the matching model ([24] / [38] style)."""
+
+    def __init__(self, network: Network, initial_load: Sequence[int],
+                 schedule: MatchingSchedule, probability: str = "half",
+                 seed: Optional[int] = None) -> None:
+        super().__init__(network, initial_load, schedule)
+        if probability not in ("half", "fractional"):
+            raise ProcessError(
+                f"probability must be 'half' or 'fractional', got {probability!r}"
+            )
+        self._probability = probability
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def probability_rule(self) -> str:
+        """Which rounding probability rule is in use ('half' or 'fractional')."""
+        return self._probability
+
+    def _execute_round(self) -> None:
+        moves = []
+        for sender, receiver, delta in self._matched_deltas():
+            base = int(math.floor(delta))
+            fraction = delta - base
+            if fraction == 0.0:
+                amount = base
+            elif self._probability == "half":
+                amount = base + (1 if self._rng.random() < 0.5 else 0)
+            else:
+                amount = base + (1 if self._rng.random() < fraction else 0)
+            if amount > 0:
+                moves.append((sender, receiver, amount))
+        self._apply_edge_moves(moves)

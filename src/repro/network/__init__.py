@@ -1,0 +1,50 @@
+"""Network substrate: graphs, speeds, topologies, matchings and spectra."""
+
+from .graph import Edge, Network
+from .matchings import (
+    MatchingSchedule,
+    PeriodicMatchingSchedule,
+    RandomMatchingSchedule,
+    SingleMatchingSchedule,
+    edge_coloring,
+    validate_matching,
+)
+from .spectral import (
+    AlphaScheme,
+    SpectralSummary,
+    compute_alphas,
+    diffusion_matrix,
+    laplacian_second_smallest,
+    optimal_sos_beta,
+    predicted_fos_rounds,
+    predicted_random_matching_rounds,
+    predicted_sos_rounds,
+    second_largest_eigenvalue,
+    spectral_gap,
+    spectral_summary,
+)
+from . import topologies
+
+__all__ = [
+    "Edge",
+    "Network",
+    "MatchingSchedule",
+    "PeriodicMatchingSchedule",
+    "RandomMatchingSchedule",
+    "SingleMatchingSchedule",
+    "edge_coloring",
+    "validate_matching",
+    "AlphaScheme",
+    "SpectralSummary",
+    "compute_alphas",
+    "diffusion_matrix",
+    "laplacian_second_smallest",
+    "optimal_sos_beta",
+    "predicted_fos_rounds",
+    "predicted_random_matching_rounds",
+    "predicted_sos_rounds",
+    "second_largest_eigenvalue",
+    "spectral_gap",
+    "spectral_summary",
+    "topologies",
+]

@@ -1,0 +1,45 @@
+"""Simulation engine, result records and the experiment harness."""
+
+from .engine import (
+    ALL_ALGORITHMS,
+    CONTINUOUS_KINDS,
+    DIFFUSION_BASELINES,
+    FLOW_IMITATION_ALGORITHMS,
+    MATCHING_BASELINES,
+    compare_algorithms,
+    determine_balancing_time,
+    make_continuous,
+    make_schedule,
+    run_algorithm,
+)
+from .locality import DisplacementSummary, summarize_displacements, task_displacements
+from .results import RunResult
+from .scenario import Scenario, load_scenario, run_scenario
+from .sweep import SweepConfiguration, SweepResult, grid_sweep, run_sweep
+from . import experiments, reporting
+
+__all__ = [
+    "DisplacementSummary",
+    "summarize_displacements",
+    "task_displacements",
+    "Scenario",
+    "load_scenario",
+    "run_scenario",
+    "SweepConfiguration",
+    "SweepResult",
+    "grid_sweep",
+    "run_sweep",
+    "reporting",
+    "ALL_ALGORITHMS",
+    "CONTINUOUS_KINDS",
+    "DIFFUSION_BASELINES",
+    "FLOW_IMITATION_ALGORITHMS",
+    "MATCHING_BASELINES",
+    "compare_algorithms",
+    "determine_balancing_time",
+    "make_continuous",
+    "make_schedule",
+    "run_algorithm",
+    "RunResult",
+    "experiments",
+]

@@ -1,0 +1,358 @@
+"""Simulation engine: build, couple and run balancing algorithms by name.
+
+The engine provides a uniform, registry-style API used by the examples, the
+experiment harness and the benchmarks:
+
+* :func:`make_continuous` builds a continuous substrate ("fos", "sos",
+  "periodic-matching", "random-matching");
+* :func:`run_algorithm` runs one discrete algorithm (the paper's Algorithm 1
+  or 2, or one of the literature baselines) on one workload and returns a
+  :class:`~repro.simulation.results.RunResult`;
+* :func:`compare_algorithms` measures the continuous balancing time ``T``
+  once and runs every requested algorithm for exactly ``T`` rounds — the
+  comparison the paper's Tables 1 and 2 are about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..continuous.base import BALANCE_TOLERANCE, ContinuousProcess
+from ..continuous.dimension_exchange import DimensionExchange
+from ..continuous.fos import FirstOrderDiffusion
+from ..continuous.sos import SecondOrderDiffusion
+from ..core.algorithm1 import DeterministicFlowImitation
+from ..core.algorithm2 import RandomizedFlowImitation
+from ..core.flow_imitation import FlowImitationBalancer, TaskSelectionPolicy
+from ..discrete.base import DiscreteBalancer
+from ..discrete.baselines.diffusion import (
+    ExcessTokenDiffusion,
+    QuasirandomDiffusion,
+    RandomizedRoundingDiffusion,
+    RoundDownDiffusion,
+)
+from ..discrete.baselines.matching import RandomizedRoundingMatching, RoundDownMatching
+from ..exceptions import ConvergenceError, ExperimentError
+from ..network.graph import Network
+from ..network.matchings import (
+    MatchingSchedule,
+    PeriodicMatchingSchedule,
+    RandomMatchingSchedule,
+)
+from ..tasks.assignment import TaskAssignment
+from ..tasks.load import max_avg_discrepancy, max_min_discrepancy
+from .results import RunResult
+
+__all__ = [
+    "CONTINUOUS_KINDS",
+    "FLOW_IMITATION_ALGORITHMS",
+    "DIFFUSION_BASELINES",
+    "MATCHING_BASELINES",
+    "ALL_ALGORITHMS",
+    "make_schedule",
+    "make_continuous",
+    "determine_balancing_time",
+    "run_algorithm",
+    "compare_algorithms",
+]
+
+CONTINUOUS_KINDS = ("fos", "sos", "periodic-matching", "random-matching")
+FLOW_IMITATION_ALGORITHMS = ("algorithm1", "algorithm2")
+DIFFUSION_BASELINES = ("round-down", "quasirandom", "randomized-rounding", "excess-tokens")
+MATCHING_BASELINES = ("matching-round-down", "matching-randomized")
+ALL_ALGORITHMS = FLOW_IMITATION_ALGORITHMS + DIFFUSION_BASELINES + MATCHING_BASELINES
+
+_MATCHING_KINDS = ("periodic-matching", "random-matching")
+
+
+def make_schedule(continuous_kind: str, network: Network,
+                  seed: Optional[int] = None) -> Optional[MatchingSchedule]:
+    """Build the matching schedule required by a matching-based continuous kind."""
+    if continuous_kind == "periodic-matching":
+        return PeriodicMatchingSchedule(network)
+    if continuous_kind == "random-matching":
+        return RandomMatchingSchedule(network, seed=seed)
+    return None
+
+
+def make_continuous(
+    continuous_kind: str,
+    network: Network,
+    initial_load: Sequence[float],
+    schedule: Optional[MatchingSchedule] = None,
+    seed: Optional[int] = None,
+    check_negative_load: bool = False,
+) -> ContinuousProcess:
+    """Construct a continuous process of the requested kind."""
+    if continuous_kind == "fos":
+        return FirstOrderDiffusion(network, initial_load,
+                                   check_negative_load=check_negative_load)
+    if continuous_kind == "sos":
+        return SecondOrderDiffusion(network, initial_load,
+                                    check_negative_load=check_negative_load)
+    if continuous_kind in _MATCHING_KINDS:
+        if schedule is None:
+            schedule = make_schedule(continuous_kind, network, seed=seed)
+        return DimensionExchange(network, initial_load, schedule,
+                                 check_negative_load=check_negative_load)
+    raise ExperimentError(
+        f"unknown continuous kind {continuous_kind!r}; valid kinds: {CONTINUOUS_KINDS}"
+    )
+
+
+def determine_balancing_time(
+    network: Network,
+    initial_load: Sequence[float],
+    continuous_kind: str = "fos",
+    tolerance: float = BALANCE_TOLERANCE,
+    schedule: Optional[MatchingSchedule] = None,
+    seed: Optional[int] = None,
+    max_rounds: int = 200_000,
+) -> int:
+    """Measure the balancing time ``T`` of the continuous substrate on this instance."""
+    process = make_continuous(continuous_kind, network, initial_load,
+                              schedule=schedule, seed=seed)
+    return process.run_until_balanced(tolerance=tolerance, max_rounds=max_rounds)
+
+
+def _build_assignment(network: Network, initial_load: Sequence[float]) -> TaskAssignment:
+    loads = np.asarray(list(initial_load), dtype=float)
+    if not np.allclose(loads, np.round(loads)):
+        raise ExperimentError(
+            "integer token loads are required; pass a TaskAssignment for weighted tasks"
+        )
+    return TaskAssignment.from_unit_loads(network, np.round(loads).astype(int))
+
+
+def _build_flow_imitation(
+    algorithm: str,
+    network: Network,
+    assignment: TaskAssignment,
+    continuous_kind: str,
+    schedule: Optional[MatchingSchedule],
+    seed: Optional[int],
+    selection_policy: str,
+) -> FlowImitationBalancer:
+    continuous = make_continuous(continuous_kind, network, assignment.loads(),
+                                 schedule=schedule, seed=seed)
+    if algorithm == "algorithm1":
+        return DeterministicFlowImitation(continuous, assignment,
+                                          selection_policy=selection_policy)
+    return RandomizedFlowImitation(continuous, assignment, seed=seed)
+
+
+def _build_baseline(
+    algorithm: str,
+    network: Network,
+    initial_load: Sequence[float],
+    continuous_kind: str,
+    schedule: Optional[MatchingSchedule],
+    seed: Optional[int],
+) -> DiscreteBalancer:
+    loads = np.round(np.asarray(list(initial_load), dtype=float)).astype(int)
+    if algorithm in DIFFUSION_BASELINES:
+        if continuous_kind not in ("fos", "sos"):
+            raise ExperimentError(
+                f"{algorithm!r} is a diffusion baseline; use continuous_kind 'fos'"
+            )
+        if algorithm == "round-down":
+            return RoundDownDiffusion(network, loads)
+        if algorithm == "quasirandom":
+            return QuasirandomDiffusion(network, loads)
+        if algorithm == "randomized-rounding":
+            return RandomizedRoundingDiffusion(network, loads, seed=seed)
+        return ExcessTokenDiffusion(network, loads, seed=seed)
+    if algorithm in MATCHING_BASELINES:
+        if continuous_kind not in _MATCHING_KINDS:
+            raise ExperimentError(
+                f"{algorithm!r} is a matching baseline; use a matching continuous_kind"
+            )
+        if schedule is None:
+            schedule = make_schedule(continuous_kind, network, seed=seed)
+        if algorithm == "matching-round-down":
+            return RoundDownMatching(network, loads, schedule)
+        return RandomizedRoundingMatching(network, loads, schedule, seed=seed)
+    raise ExperimentError(
+        f"unknown algorithm {algorithm!r}; valid algorithms: {ALL_ALGORITHMS}"
+    )
+
+
+def run_algorithm(
+    algorithm: str,
+    network: Network,
+    initial_load: Optional[Sequence[float]] = None,
+    assignment: Optional[TaskAssignment] = None,
+    continuous_kind: str = "fos",
+    rounds: Optional[int] = None,
+    tolerance: float = BALANCE_TOLERANCE,
+    schedule: Optional[MatchingSchedule] = None,
+    seed: Optional[int] = None,
+    record_trace: bool = False,
+    max_rounds: int = 200_000,
+    selection_policy: str = TaskSelectionPolicy.FIFO,
+) -> RunResult:
+    """Run a single discrete balancing algorithm and summarize the outcome.
+
+    Parameters
+    ----------
+    algorithm:
+        One of :data:`ALL_ALGORITHMS`.
+    initial_load / assignment:
+        Provide exactly one: an integer token load vector, or a
+        :class:`TaskAssignment` (weighted tasks are only supported by
+        ``"algorithm1"``).
+    continuous_kind:
+        The continuous substrate to imitate / round.
+    rounds:
+        How many rounds to run.  ``None`` means "until the continuous
+        substrate is balanced" — measured internally for flow imitation, and
+        via :func:`determine_balancing_time` for baselines.
+    record_trace:
+        When ``True``, the per-round max-min discrepancy trace is stored in
+        the result.
+    """
+    if algorithm not in ALL_ALGORITHMS:
+        raise ExperimentError(
+            f"unknown algorithm {algorithm!r}; valid algorithms: {ALL_ALGORITHMS}"
+        )
+    if (initial_load is None) == (assignment is None):
+        raise ExperimentError("provide exactly one of initial_load or assignment")
+
+    is_flow_imitation = algorithm in FLOW_IMITATION_ALGORITHMS
+    if assignment is not None and not is_flow_imitation:
+        raise ExperimentError(
+            "task assignments (weighted tasks) are only supported by the "
+            "flow-imitation algorithms"
+        )
+
+    if schedule is None and continuous_kind in _MATCHING_KINDS:
+        schedule = make_schedule(continuous_kind, network, seed=seed)
+
+    if assignment is None:
+        assignment_obj = _build_assignment(network, initial_load) if is_flow_imitation else None
+        reference_load = np.asarray(list(initial_load), dtype=float)
+    else:
+        assignment_obj = assignment
+        reference_load = assignment.loads()
+
+    original_weight = float(reference_load.sum())
+    w_max = assignment_obj.max_task_weight() if assignment_obj is not None else 1.0
+    w_max = max(w_max, 1.0)
+
+    if is_flow_imitation:
+        balancer: DiscreteBalancer = _build_flow_imitation(
+            algorithm, network, assignment_obj, continuous_kind, schedule, seed,
+            selection_policy,
+        )
+    else:
+        if rounds is None:
+            rounds = determine_balancing_time(
+                network, reference_load, continuous_kind, tolerance=tolerance,
+                schedule=schedule, seed=seed, max_rounds=max_rounds,
+            )
+        balancer = _build_baseline(algorithm, network, reference_load,
+                                   continuous_kind, schedule, seed)
+
+    trace: Optional[List[float]] = [] if record_trace else None
+
+    def record() -> None:
+        if trace is not None:
+            trace.append(max_min_discrepancy(balancer.loads(), network))
+
+    record()
+    executed = 0
+    if rounds is not None:
+        for _ in range(rounds):
+            balancer.advance()
+            executed += 1
+            record()
+    else:
+        # Flow imitation with an adaptive horizon: run until the internal
+        # continuous process reaches its balancing time T.
+        flow_balancer = balancer  # type: ignore[assignment]
+        assert isinstance(flow_balancer, FlowImitationBalancer)
+        while not flow_balancer.continuous.is_balanced(tolerance):
+            if executed >= max_rounds:
+                raise ConvergenceError(
+                    f"continuous substrate did not balance within {max_rounds} rounds"
+                )
+            flow_balancer.advance()
+            executed += 1
+            record()
+
+    final_loads = balancer.loads()
+    result = RunResult(
+        algorithm=algorithm,
+        continuous_kind=continuous_kind,
+        network_name=network.name,
+        num_nodes=network.num_nodes,
+        max_degree=network.max_degree,
+        rounds=executed,
+        total_weight=original_weight,
+        max_task_weight=w_max,
+        final_max_min=max_min_discrepancy(final_loads, network),
+        final_max_avg=max_avg_discrepancy(final_loads, network,
+                                          total_weight=original_weight),
+        trace_max_min=trace,
+    )
+
+    if isinstance(balancer, FlowImitationBalancer):
+        no_dummy_loads = balancer.loads(include_dummies=False)
+        result.final_max_min_no_dummies = max_min_discrepancy(no_dummy_loads, network)
+        result.final_max_avg_no_dummies = max_avg_discrepancy(
+            no_dummy_loads, network, total_weight=original_weight
+        )
+        result.dummy_tokens = balancer.dummy_tokens_created
+        result.used_infinite_source = balancer.used_infinite_source
+    else:
+        result.went_negative = getattr(balancer, "went_negative", False)
+    return result
+
+
+def compare_algorithms(
+    network: Network,
+    initial_load: Sequence[float],
+    algorithms: Sequence[str],
+    continuous_kind: str = "fos",
+    tolerance: float = BALANCE_TOLERANCE,
+    seed: Optional[int] = None,
+    rounds: Optional[int] = None,
+    record_trace: bool = False,
+    max_rounds: int = 200_000,
+) -> List[RunResult]:
+    """Run several algorithms on the same instance for the same number of rounds.
+
+    The number of rounds defaults to the balancing time ``T`` of the
+    continuous substrate on this instance (the horizon at which the paper's
+    theorems bound the discrepancy).  Matching-based runs share a single
+    matching schedule so every algorithm observes the same matchings.
+    """
+    for algorithm in algorithms:
+        if algorithm not in ALL_ALGORITHMS:
+            raise ExperimentError(f"unknown algorithm {algorithm!r}")
+    schedule = make_schedule(continuous_kind, network, seed=seed)
+    if rounds is None:
+        rounds = determine_balancing_time(
+            network, initial_load, continuous_kind, tolerance=tolerance,
+            schedule=schedule, seed=seed, max_rounds=max_rounds,
+        )
+    results = []
+    for index, algorithm in enumerate(algorithms):
+        run_seed = None if seed is None else seed + 1000 * (index + 1)
+        results.append(
+            run_algorithm(
+                algorithm,
+                network,
+                initial_load=initial_load,
+                continuous_kind=continuous_kind,
+                rounds=rounds,
+                tolerance=tolerance,
+                schedule=schedule,
+                seed=run_seed,
+                record_trace=record_trace,
+                max_rounds=max_rounds,
+            )
+        )
+    return results

@@ -1,0 +1,93 @@
+"""Task locality analysis: how far do tasks travel from their origin?
+
+The introduction of the paper motivates neighbourhood load balancing partly
+by locality: because tasks only move between neighbours, they "have the
+tendency to keep the tasks close to their initial location which is
+beneficial if the tasks originated on the same resource have to exchange
+information".
+
+This module quantifies that claim for the flow-imitation algorithms.  Each
+:class:`~repro.tasks.task.Task` optionally records its ``origin`` node; after
+a run we can measure the graph distance between every task's origin and its
+final location and summarise the displacement distribution.  The ablation
+benchmark ``benchmarks/bench_locality.py`` compares the displacement of
+Algorithm 1 under the different task-selection policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import ExperimentError
+from ..network.graph import Network
+from ..tasks.assignment import TaskAssignment
+
+__all__ = ["DisplacementSummary", "task_displacements", "summarize_displacements"]
+
+
+@dataclass(frozen=True)
+class DisplacementSummary:
+    """Distribution of task displacements (graph distance origin -> final node)."""
+
+    tasks_measured: int
+    mean: float
+    median: float
+    maximum: int
+    fraction_stationary: float
+    fraction_within_one_hop: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the summary as a plain dictionary."""
+        return {
+            "tasks_measured": self.tasks_measured,
+            "mean": self.mean,
+            "median": self.median,
+            "max": self.maximum,
+            "fraction_stationary": self.fraction_stationary,
+            "fraction_within_one_hop": self.fraction_within_one_hop,
+        }
+
+
+def task_displacements(assignment: TaskAssignment,
+                       include_dummies: bool = False) -> List[int]:
+    """Return the graph distance from origin to current node for every task.
+
+    Tasks without a recorded origin are skipped; dummy tasks are skipped
+    unless ``include_dummies`` is set.
+    """
+    network: Network = assignment.network
+    network.require_connected()
+    lengths = dict(nx.all_pairs_shortest_path_length(network.graph))
+    displacements: List[int] = []
+    for node in network.nodes:
+        for task in assignment.tasks_at(node):
+            if task.is_dummy and not include_dummies:
+                continue
+            if task.origin is None:
+                continue
+            displacements.append(int(lengths[task.origin][node]))
+    return displacements
+
+
+def summarize_displacements(assignment: TaskAssignment,
+                            include_dummies: bool = False) -> DisplacementSummary:
+    """Summarise the displacement distribution of an assignment's tasks."""
+    displacements = task_displacements(assignment, include_dummies=include_dummies)
+    if not displacements:
+        raise ExperimentError(
+            "no tasks with a recorded origin; create tasks with origin=... to "
+            "use the locality analysis"
+        )
+    values = np.asarray(displacements, dtype=float)
+    return DisplacementSummary(
+        tasks_measured=int(values.size),
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        maximum=int(values.max()),
+        fraction_stationary=float(np.mean(values == 0)),
+        fraction_within_one_hop=float(np.mean(values <= 1)),
+    )

@@ -1,0 +1,131 @@
+"""Reporting helpers: CSV / JSON export and terminal-friendly ASCII charts.
+
+The experiment harness returns plain lists of dictionaries; this module turns
+them into artefacts a user can keep (CSV files for spreadsheets, JSON for
+further processing) or inspect directly in a terminal (aligned tables are in
+:func:`repro.simulation.experiments.format_table`; here we add horizontal bar
+charts and sparkline-style traces for quick visual comparison without any
+plotting dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..exceptions import ExperimentError
+
+__all__ = [
+    "rows_to_csv",
+    "rows_to_json",
+    "load_rows_from_csv",
+    "bar_chart",
+    "sparkline",
+    "trace_chart",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def _normalise_rows(rows: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    rows = list(rows)
+    if not rows:
+        raise ExperimentError("cannot export an empty row list")
+    return rows
+
+
+def rows_to_csv(rows: Iterable[Dict[str, object]], path: PathLike,
+                columns: Optional[Sequence[str]] = None) -> pathlib.Path:
+    """Write rows to a CSV file and return its path."""
+    rows = _normalise_rows(rows)
+    if columns is None:
+        columns = list(rows[0].keys())
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def rows_to_json(rows: Iterable[Dict[str, object]], path: PathLike) -> pathlib.Path:
+    """Write rows to a JSON file (a list of objects) and return its path."""
+    rows = _normalise_rows(rows)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(rows, handle, indent=2, default=str)
+        handle.write("\n")
+    return path
+
+
+def load_rows_from_csv(path: PathLike) -> List[Dict[str, str]]:
+    """Read back a CSV produced by :func:`rows_to_csv` (all values as strings)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no such file: {path}")
+    with path.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+def bar_chart(values: Dict[str, float], width: int = 40,
+              title: Optional[str] = None) -> str:
+    """Render a labelled horizontal bar chart as plain text.
+
+    Values must be non-negative; bars are scaled to the maximum value.
+    """
+    if not values:
+        raise ExperimentError("bar_chart needs at least one value")
+    if any(value < 0 for value in values.values()):
+        raise ExperimentError("bar_chart values must be non-negative")
+    scale = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        filled = int(round(width * value / scale))
+        lines.append(f"{label.ljust(label_width)} | {'#' * filled} {value:g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence of non-negative values as a one-line sparkline."""
+    values = list(values)
+    if not values:
+        raise ExperimentError("sparkline needs at least one value")
+    top = max(values)
+    if top <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    characters = []
+    for value in values:
+        level = int(round((len(_SPARK_LEVELS) - 1) * max(value, 0.0) / top))
+        characters.append(_SPARK_LEVELS[level])
+    return "".join(characters)
+
+
+def trace_chart(traces: Dict[str, Sequence[float]], width: int = 60,
+                title: Optional[str] = None) -> str:
+    """Render several per-round traces as labelled sparklines (down-sampled to ``width``)."""
+    if not traces:
+        raise ExperimentError("trace_chart needs at least one trace")
+    label_width = max(len(label) for label in traces)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, trace in traces.items():
+        trace = list(trace)
+        if not trace:
+            raise ExperimentError(f"trace {label!r} is empty")
+        if len(trace) > width:
+            step = len(trace) / width
+            trace = [trace[int(index * step)] for index in range(width)]
+        lines.append(f"{label.ljust(label_width)} | {sparkline(trace)} "
+                     f"(start {trace[0]:g}, end {trace[-1]:g})")
+    return "\n".join(lines)

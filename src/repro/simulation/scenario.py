@@ -1,0 +1,200 @@
+"""Declarative experiment scenarios.
+
+A :class:`Scenario` is a complete, serialisable description of one balancing
+experiment: the topology (and optional speed profile), the workload, the
+continuous substrate, the algorithm and the horizon.  Scenarios can be
+round-tripped through plain dictionaries (and therefore JSON files), which
+makes experiments shareable and lets the CLI run a whole experiment from a
+single config file:
+
+    repro-loadbalance scenario --file my_experiment.json
+
+The scenario runner reuses the engine registry, so every algorithm and
+substrate available to :func:`repro.simulation.engine.run_algorithm` can be
+driven this way.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+from ..network import topologies
+from ..network.graph import Network
+from ..tasks import generators
+from .engine import ALL_ALGORITHMS, CONTINUOUS_KINDS, run_algorithm
+from .results import RunResult
+
+__all__ = ["Scenario", "load_scenario", "run_scenario"]
+
+#: Speed profiles selectable by name.
+_SPEED_PROFILES = {
+    "uniform": lambda network, seed: generators.uniform_speeds(network),
+    "random": lambda network, seed: generators.random_integer_speeds(network, max_speed=4,
+                                                                     seed=seed),
+    "power-of-two": lambda network, seed: generators.power_of_two_speeds(network,
+                                                                         max_exponent=3,
+                                                                         seed=seed),
+    "degree": lambda network, seed: generators.proportional_to_degree_speeds(network),
+}
+
+#: Workload generators selectable by name (integer token loads).
+_WORKLOADS = {
+    "point": lambda network, tokens, seed: generators.point_load(
+        network, tokens * network.num_nodes),
+    "two-point": lambda network, tokens, seed: generators.two_point_load(
+        network, tokens * network.num_nodes),
+    "uniform": lambda network, tokens, seed: generators.uniform_random_load(
+        network, tokens * network.num_nodes, seed=seed),
+    "half-nodes": lambda network, tokens, seed: generators.half_nodes_load(
+        network, 2 * tokens, seed=seed),
+    "gradient": lambda network, tokens, seed: generators.linear_gradient_load(
+        network, 2 * tokens),
+    "balanced": lambda network, tokens, seed: generators.balanced_load(network, tokens),
+}
+
+
+@dataclass
+class Scenario:
+    """A complete, serialisable description of one balancing experiment.
+
+    Attributes
+    ----------
+    name:
+        Free-form identifier used in reports.
+    algorithm:
+        One of :data:`repro.simulation.engine.ALL_ALGORITHMS`.
+    topology:
+        Named topology family (see :func:`repro.network.topologies.named_topology`).
+    num_nodes:
+        Approximate network size.
+    tokens_per_node:
+        Workload density (total tokens = ``tokens_per_node * n`` for most workloads).
+    workload:
+        One of ``point``, ``two-point``, ``uniform``, ``half-nodes``,
+        ``gradient``, ``balanced``.
+    speed_profile:
+        One of ``uniform``, ``random``, ``power-of-two``, ``degree``.
+    continuous_kind:
+        Continuous substrate ("fos", "sos", "periodic-matching", "random-matching").
+    base_load:
+        Extra balanced load (tokens per speed unit) added on top of the
+        workload — the Theorem 3(2)/8(2) padding.
+    rounds:
+        Horizon; ``None`` means "until the continuous substrate balances".
+    seed:
+        Master seed for topology sampling, workload placement and algorithm
+        randomness.
+    record_trace:
+        Whether to record the per-round discrepancy trace.
+    """
+
+    name: str
+    algorithm: str
+    topology: str = "torus"
+    num_nodes: int = 64
+    tokens_per_node: int = 32
+    workload: str = "point"
+    speed_profile: str = "uniform"
+    continuous_kind: str = "fos"
+    base_load: int = 0
+    rounds: Optional[int] = None
+    seed: int = 0
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALL_ALGORITHMS:
+            raise ExperimentError(
+                f"unknown algorithm {self.algorithm!r}; valid: {ALL_ALGORITHMS}")
+        if self.continuous_kind not in CONTINUOUS_KINDS:
+            raise ExperimentError(
+                f"unknown continuous kind {self.continuous_kind!r}; valid: {CONTINUOUS_KINDS}")
+        if self.workload not in _WORKLOADS:
+            raise ExperimentError(
+                f"unknown workload {self.workload!r}; valid: {sorted(_WORKLOADS)}")
+        if self.speed_profile not in _SPEED_PROFILES:
+            raise ExperimentError(
+                f"unknown speed profile {self.speed_profile!r}; valid: {sorted(_SPEED_PROFILES)}")
+        if self.num_nodes < 2:
+            raise ExperimentError("a scenario needs at least two nodes")
+        if self.tokens_per_node < 0 or self.base_load < 0:
+            raise ExperimentError("workload densities must be non-negative")
+        if self.rounds is not None and self.rounds < 0:
+            raise ExperimentError("rounds must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a plain-dictionary representation (JSON friendly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        """Build a scenario from a dictionary, rejecting unknown keys."""
+        allowed = set(cls.__dataclass_fields__)
+        unknown = set(data) - allowed
+        if unknown:
+            raise ExperimentError(f"unknown scenario fields: {sorted(unknown)}")
+        if "name" not in data or "algorithm" not in data:
+            raise ExperimentError("a scenario requires at least 'name' and 'algorithm'")
+        return cls(**data)  # type: ignore[arg-type]
+
+    def to_json(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the scenario to a JSON file and return the path."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+
+    def build_network(self) -> Network:
+        """Instantiate the network (topology + speed profile) of this scenario."""
+        network = topologies.named_topology(self.topology, self.num_nodes, seed=self.seed)
+        speeds = _SPEED_PROFILES[self.speed_profile](network, self.seed)
+        return network.with_speeds(speeds)
+
+    def build_load(self, network: Network) -> np.ndarray:
+        """Instantiate the integer workload vector of this scenario."""
+        load = _WORKLOADS[self.workload](network, self.tokens_per_node, self.seed)
+        if self.base_load:
+            load = load + generators.balanced_load(network, self.base_load)
+        return load
+
+
+def load_scenario(path: Union[str, pathlib.Path]) -> Scenario:
+    """Load a scenario from a JSON file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no such scenario file: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"scenario file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ExperimentError("a scenario file must contain a JSON object")
+    return Scenario.from_dict(data)
+
+
+def run_scenario(scenario: Scenario) -> RunResult:
+    """Materialise and execute a scenario, returning the run result."""
+    network = scenario.build_network()
+    load = scenario.build_load(network)
+    return run_algorithm(
+        scenario.algorithm,
+        network,
+        initial_load=load,
+        continuous_kind=scenario.continuous_kind,
+        rounds=scenario.rounds,
+        seed=scenario.seed,
+        record_trace=scenario.record_trace,
+    )

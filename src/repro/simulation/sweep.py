@@ -1,0 +1,177 @@
+"""Multi-seed sweeps: run a configuration many times and aggregate the results.
+
+Randomized components (Algorithm 2, randomized-rounding baselines, random
+matching schedules, random workloads) make single runs noisy.  A
+:class:`SweepConfiguration` describes one experimental cell (algorithm,
+topology, workload, substrate); :func:`run_sweep` executes it over several
+seeds and returns a :class:`SweepResult` with per-metric
+:class:`~repro.analysis.aggregate.SampleStatistics`.
+
+The benchmarks use single representative seeds for speed; the sweep API is
+what a user would reach for to put error bars on the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.aggregate import SampleStatistics, summarize_samples
+from ..exceptions import ExperimentError
+from ..network import topologies
+from ..network.graph import Network
+from ..tasks.generators import (
+    half_nodes_load,
+    linear_gradient_load,
+    point_load,
+    uniform_random_load,
+)
+from .engine import ALL_ALGORITHMS, run_algorithm
+from .results import RunResult
+
+__all__ = ["SweepConfiguration", "SweepResult", "run_sweep", "grid_sweep"]
+
+#: Built-in workload generators selectable by name in a sweep configuration.
+WORKLOADS: Dict[str, Callable[[Network, int, Optional[int]], np.ndarray]] = {
+    "point": lambda network, tokens, seed: point_load(network, tokens * network.num_nodes),
+    "uniform": lambda network, tokens, seed: uniform_random_load(
+        network, tokens * network.num_nodes, seed=seed),
+    "half-nodes": lambda network, tokens, seed: half_nodes_load(
+        network, 2 * tokens, seed=seed),
+    "gradient": lambda network, tokens, seed: linear_gradient_load(
+        network, 2 * tokens),
+}
+
+
+@dataclass(frozen=True)
+class SweepConfiguration:
+    """One experimental cell of a sweep.
+
+    Attributes
+    ----------
+    algorithm:
+        One of :data:`repro.simulation.engine.ALL_ALGORITHMS`.
+    topology:
+        A named topology family (see :func:`repro.network.topologies.named_topology`).
+    num_nodes:
+        Approximate network size.
+    tokens_per_node:
+        Average workload density.
+    workload:
+        One of :data:`WORKLOADS` (``"point"``, ``"uniform"``, ``"half-nodes"``,
+        ``"gradient"``).
+    continuous_kind:
+        The continuous substrate ("fos", "sos", "periodic-matching",
+        "random-matching").
+    """
+
+    algorithm: str
+    topology: str = "torus"
+    num_nodes: int = 64
+    tokens_per_node: int = 32
+    workload: str = "point"
+    continuous_kind: str = "fos"
+
+    def label(self) -> str:
+        """A compact human-readable label for tables."""
+        return (f"{self.algorithm} on {self.topology}(n~{self.num_nodes}) "
+                f"[{self.workload}, {self.continuous_kind}]")
+
+
+@dataclass
+class SweepResult:
+    """Aggregated outcome of running one configuration over several seeds."""
+
+    configuration: SweepConfiguration
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def num_runs(self) -> int:
+        """Number of completed runs."""
+        return len(self.runs)
+
+    def statistic(self, metric: str) -> SampleStatistics:
+        """Aggregate one metric ("max_min", "max_avg", "rounds", "dummy_tokens")."""
+        extractors = {
+            "max_min": lambda run: run.final_max_min,
+            "max_avg": lambda run: run.final_max_avg,
+            "rounds": lambda run: float(run.rounds),
+            "dummy_tokens": lambda run: float(run.dummy_tokens),
+        }
+        if metric not in extractors:
+            raise ExperimentError(
+                f"unknown metric {metric!r}; valid metrics: {sorted(extractors)}"
+            )
+        if not self.runs:
+            raise ExperimentError("the sweep produced no runs to aggregate")
+        return summarize_samples([extractors[metric](run) for run in self.runs])
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into a table row: configuration plus the key aggregates."""
+        max_min = self.statistic("max_min")
+        rounds = self.statistic("rounds")
+        return {
+            "algorithm": self.configuration.algorithm,
+            "topology": self.configuration.topology,
+            "n": self.configuration.num_nodes,
+            "workload": self.configuration.workload,
+            "substrate": self.configuration.continuous_kind,
+            "runs": self.num_runs,
+            "max_min_mean": max_min.mean,
+            "max_min_p90": max_min.percentile_90,
+            "max_min_worst": max_min.maximum,
+            "rounds_mean": rounds.mean,
+        }
+
+
+def run_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
+              record_trace: bool = False, max_rounds: int = 200_000) -> SweepResult:
+    """Run one configuration once per seed and aggregate the results.
+
+    The seed controls the topology sample (for random families), the workload
+    placement, the matching schedule and the algorithm's internal randomness,
+    so repeated sweeps with the same seeds are fully reproducible.
+    """
+    if configuration.algorithm not in ALL_ALGORITHMS:
+        raise ExperimentError(f"unknown algorithm {configuration.algorithm!r}")
+    if configuration.workload not in WORKLOADS:
+        raise ExperimentError(
+            f"unknown workload {configuration.workload!r}; valid: {sorted(WORKLOADS)}"
+        )
+    if not seeds:
+        raise ExperimentError("at least one seed is required")
+    result = SweepResult(configuration=configuration)
+    for seed in seeds:
+        network = topologies.named_topology(
+            configuration.topology, configuration.num_nodes, seed=seed)
+        load = WORKLOADS[configuration.workload](
+            network, configuration.tokens_per_node, seed)
+        run = run_algorithm(
+            configuration.algorithm,
+            network,
+            initial_load=load,
+            continuous_kind=configuration.continuous_kind,
+            seed=seed,
+            record_trace=record_trace,
+            max_rounds=max_rounds,
+        )
+        result.runs.append(run)
+    return result
+
+
+def grid_sweep(algorithms: Sequence[str], topologies_and_sizes: Sequence[Sequence],
+               seeds: Sequence[int], tokens_per_node: int = 32,
+               workload: str = "point", continuous_kind: str = "fos") -> List[SweepResult]:
+    """Run the cross product of algorithms and (topology, size) pairs."""
+    results: List[SweepResult] = []
+    for topology, size in topologies_and_sizes:
+        for algorithm in algorithms:
+            configuration = SweepConfiguration(
+                algorithm=algorithm, topology=topology, num_nodes=int(size),
+                tokens_per_node=tokens_per_node, workload=workload,
+                continuous_kind=continuous_kind,
+            )
+            results.append(run_sweep(configuration, seeds))
+    return results

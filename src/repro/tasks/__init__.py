@@ -1,0 +1,32 @@
+"""Task and load model: weighted tasks, assignments, metrics and generators."""
+
+from .assignment import TaskAssignment
+from .load import (
+    LoadSummary,
+    as_load_vector,
+    balanced_allocation,
+    makespans,
+    max_avg_discrepancy,
+    max_min_discrepancy,
+    min_avg_discrepancy,
+    quadratic_potential,
+    summarize_loads,
+)
+from .task import Task, TaskFactory
+from . import generators
+
+__all__ = [
+    "Task",
+    "TaskFactory",
+    "TaskAssignment",
+    "LoadSummary",
+    "as_load_vector",
+    "balanced_allocation",
+    "makespans",
+    "max_avg_discrepancy",
+    "max_min_discrepancy",
+    "min_avg_discrepancy",
+    "quadratic_potential",
+    "summarize_loads",
+    "generators",
+]

@@ -1,0 +1,212 @@
+"""Task assignments: which node currently holds which tasks.
+
+A :class:`TaskAssignment` is the discrete counterpart of a load vector: it
+maps every node of a network to the multiset of tasks it currently holds.
+All discrete balancing processes in this library mutate a ``TaskAssignment``
+by moving whole tasks along edges; the induced load vector (total weight per
+node) and makespans are derived quantities.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TaskError
+from ..network.graph import Network
+from .task import Task, TaskFactory
+
+__all__ = ["TaskAssignment"]
+
+
+class TaskAssignment:
+    """Mutable mapping of nodes to the tasks they hold.
+
+    Parameters
+    ----------
+    network:
+        The network whose nodes the tasks are assigned to.
+    tasks_per_node:
+        Optional initial assignment: a sequence (indexed by node id) of
+        iterables of :class:`Task`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        tasks_per_node: Optional[Sequence[Iterable[Task]]] = None,
+    ) -> None:
+        self._network = network
+        self._queues: List[Deque[Task]] = [deque() for _ in range(network.num_nodes)]
+        self._loads = np.zeros(network.num_nodes, dtype=float)
+        self._dummy_loads = np.zeros(network.num_nodes, dtype=float)
+        self._task_locations: Dict[int, int] = {}
+        if tasks_per_node is not None:
+            if len(tasks_per_node) != network.num_nodes:
+                raise TaskError(
+                    f"expected {network.num_nodes} task lists, got {len(tasks_per_node)}"
+                )
+            for node, tasks in enumerate(tasks_per_node):
+                for task in tasks:
+                    self.add(node, task)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_unit_loads(cls, network: Network, loads: Sequence[int],
+                        factory: Optional[TaskFactory] = None) -> "TaskAssignment":
+        """Create an assignment of unit-weight tokens matching an integer load vector."""
+        factory = factory or TaskFactory()
+        loads = list(loads)
+        if len(loads) != network.num_nodes:
+            raise TaskError(f"expected {network.num_nodes} loads, got {len(loads)}")
+        assignment = cls(network)
+        for node, count in enumerate(loads):
+            if count < 0 or int(count) != count:
+                raise TaskError(f"unit load at node {node} must be a non-negative integer")
+            for task in factory.create_many(int(count), weight=1.0, origin=node):
+                assignment.add(node, task)
+        return assignment
+
+    def copy(self) -> "TaskAssignment":
+        """Return an independent copy (tasks are shared, queues are not)."""
+        clone = TaskAssignment(self._network)
+        for node in self._network.nodes:
+            for task in self._queues[node]:
+                clone.add(node, task)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def network(self) -> Network:
+        """The network the tasks live on."""
+        return self._network
+
+    @property
+    def num_tasks(self) -> int:
+        """Total number of tasks currently assigned (including dummies)."""
+        return len(self._task_locations)
+
+    def tasks_at(self, node: int) -> Tuple[Task, ...]:
+        """Return the tasks currently held by ``node`` (in queue order)."""
+        self._check_node(node)
+        return tuple(self._queues[node])
+
+    def location_of(self, task: Task) -> int:
+        """Return the node currently holding ``task``."""
+        try:
+            return self._task_locations[task.task_id]
+        except KeyError:
+            raise TaskError(f"task {task.task_id} is not assigned to any node") from None
+
+    def loads(self, include_dummies: bool = True) -> np.ndarray:
+        """Return the load vector (total task weight per node).
+
+        Parameters
+        ----------
+        include_dummies:
+            When ``False`` the weight of dummy tasks is excluded — this is the
+            "eliminate the dummy tokens at the end" view used when reporting
+            final discrepancies for Theorem 3(1) / Theorem 8(1).
+        """
+        if include_dummies:
+            return self._loads.copy()
+        return self._loads - self._dummy_loads
+
+    def load(self, node: int, include_dummies: bool = True) -> float:
+        """Return the load of a single node."""
+        self._check_node(node)
+        if include_dummies:
+            return float(self._loads[node])
+        return float(self._loads[node] - self._dummy_loads[node])
+
+    def dummy_loads(self) -> np.ndarray:
+        """Return the per-node total weight of dummy tasks."""
+        return self._dummy_loads.copy()
+
+    def total_dummy_weight(self) -> float:
+        """Return the total weight of all dummy tasks in the assignment."""
+        return float(self._dummy_loads.sum())
+
+    def total_weight(self, include_dummies: bool = True) -> float:
+        """Return the total weight ``W`` of all assigned tasks."""
+        return float(self.loads(include_dummies=include_dummies).sum())
+
+    def max_task_weight(self) -> float:
+        """Return ``w_max``, the maximum weight of any assigned task (0 if empty)."""
+        weights = [task.weight for queue in self._queues for task in queue]
+        return max(weights) if weights else 0.0
+
+    def makespans(self, include_dummies: bool = True) -> np.ndarray:
+        """Return the per-node makespan (load divided by speed)."""
+        return self.loads(include_dummies=include_dummies) / self._network.speeds
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, node: int, task: Task) -> None:
+        """Assign ``task`` to ``node``; the task must not already be assigned."""
+        self._check_node(node)
+        if task.task_id in self._task_locations:
+            raise TaskError(f"task {task.task_id} is already assigned")
+        self._queues[node].append(task)
+        self._task_locations[task.task_id] = node
+        self._loads[node] += task.weight
+        if task.is_dummy:
+            self._dummy_loads[node] += task.weight
+
+    def remove(self, node: int, task: Task) -> None:
+        """Remove ``task`` from ``node``."""
+        self._check_node(node)
+        if self._task_locations.get(task.task_id) != node:
+            raise TaskError(f"task {task.task_id} is not held by node {node}")
+        self._queues[node].remove(task)
+        del self._task_locations[task.task_id]
+        self._loads[node] -= task.weight
+        if task.is_dummy:
+            self._dummy_loads[node] -= task.weight
+
+    def move(self, task: Task, source: int, destination: int) -> None:
+        """Move ``task`` from ``source`` to ``destination``."""
+        self.remove(source, task)
+        self.add(destination, task)
+
+    def move_many(self, tasks: Iterable[Task], source: int, destination: int) -> float:
+        """Move several tasks at once; return the total weight moved."""
+        moved = 0.0
+        for task in tasks:
+            self.move(task, source, destination)
+            moved += task.weight
+        return moved
+
+    def remove_dummies(self) -> float:
+        """Remove every dummy task from the assignment; return the weight removed."""
+        removed = 0.0
+        for node in self._network.nodes:
+            dummies = [task for task in self._queues[node] if task.is_dummy]
+            for task in dummies:
+                self.remove(node, task)
+                removed += task.weight
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._network.num_nodes:
+            raise TaskError(f"node {node} is outside 0..{self._network.num_nodes - 1}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskAssignment(n={self._network.num_nodes}, tasks={self.num_tasks}, "
+            f"W={self.total_weight():.1f}, dummies={self.total_dummy_weight():.1f})"
+        )

@@ -1,0 +1,162 @@
+"""Load vectors, makespans and discrepancy metrics.
+
+These are the quantities the paper's theorems bound:
+
+* the *makespan* of node ``i`` is ``x_i / s_i``;
+* the *max-min discrepancy* of a load vector is the difference between the
+  maximum and the minimum makespan;
+* the *max-avg discrepancy* is the difference between the maximum makespan
+  and ``W / S`` (the makespan of the perfectly balanced allocation);
+* the potential ``Phi(t) = sum_i (x_i - s_i W / S)^2`` is the classical
+  quadratic potential used by the prior work surveyed in Section 2.2.
+
+All functions accept plain numpy arrays so they can be used on continuous
+load vectors and on the induced loads of a :class:`TaskAssignment` alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import TaskError
+from ..network.graph import Network
+
+__all__ = [
+    "as_load_vector",
+    "balanced_allocation",
+    "makespans",
+    "max_min_discrepancy",
+    "max_avg_discrepancy",
+    "min_avg_discrepancy",
+    "quadratic_potential",
+    "LoadSummary",
+    "summarize_loads",
+]
+
+
+def as_load_vector(loads: Sequence[float], network: Network) -> np.ndarray:
+    """Validate and convert ``loads`` into a float numpy array of length ``n``."""
+    array = np.asarray(list(loads), dtype=float)
+    if array.shape != (network.num_nodes,):
+        raise TaskError(
+            f"load vector must have length {network.num_nodes}, got shape {array.shape}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise TaskError("load vector must contain only finite values")
+    return array
+
+
+def balanced_allocation(total_weight: float, network: Network) -> np.ndarray:
+    """Return the perfectly balanced allocation ``(W / S) * (s_1, ..., s_n)``."""
+    speeds = network.speeds
+    return total_weight * speeds / speeds.sum()
+
+
+def makespans(loads: Sequence[float], network: Network) -> np.ndarray:
+    """Return the per-node makespans ``x_i / s_i``."""
+    return as_load_vector(loads, network) / network.speeds
+
+
+def max_min_discrepancy(loads: Sequence[float], network: Network) -> float:
+    """Return the difference between the maximum and minimum makespan."""
+    spans = makespans(loads, network)
+    return float(spans.max() - spans.min())
+
+
+def max_avg_discrepancy(loads: Sequence[float], network: Network,
+                        total_weight: Optional[float] = None) -> float:
+    """Return the difference between the maximum makespan and ``W / S``.
+
+    ``total_weight`` defaults to the sum of ``loads``; pass it explicitly when
+    the reported loads exclude dummy tasks but the average should refer to the
+    original workload.
+    """
+    vector = as_load_vector(loads, network)
+    if total_weight is None:
+        total_weight = float(vector.sum())
+    average = total_weight / network.total_speed
+    spans = vector / network.speeds
+    return float(spans.max() - average)
+
+
+def min_avg_discrepancy(loads: Sequence[float], network: Network,
+                        total_weight: Optional[float] = None) -> float:
+    """Return ``W / S`` minus the minimum makespan (how far the emptiest node lags)."""
+    vector = as_load_vector(loads, network)
+    if total_weight is None:
+        total_weight = float(vector.sum())
+    average = total_weight / network.total_speed
+    spans = vector / network.speeds
+    return float(average - spans.min())
+
+
+def quadratic_potential(loads: Sequence[float], network: Network,
+                        total_weight: Optional[float] = None) -> float:
+    """Return ``Phi = sum_i (x_i - s_i * W / S)^2`` (Equation (6) of the paper)."""
+    vector = as_load_vector(loads, network)
+    if total_weight is None:
+        total_weight = float(vector.sum())
+    target = balanced_allocation(total_weight, network)
+    return float(np.sum((vector - target) ** 2))
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    """Immutable summary of a load vector's balance quality.
+
+    Attributes mirror the metrics reported by the paper's theorems and the
+    comparison tables.
+    """
+
+    total_weight: float
+    max_makespan: float
+    min_makespan: float
+    average_makespan: float
+    max_min_discrepancy: float
+    max_avg_discrepancy: float
+    potential: float
+
+    def as_dict(self) -> dict:
+        """Return the summary as a plain dictionary (handy for CSV/JSON dumps)."""
+        return {
+            "total_weight": self.total_weight,
+            "max_makespan": self.max_makespan,
+            "min_makespan": self.min_makespan,
+            "average_makespan": self.average_makespan,
+            "max_min_discrepancy": self.max_min_discrepancy,
+            "max_avg_discrepancy": self.max_avg_discrepancy,
+            "potential": self.potential,
+        }
+
+
+def summarize_loads(loads: Sequence[float], network: Network,
+                    total_weight: Optional[float] = None) -> LoadSummary:
+    """Compute a :class:`LoadSummary` for a load vector.
+
+    Parameters
+    ----------
+    loads:
+        The per-node loads.
+    network:
+        The network providing the speeds.
+    total_weight:
+        Total workload used for the "average" reference; defaults to the sum
+        of ``loads``.
+    """
+    vector = as_load_vector(loads, network)
+    if total_weight is None:
+        total_weight = float(vector.sum())
+    spans = vector / network.speeds
+    average = total_weight / network.total_speed
+    return LoadSummary(
+        total_weight=total_weight,
+        max_makespan=float(spans.max()),
+        min_makespan=float(spans.min()),
+        average_makespan=average,
+        max_min_discrepancy=float(spans.max() - spans.min()),
+        max_avg_discrepancy=float(spans.max() - average),
+        potential=quadratic_potential(vector, network, total_weight),
+    )

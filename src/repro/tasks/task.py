@@ -1,0 +1,77 @@
+"""Task model: indivisible, possibly weighted, work items.
+
+The discrete setting of the paper deals with *atomic tasks*: a node can only
+forward whole tasks to a neighbour.  A task has an integer weight
+(``w_i >= 1``); when all weights equal 1 the tasks are called *tokens*.
+Algorithm 1 may additionally create unit-weight *dummy* tasks from an
+"infinite source" when a node's real load is insufficient; those are flagged
+with :attr:`Task.is_dummy` and removed at the end of the balancing process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..exceptions import TaskError
+
+__all__ = ["Task", "TaskFactory"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """An indivisible task.
+
+    Attributes
+    ----------
+    task_id:
+        Unique identifier (unique within one :class:`TaskFactory` / run).
+    weight:
+        Positive weight of the task.  Unit weight tasks are *tokens*.
+    is_dummy:
+        Whether the task was created by the infinite source of Algorithm 1 /
+        Algorithm 2 rather than being part of the original workload.
+    origin:
+        Optional id of the node the task was initially assigned to (useful
+        for locality analyses; not used by the algorithms themselves).
+    """
+
+    task_id: int
+    weight: float = 1.0
+    is_dummy: bool = False
+    origin: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise TaskError(f"task weight must be positive, got {self.weight}")
+        if self.is_dummy and self.weight != 1.0:
+            raise TaskError("dummy tasks always have unit weight")
+
+    @property
+    def is_token(self) -> bool:
+        """Whether the task has unit weight."""
+        return self.weight == 1.0
+
+
+class TaskFactory:
+    """Mints tasks with unique, monotonically increasing identifiers."""
+
+    def __init__(self, start_id: int = 0) -> None:
+        self._counter = itertools.count(start_id)
+
+    def create(self, weight: float = 1.0, origin: Optional[int] = None) -> Task:
+        """Create a regular task with the given weight."""
+        return Task(task_id=next(self._counter), weight=weight, origin=origin)
+
+    def create_dummy(self, origin: Optional[int] = None) -> Task:
+        """Create a unit-weight dummy task (drawn from the infinite source)."""
+        return Task(task_id=next(self._counter), weight=1.0, is_dummy=True, origin=origin)
+
+    def create_many(self, count: int, weight: float = 1.0,
+                    origin: Optional[int] = None) -> Iterator[Task]:
+        """Yield ``count`` regular tasks of identical weight."""
+        if count < 0:
+            raise TaskError("cannot create a negative number of tasks")
+        for _ in range(count):
+            yield self.create(weight=weight, origin=origin)

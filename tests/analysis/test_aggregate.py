@@ -1,0 +1,48 @@
+"""Tests for :mod:`repro.analysis.aggregate`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.aggregate import aggregate_by, summarize_samples
+from repro.exceptions import ExperimentError
+
+
+class TestSummarizeSamples:
+    def test_basic_statistics(self):
+        stats = summarize_samples([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == pytest.approx(2.5)
+        assert stats.std == pytest.approx(1.118, abs=1e-3)
+
+    def test_single_sample(self):
+        stats = summarize_samples([7.0])
+        assert stats.mean == 7.0
+        assert stats.std == 0.0
+        assert stats.percentile_90 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize_samples([])
+
+    def test_as_dict(self):
+        stats = summarize_samples([1, 2, 3])
+        data = stats.as_dict()
+        assert set(data) == {"count", "mean", "std", "min", "max", "median", "p90"}
+
+
+class TestAggregateBy:
+    def test_grouping(self):
+        items = [("a", 1.0), ("b", 4.0), ("a", 3.0), ("b", 6.0)]
+        grouped = aggregate_by(items, key=lambda item: item[0], value=lambda item: item[1])
+        assert set(grouped) == {"a", "b"}
+        assert grouped["a"].mean == pytest.approx(2.0)
+        assert grouped["b"].mean == pytest.approx(5.0)
+
+    def test_single_group(self):
+        items = [1.0, 2.0, 3.0]
+        grouped = aggregate_by(items, key=lambda _: "all", value=float)
+        assert grouped["all"].count == 3

@@ -1,0 +1,85 @@
+"""Tests for :mod:`repro.analysis.convergence`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import convergence_trace, measure_balancing_time
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.continuous.sos import SecondOrderDiffusion
+from repro.exceptions import ConvergenceError
+from repro.network import topologies
+from repro.network.spectral import predicted_fos_rounds
+from repro.tasks.generators import point_load
+
+
+class TestMeasureBalancingTime:
+    def test_matches_process_round_index(self):
+        net = topologies.torus(4, dims=2)
+        process = FirstOrderDiffusion(net, point_load(net, 160).astype(float))
+        T = measure_balancing_time(process)
+        assert T == process.round_index
+        assert process.is_balanced()
+
+    def test_larger_initial_discrepancy_takes_longer(self):
+        net = topologies.hypercube(4)
+        small = FirstOrderDiffusion(net, point_load(net, 64).astype(float))
+        large = FirstOrderDiffusion(net, point_load(net, 64_000).astype(float))
+        assert measure_balancing_time(large) > measure_balancing_time(small)
+
+    def test_measured_time_within_constant_of_prediction(self):
+        """T = O(log(Kn) / (1 - lambda)): the measured time is below a small multiple."""
+        net = topologies.torus(5, dims=2)
+        load = point_load(net, 25 * 64).astype(float)
+        predicted = predicted_fos_rounds(net, initial_discrepancy=float(load.max()))
+        measured = measure_balancing_time(FirstOrderDiffusion(net, load))
+        assert measured <= 10 * predicted
+
+    def test_raises_when_max_rounds_too_small(self):
+        net = topologies.cycle(40)
+        process = FirstOrderDiffusion(net, point_load(net, 4000).astype(float))
+        with pytest.raises(ConvergenceError):
+            measure_balancing_time(process, max_rounds=2)
+
+
+class TestConvergenceTrace:
+    def test_trace_is_recorded_per_round(self):
+        net = topologies.torus(4, dims=2)
+        process = FirstOrderDiffusion(net, point_load(net, 160).astype(float))
+        trace = convergence_trace(process, max_rounds=20, stop_when_balanced=False)
+        assert trace.rounds == 20
+        assert len(trace.max_deviation) == 21
+        assert len(trace.potential) == 21
+
+    def test_trace_stops_when_balanced(self):
+        net = topologies.hypercube(3)
+        process = FirstOrderDiffusion(net, point_load(net, 80).astype(float))
+        trace = convergence_trace(process, max_rounds=10_000)
+        assert trace.balanced_at is not None
+        assert trace.rounds == trace.balanced_at
+
+    def test_deviation_decreases_overall(self):
+        net = topologies.random_regular(16, 4, seed=1)
+        process = FirstOrderDiffusion(net, point_load(net, 800).astype(float))
+        trace = convergence_trace(process, max_rounds=200)
+        assert trace.max_deviation[-1] < trace.max_deviation[0]
+        assert trace.potential[-1] < trace.potential[0]
+
+    def test_balanced_start_trace(self):
+        net = topologies.cycle(6)
+        process = FirstOrderDiffusion(net, [5.0] * 6)
+        trace = convergence_trace(process, max_rounds=5)
+        assert trace.balanced_at == 0
+        assert trace.rounds == 0
+
+    def test_sos_trace_can_overshoot_but_converges(self):
+        net = topologies.cycle(16)
+        process = SecondOrderDiffusion(net, point_load(net, 16 * 32).astype(float))
+        trace = convergence_trace(process, max_rounds=5_000)
+        assert trace.balanced_at is not None
+
+    def test_negative_max_rounds_rejected(self):
+        net = topologies.cycle(6)
+        process = FirstOrderDiffusion(net, [5.0] * 6)
+        with pytest.raises(ConvergenceError):
+            convergence_trace(process, max_rounds=-1)

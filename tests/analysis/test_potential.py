@@ -1,0 +1,103 @@
+"""Tests for the potential-function analysis (:mod:`repro.analysis.potential`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.potential import (
+    estimate_drop_factor,
+    muthukrishnan_threshold,
+    track_potential,
+)
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.discrete.baselines.diffusion import RoundDownDiffusion
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.network.spectral import diffusion_matrix, second_largest_eigenvalue
+from repro.tasks.generators import point_load
+
+
+class TestThreshold:
+    def test_formula(self):
+        net = topologies.torus(4, dims=2)  # d = 4, n = 16
+        assert muthukrishnan_threshold(net, epsilon=0.5) == pytest.approx(
+            16 * 16 * 256 / 0.25)
+
+    def test_invalid_epsilon(self):
+        net = topologies.cycle(4)
+        with pytest.raises(ProcessError):
+            muthukrishnan_threshold(net, epsilon=0.0)
+        with pytest.raises(ProcessError):
+            muthukrishnan_threshold(net, epsilon=1.5)
+
+
+class TestContinuousPotentialDrop:
+    def test_fos_potential_never_increases(self):
+        net = topologies.hypercube(4)
+        process = FirstOrderDiffusion(net, point_load(net, 16 * 64).astype(float))
+        trace = track_potential(process, rounds=30)
+        assert all(factor <= 1.0 + 1e-9 for factor in trace.drop_factors)
+        assert trace.final < trace.initial
+
+    def test_fos_drop_factor_at_most_lambda_squared(self):
+        """[34]: the continuous FOS potential drops by at least lambda^2 per round."""
+        net = topologies.random_regular(16, 4, seed=1)
+        process = FirstOrderDiffusion(net, point_load(net, 16 * 128).astype(float))
+        lam = second_largest_eigenvalue(diffusion_matrix(net, alphas=process.alphas))
+        trace = track_potential(process, rounds=20)
+        assert all(factor <= lam**2 + 1e-9 for factor in trace.drop_factors)
+
+    def test_trace_bookkeeping(self):
+        net = topologies.torus(4, dims=2)
+        process = FirstOrderDiffusion(net, point_load(net, 160).astype(float))
+        trace = track_potential(process, rounds=10)
+        assert len(trace.values) == 11
+        assert len(trace.drop_factors) == 10
+        assert trace.total_reduction >= 1.0
+
+    def test_zero_rounds(self):
+        net = topologies.cycle(5)
+        process = FirstOrderDiffusion(net, [5.0, 0, 0, 0, 0])
+        trace = track_potential(process, rounds=0)
+        assert len(trace.values) == 1
+        assert trace.drop_factors == []
+
+    def test_negative_rounds_rejected(self):
+        net = topologies.cycle(5)
+        process = FirstOrderDiffusion(net, [5.0, 0, 0, 0, 0])
+        with pytest.raises(ProcessError):
+            track_potential(process, rounds=-1)
+
+
+class TestDiscretePotential:
+    def test_round_down_tracks_continuous_while_potential_large(self):
+        """While Phi is far above the threshold, the discrete drop factor is close to lambda^2."""
+        net = topologies.random_regular(32, 4, seed=2)
+        # A very large point load keeps the potential above the threshold for a while.
+        tokens = 4000 * net.num_nodes
+        discrete = RoundDownDiffusion(net, point_load(net, tokens))
+        lam = second_largest_eigenvalue(diffusion_matrix(net))
+        trace = track_potential(discrete, rounds=8)
+        assert trace.rounds_above_threshold > 0
+        estimated = estimate_drop_factor(trace, above_threshold_only=True)
+        assert estimated <= (1.3 * lam) ** 2
+
+    def test_round_down_potential_never_increases(self):
+        net = topologies.torus(5, dims=2)
+        discrete = RoundDownDiffusion(net, point_load(net, 25 * 64))
+        trace = track_potential(discrete, rounds=40)
+        assert all(factor <= 1.0 + 1e-9 for factor in trace.drop_factors)
+
+
+class TestDropFactorEstimation:
+    def test_geometric_mean(self):
+        from repro.analysis.potential import PotentialTrace
+
+        trace = PotentialTrace(values=[100, 25, 6.25], drop_factors=[0.25, 0.25])
+        assert estimate_drop_factor(trace) == pytest.approx(0.25)
+
+    def test_empty_trace_returns_one(self):
+        from repro.analysis.potential import PotentialTrace
+
+        assert estimate_drop_factor(PotentialTrace()) == 1.0

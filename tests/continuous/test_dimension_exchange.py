@@ -1,0 +1,110 @@
+"""Unit tests for the matching-based dimension-exchange process (Equation (5))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continuous.dimension_exchange import (
+    DimensionExchange,
+    periodic_dimension_exchange,
+    random_matching_exchange,
+)
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.network.matchings import (
+    PeriodicMatchingSchedule,
+    RandomMatchingSchedule,
+    SingleMatchingSchedule,
+)
+from repro.tasks.generators import point_load
+
+
+class TestSingleEdge:
+    def test_matched_edge_equalises_makespans(self):
+        """After one round, both endpoints of a matched edge have equal makespan."""
+        net = topologies.path(2).with_speeds([1, 3])
+        schedule = SingleMatchingSchedule(net, [(0, 1)])
+        process = DimensionExchange(net, [8.0, 0.0], schedule)
+        process.advance()
+        spans = process.load / net.speeds
+        assert spans[0] == pytest.approx(spans[1])
+        assert process.load.sum() == pytest.approx(8.0)
+
+    def test_flow_matches_equation_five(self):
+        """y_{i,j} = (alpha_{i,j} / s_i) x_i with alpha = s_i s_j / (s_i + s_j)."""
+        net = topologies.path(2).with_speeds([2, 5])
+        schedule = SingleMatchingSchedule(net, [(0, 1)])
+        load = np.array([14.0, 7.0])
+        process = DimensionExchange(net, load, schedule)
+        flows = process.advance()
+        alpha = 2 * 5 / 7.0
+        assert flows.sent(0, 1) == pytest.approx(alpha / 2.0 * 14.0)
+        assert flows.sent(1, 0) == pytest.approx(alpha / 5.0 * 7.0)
+
+    def test_unmatched_nodes_untouched(self):
+        net = topologies.path(4)
+        schedule = SingleMatchingSchedule(net, [(0, 1)])
+        process = DimensionExchange(net, [4.0, 0.0, 9.0, 1.0], schedule)
+        process.advance()
+        assert process.load[2] == 9.0
+        assert process.load[3] == 1.0
+
+
+class TestSchedules:
+    def test_periodic_convergence(self):
+        net = topologies.hypercube(4)
+        load = point_load(net, 16 * 32).astype(float)
+        process = periodic_dimension_exchange(net, load)
+        rounds = process.run_until_balanced(max_rounds=20_000)
+        assert rounds > 0
+        assert np.all(np.abs(process.load - 32.0) <= 1.0)
+
+    def test_random_matching_convergence(self):
+        net = topologies.random_regular(24, 4, seed=2)
+        load = point_load(net, 24 * 16).astype(float)
+        process = random_matching_exchange(net, load, seed=5)
+        process.run_until_balanced(max_rounds=50_000)
+        assert np.all(np.abs(process.load - 16.0) <= 1.0)
+
+    def test_convergence_with_speeds(self):
+        net = topologies.torus(4, dims=2).with_speeds([1 + (i % 3) for i in range(16)])
+        load = point_load(net, 640).astype(float)
+        process = periodic_dimension_exchange(net, load)
+        process.run_until_balanced(max_rounds=50_000)
+        target = 640 * net.speeds / net.total_speed
+        assert np.all(np.abs(process.load - target) <= 1.0)
+
+    def test_load_conserved(self):
+        net = topologies.cycle(9)
+        load = point_load(net, 99).astype(float)
+        process = random_matching_exchange(net, load, seed=1)
+        process.run(200)
+        assert process.load.sum() == pytest.approx(99.0)
+
+    def test_never_negative_load(self):
+        net = topologies.star(6)
+        load = point_load(net, 30).astype(float)
+        process = periodic_dimension_exchange(net, load)
+        process._check_negative = True  # enable strict checking
+        process.run(100)
+        assert not process.induced_negative_load
+        assert np.all(process.load >= -1e-9)
+
+    def test_shared_schedule_gives_identical_runs(self):
+        """Two processes sharing a schedule observe the same random matchings."""
+        net = topologies.random_regular(16, 4, seed=3)
+        load = point_load(net, 160).astype(float)
+        schedule = RandomMatchingSchedule(net, seed=11)
+        a = DimensionExchange(net, load, schedule)
+        b = DimensionExchange(net, load, schedule)
+        a.run(30)
+        b.run(30)
+        np.testing.assert_allclose(a.load, b.load, atol=1e-12)
+
+    def test_schedule_network_mismatch_rejected(self):
+        net_a = topologies.cycle(6)
+        net_b = topologies.cycle(6)
+        schedule = PeriodicMatchingSchedule(net_a)
+        with pytest.raises(ProcessError):
+            DimensionExchange(net_b, [1.0] * 6, schedule)

@@ -1,0 +1,136 @@
+"""Unit tests for the first-order diffusion process (Equations (1)-(3))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.exceptions import ConvergenceError, ProcessError
+from repro.network import topologies
+from repro.network.spectral import compute_alphas, diffusion_matrix
+from repro.tasks.generators import point_load
+
+
+class TestSingleRound:
+    def test_flows_match_equation_one(self):
+        """y_{i,j} = alpha_{i,j} / s_i * x_i for every edge and direction."""
+        net = topologies.cycle(5).with_speeds([1, 2, 1, 3, 1])
+        load = np.array([10.0, 4.0, 0.0, 9.0, 2.0])
+        alphas = compute_alphas(net)
+        process = FirstOrderDiffusion(net, load, alphas=alphas)
+        flows = process.advance()
+        for (u, v) in net.edges:
+            assert flows.sent(u, v) == pytest.approx(alphas[(u, v)] / net.speed(u) * load[u])
+            assert flows.sent(v, u) == pytest.approx(alphas[(u, v)] / net.speed(v) * load[v])
+
+    def test_round_matches_diffusion_matrix(self):
+        """One FOS round equals x(t+1) = x(t) P."""
+        net = topologies.torus(4, dims=2)
+        load = point_load(net, 160).astype(float)
+        process = FirstOrderDiffusion(net, load)
+        matrix = diffusion_matrix(net, alphas=process.alphas)
+        process.advance()
+        np.testing.assert_allclose(process.load, load @ matrix, atol=1e-9)
+
+    def test_many_rounds_match_matrix_power(self):
+        net = topologies.hypercube(3)
+        load = point_load(net, 80).astype(float)
+        process = FirstOrderDiffusion(net, load)
+        matrix = diffusion_matrix(net, alphas=process.alphas)
+        rounds = 7
+        process.run(rounds)
+        np.testing.assert_allclose(process.load, load @ np.linalg.matrix_power(matrix, rounds),
+                                   atol=1e-8)
+
+    def test_load_conserved(self):
+        net = topologies.random_regular(16, 4, seed=1)
+        load = point_load(net, 321).astype(float)
+        process = FirstOrderDiffusion(net, load)
+        process.run(25)
+        assert process.load.sum() == pytest.approx(321.0)
+
+    def test_never_negative_load(self):
+        """FOS never induces negative load because sum_j alpha_{ij} < s_i."""
+        net = topologies.star(8)
+        load = point_load(net, 50).astype(float)
+        process = FirstOrderDiffusion(net, load, check_negative_load=True)
+        process.run(30)
+        assert not process.induced_negative_load
+        assert np.all(process.load >= -1e-9)
+
+
+class TestConvergence:
+    def test_converges_to_speed_proportional_allocation(self):
+        net = topologies.cycle(6).with_speeds([1, 2, 1, 2, 1, 2])
+        load = point_load(net, 90).astype(float)
+        process = FirstOrderDiffusion(net, load)
+        rounds = process.run_until_balanced()
+        target = 90 * net.speeds / net.total_speed
+        assert np.all(np.abs(process.load - target) <= 1.0)
+        assert rounds > 0
+        assert process.is_balanced()
+
+    def test_balanced_start_stays_balanced(self):
+        net = topologies.torus(4, dims=2)
+        load = np.full(net.num_nodes, 10.0)
+        process = FirstOrderDiffusion(net, load)
+        process.run(5)
+        np.testing.assert_allclose(process.load, load, atol=1e-12)
+        assert process.run_until_balanced() == 5  # already balanced, no extra rounds
+
+    def test_convergence_error_when_not_enough_rounds(self):
+        net = topologies.cycle(32)
+        load = point_load(net, 3200).astype(float)
+        process = FirstOrderDiffusion(net, load)
+        with pytest.raises(ConvergenceError):
+            process.run_until_balanced(max_rounds=3)
+
+
+class TestCumulativeFlows:
+    def test_cumulative_flow_antisymmetry(self):
+        net = topologies.path(4)
+        process = FirstOrderDiffusion(net, [12.0, 0.0, 0.0, 0.0])
+        process.run(5)
+        for (u, v) in net.edges:
+            assert process.cumulative_flow_between(u, v) == pytest.approx(
+                -process.cumulative_flow_between(v, u))
+
+    def test_cumulative_flow_explains_load_change(self):
+        """x_i(t) - x_i(0) equals the net flow into i."""
+        net = topologies.torus(4, dims=2)
+        load = point_load(net, 64).astype(float)
+        process = FirstOrderDiffusion(net, load)
+        process.run(9)
+        for node in net.nodes:
+            inflow = sum(process.cumulative_flow_between(j, node) for j in net.neighbors(node))
+            assert process.load[node] - load[node] == pytest.approx(inflow, abs=1e-9)
+
+
+class TestValidation:
+    def test_negative_initial_load_rejected(self):
+        net = topologies.cycle(4)
+        with pytest.raises(ProcessError):
+            FirstOrderDiffusion(net, [-1.0, 1, 1, 1])
+
+    def test_missing_alpha_rejected(self):
+        net = topologies.cycle(4)
+        with pytest.raises(ProcessError):
+            FirstOrderDiffusion(net, [1, 1, 1, 1], alphas={(0, 1): 0.2})
+
+    def test_negative_run_rejected(self):
+        net = topologies.cycle(4)
+        process = FirstOrderDiffusion(net, [1, 1, 1, 1])
+        with pytest.raises(ProcessError):
+            process.run(-1)
+
+    def test_disconnected_network_rejected(self):
+        import networkx as nx
+        from repro.network.graph import Network
+
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        net = Network(graph)
+        with pytest.raises(Exception):
+            FirstOrderDiffusion(net, [1, 1, 1, 1])

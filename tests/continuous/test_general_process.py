@@ -1,0 +1,127 @@
+"""Tests for the general linear process (Equations (10)-(11) of Lemma 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.properties import is_additive, is_terminating
+from repro.continuous.dimension_exchange import DimensionExchange
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.continuous.general import (
+    GeneralLinearProcess,
+    constant_alpha_provider,
+    matching_alpha_provider,
+)
+from repro.continuous.sos import SecondOrderDiffusion
+from repro.core.algorithm1 import DeterministicFlowImitation, theorem3_discrepancy_bound
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.network.matchings import PeriodicMatchingSchedule
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.generators import point_load
+from repro.tasks.load import max_avg_discrepancy
+
+
+class TestEquivalences:
+    def test_constant_provider_with_beta_one_equals_fos(self):
+        net = topologies.torus(4, dims=2)
+        load = point_load(net, 160).astype(float)
+        general = GeneralLinearProcess(net, load, constant_alpha_provider(net), beta=1.0)
+        fos = FirstOrderDiffusion(net, load)
+        general.run(12)
+        fos.run(12)
+        np.testing.assert_allclose(general.load, fos.load, atol=1e-9)
+
+    def test_constant_provider_with_beta_equals_sos(self):
+        net = topologies.hypercube(3)
+        load = point_load(net, 80).astype(float)
+        beta = 1.4
+        general = GeneralLinearProcess(net, load, constant_alpha_provider(net), beta=beta)
+        sos = SecondOrderDiffusion(net, load, beta=beta)
+        general.run(10)
+        sos.run(10)
+        np.testing.assert_allclose(general.load, sos.load, atol=1e-8)
+
+    def test_matching_provider_equals_dimension_exchange(self):
+        net = topologies.torus(4, dims=2).with_speeds([1 + (i % 2) for i in range(16)])
+        load = point_load(net, 320).astype(float)
+        schedule = PeriodicMatchingSchedule(net)
+        general = GeneralLinearProcess(net, load, matching_alpha_provider(net, schedule),
+                                       beta=1.0)
+        exchange = DimensionExchange(net, load, schedule)
+        general.run(15)
+        exchange.run(15)
+        np.testing.assert_allclose(general.load, exchange.load, atol=1e-9)
+
+
+class TestCustomProcess:
+    def _alternating_provider(self, net):
+        """A custom process: odd rounds use diffusion weights, even rounds a matching."""
+        schedule = PeriodicMatchingSchedule(net)
+        diffusion = constant_alpha_provider(net)
+        matching = matching_alpha_provider(net, schedule)
+        return lambda t: diffusion(t) if t % 2 else matching(t)
+
+    def test_custom_process_is_additive_and_terminating(self):
+        net = topologies.hypercube(3)
+        provider = self._alternating_provider(net)
+        factory = lambda load: GeneralLinearProcess(net, load, provider, beta=1.0)
+        assert is_additive(factory, [10.0] * 8, [0, 5, 0, 5, 0, 5, 0, 5], rounds=8).holds
+        assert is_terminating(factory, net, level=6.0, rounds=8).holds
+
+    def test_custom_process_can_be_discretized(self):
+        """Algorithm 1 applies to any additive terminating process built this way."""
+        net = topologies.hypercube(4)
+        provider = self._alternating_provider(net)
+        loads = point_load(net, 16 * 16)
+        assignment = TaskAssignment.from_unit_loads(net, loads)
+        continuous = GeneralLinearProcess(net, assignment.loads(), provider, beta=1.0)
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        balancer.run_until_continuous_balanced(max_rounds=50_000)
+        bound = theorem3_discrepancy_bound(net.max_degree, 1.0)
+        discrepancy = max_avg_discrepancy(balancer.loads(include_dummies=False), net,
+                                          total_weight=balancer.original_weight)
+        assert discrepancy <= bound + 1e-9
+
+    def test_convergence_of_custom_process(self):
+        net = topologies.torus(4, dims=2)
+        provider = self._alternating_provider(net)
+        process = GeneralLinearProcess(net, point_load(net, 320).astype(float), provider)
+        process.run_until_balanced(max_rounds=50_000)
+        assert process.is_balanced()
+
+
+class TestValidation:
+    def test_invalid_beta(self):
+        net = topologies.cycle(4)
+        with pytest.raises(ProcessError):
+            GeneralLinearProcess(net, [1.0] * 4, constant_alpha_provider(net), beta=0.0)
+
+    def test_row_sum_violation_detected(self):
+        net = topologies.cycle(4)
+        bad_provider = lambda t: {edge: 0.6 for edge in net.edges}  # 2 * 0.6 >= 1
+        process = GeneralLinearProcess(net, [4.0] * 4, bad_provider)
+        with pytest.raises(ProcessError):
+            process.advance()
+
+    def test_non_positive_alpha_detected(self):
+        net = topologies.cycle(4)
+        bad_provider = lambda t: {edge: 0.0 for edge in net.edges}
+        process = GeneralLinearProcess(net, [4.0] * 4, bad_provider)
+        with pytest.raises(ProcessError):
+            process.advance()
+
+    def test_validation_can_be_disabled(self):
+        net = topologies.cycle(4)
+        provider = lambda t: {edge: 0.6 for edge in net.edges}
+        process = GeneralLinearProcess(net, [4.0] * 4, provider, validate_rows=False)
+        process.advance()  # no exception; caller accepts responsibility
+        assert process.round_index == 1
+
+    def test_matching_provider_network_mismatch(self):
+        net_a = topologies.cycle(6)
+        net_b = topologies.cycle(6)
+        schedule = PeriodicMatchingSchedule(net_a)
+        with pytest.raises(ProcessError):
+            matching_alpha_provider(net_b, schedule)

@@ -1,0 +1,140 @@
+"""Lemma 1: FOS, SOS and matching-based processes are additive and terminating.
+
+These tests exercise the numerical property checkers of
+:mod:`repro.analysis.properties` on all three process families, including
+heterogeneous speeds and coupled random-matching schedules, plus
+hypothesis-driven randomized load vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.properties import (
+    induces_negative_load,
+    is_additive,
+    is_terminating,
+)
+from repro.continuous.dimension_exchange import DimensionExchange
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.continuous.sos import SecondOrderDiffusion
+from repro.network import topologies
+from repro.network.matchings import PeriodicMatchingSchedule, RandomMatchingSchedule
+
+
+@pytest.fixture
+def speedy_torus():
+    return topologies.torus(4, dims=2).with_speeds([1 + (i % 3) for i in range(16)])
+
+
+def fos_factory(network):
+    return lambda load: FirstOrderDiffusion(network, load)
+
+
+def sos_factory(network, beta=1.6):
+    return lambda load: SecondOrderDiffusion(network, load, beta=beta)
+
+
+def periodic_factory(network):
+    schedule = PeriodicMatchingSchedule(network)
+    return lambda load: DimensionExchange(network, load, schedule)
+
+
+def random_matching_factory(network, seed=7):
+    schedule = RandomMatchingSchedule(network, seed=seed)
+    return lambda load: DimensionExchange(network, load, schedule)
+
+
+ALL_FACTORIES = {
+    "fos": fos_factory,
+    "sos": sos_factory,
+    "periodic": periodic_factory,
+    "random-matching": random_matching_factory,
+}
+
+
+class TestAdditivity:
+    @pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+    def test_additive_uniform_speeds(self, name):
+        network = topologies.hypercube(3)
+        rng = np.random.default_rng(1)
+        load_a = rng.integers(0, 20, size=network.num_nodes).astype(float)
+        load_b = rng.integers(0, 20, size=network.num_nodes).astype(float)
+        report = is_additive(ALL_FACTORIES[name](network), load_a, load_b, rounds=12)
+        assert report.holds, f"{name}: violation {report.max_violation}"
+
+    @pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+    def test_additive_with_speeds(self, name, speedy_torus):
+        rng = np.random.default_rng(2)
+        load_a = rng.integers(0, 30, size=speedy_torus.num_nodes).astype(float)
+        load_b = rng.integers(0, 30, size=speedy_torus.num_nodes).astype(float)
+        report = is_additive(ALL_FACTORIES[name](speedy_torus), load_a, load_b, rounds=10)
+        assert report.holds, f"{name}: violation {report.max_violation}"
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_fos_additive_property(self, seed):
+        """Property-based: FOS is additive for arbitrary non-negative integer loads."""
+        network = topologies.cycle(8)
+        rng = np.random.default_rng(seed)
+        load_a = rng.integers(0, 50, size=8).astype(float)
+        load_b = rng.integers(0, 50, size=8).astype(float)
+        report = is_additive(fos_factory(network), load_a, load_b, rounds=8)
+        assert report.holds
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           beta=st.floats(min_value=1.0, max_value=1.9))
+    @settings(max_examples=15, deadline=None)
+    def test_sos_additive_property(self, seed, beta):
+        network = topologies.torus(3, dims=2)
+        rng = np.random.default_rng(seed)
+        load_a = rng.integers(0, 40, size=network.num_nodes).astype(float)
+        load_b = rng.integers(0, 40, size=network.num_nodes).astype(float)
+        report = is_additive(sos_factory(network, beta=beta), load_a, load_b, rounds=6)
+        assert report.holds
+
+
+class TestTerminating:
+    @pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+    def test_terminating_uniform(self, name):
+        network = topologies.random_regular(12, 3, seed=4)
+        report = is_terminating(ALL_FACTORIES[name](network), network, level=7.0, rounds=15)
+        assert report.holds, f"{name}: violation {report.max_violation}"
+
+    @pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+    def test_terminating_with_speeds(self, name, speedy_torus):
+        report = is_terminating(ALL_FACTORIES[name](speedy_torus), speedy_torus,
+                                level=3.0, rounds=12)
+        assert report.holds, f"{name}: violation {report.max_violation}"
+
+    @given(level=st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_fos_terminating_property(self, level):
+        network = topologies.star(6)
+        report = is_terminating(fos_factory(network), network, level=level, rounds=6)
+        assert report.holds
+
+
+class TestNegativeLoad:
+    def test_fos_never_induces_negative_load(self):
+        network = topologies.star(10)
+        load = np.zeros(10)
+        load[3] = 100.0
+        assert not induces_negative_load(fos_factory(network), load, rounds=50)
+
+    def test_dimension_exchange_never_induces_negative_load(self):
+        network = topologies.hypercube(3)
+        load = np.zeros(8)
+        load[0] = 64.0
+        assert not induces_negative_load(periodic_factory(network), load, rounds=50)
+
+    def test_sos_can_induce_negative_load(self):
+        """SOS is the one process in the paper that may induce negative load."""
+        network = topologies.path(10)
+        load = np.zeros(10)
+        load[0] = 1000.0
+        factory = sos_factory(network, beta=1.95)
+        assert induces_negative_load(factory, load, rounds=200)

@@ -1,0 +1,53 @@
+"""Unit tests for :class:`repro.continuous.base.RoundFlows`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continuous.base import RoundFlows
+from repro.exceptions import ProcessError
+from repro.network import topologies
+
+
+@pytest.fixture
+def net():
+    return topologies.path(3)  # edges (0,1) and (1,2)
+
+
+class TestRoundFlows:
+    def test_empty_flows(self, net):
+        flows = RoundFlows(net)
+        assert flows.sent(0, 1) == 0.0
+        np.testing.assert_array_equal(flows.net(), [0, 0])
+        np.testing.assert_array_equal(flows.outgoing_all(), [0, 0, 0])
+
+    def test_sent_directionality(self, net):
+        flows = RoundFlows(net, forward=np.array([2.0, 0.0]), backward=np.array([0.5, 1.0]))
+        assert flows.sent(0, 1) == 2.0
+        assert flows.sent(1, 0) == 0.5
+        assert flows.sent(2, 1) == 1.0
+        assert flows.sent(1, 2) == 0.0
+
+    def test_net_between(self, net):
+        flows = RoundFlows(net, forward=np.array([2.0, 0.0]), backward=np.array([0.5, 1.0]))
+        assert flows.net_between(0, 1) == pytest.approx(1.5)
+        assert flows.net_between(1, 0) == pytest.approx(-1.5)
+
+    def test_outgoing(self, net):
+        flows = RoundFlows(net, forward=np.array([2.0, 3.0]), backward=np.array([0.5, 1.0]))
+        assert flows.outgoing(0) == pytest.approx(2.0)
+        assert flows.outgoing(1) == pytest.approx(0.5 + 3.0)
+        assert flows.outgoing(2) == pytest.approx(1.0)
+        np.testing.assert_allclose(flows.outgoing_all(), [2.0, 3.5, 1.0])
+
+    def test_apply_to_conserves_total(self, net):
+        flows = RoundFlows(net, forward=np.array([2.0, 3.0]), backward=np.array([0.5, 1.0]))
+        loads = np.array([10.0, 5.0, 1.0])
+        updated = flows.apply_to(loads)
+        assert updated.sum() == pytest.approx(loads.sum())
+        np.testing.assert_allclose(updated, [10 - 1.5, 5 + 1.5 - 2.0, 1 + 2.0])
+
+    def test_wrong_shape_rejected(self, net):
+        with pytest.raises(ProcessError):
+            RoundFlows(net, forward=np.zeros(3))

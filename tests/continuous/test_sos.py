@@ -1,0 +1,103 @@
+"""Unit tests for the second-order diffusion process (Equation (4))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.continuous.sos import SecondOrderDiffusion
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.network.spectral import diffusion_matrix, optimal_sos_beta, second_largest_eigenvalue
+from repro.tasks.generators import point_load
+
+
+class TestConstruction:
+    def test_default_beta_is_optimal(self):
+        net = topologies.cycle(16)
+        process = SecondOrderDiffusion(net, point_load(net, 64).astype(float))
+        lam = second_largest_eigenvalue(diffusion_matrix(net, alphas=process.alphas))
+        assert process.beta == pytest.approx(optimal_sos_beta(lam), rel=1e-9)
+
+    def test_explicit_beta(self):
+        net = topologies.cycle(8)
+        process = SecondOrderDiffusion(net, [8.0] * 8, beta=1.5)
+        assert process.beta == 1.5
+
+    def test_invalid_beta(self):
+        net = topologies.cycle(8)
+        with pytest.raises(ProcessError):
+            SecondOrderDiffusion(net, [1.0] * 8, beta=0.0)
+        with pytest.raises(ProcessError):
+            SecondOrderDiffusion(net, [1.0] * 8, beta=2.5)
+
+
+class TestDynamics:
+    def test_first_round_equals_fos(self):
+        net = topologies.torus(4, dims=2)
+        load = point_load(net, 160).astype(float)
+        sos = SecondOrderDiffusion(net, load, beta=1.7)
+        fos = FirstOrderDiffusion(net, load)
+        sos_flows = sos.advance()
+        fos_flows = fos.advance()
+        np.testing.assert_allclose(sos_flows.forward, fos_flows.forward, atol=1e-12)
+        np.testing.assert_allclose(sos_flows.backward, fos_flows.backward, atol=1e-12)
+
+    def test_round_equation(self):
+        """x(t+1) = beta x(t) P + (1 - beta) x(t-1) for t >= 1."""
+        net = topologies.hypercube(3)
+        load = point_load(net, 200).astype(float)
+        beta = 1.4
+        process = SecondOrderDiffusion(net, load, beta=beta)
+        matrix = diffusion_matrix(net, alphas=process.alphas)
+        history = [process.load]
+        for _ in range(6):
+            process.advance()
+            history.append(process.load)
+        for t in range(1, 6):
+            expected = beta * history[t] @ matrix + (1 - beta) * history[t - 1]
+            np.testing.assert_allclose(history[t + 1], expected, atol=1e-8)
+
+    def test_beta_one_reduces_to_fos(self):
+        net = topologies.torus(4, dims=2)
+        load = point_load(net, 80).astype(float)
+        sos = SecondOrderDiffusion(net, load, beta=1.0)
+        fos = FirstOrderDiffusion(net, load)
+        sos.run(10)
+        fos.run(10)
+        np.testing.assert_allclose(sos.load, fos.load, atol=1e-9)
+
+    def test_load_conserved(self):
+        net = topologies.cycle(12)
+        load = point_load(net, 144).astype(float)
+        process = SecondOrderDiffusion(net, load)
+        process.run(40)
+        assert process.load.sum() == pytest.approx(144.0)
+
+
+class TestConvergenceSpeed:
+    def test_sos_faster_than_fos_on_cycle(self):
+        """On poorly-expanding graphs SOS converges in far fewer rounds than FOS."""
+        net = topologies.cycle(32)
+        load = point_load(net, 32 * 32).astype(float)
+        fos_rounds = FirstOrderDiffusion(net, load).run_until_balanced(max_rounds=100_000)
+        sos_rounds = SecondOrderDiffusion(net, load).run_until_balanced(max_rounds=100_000)
+        assert sos_rounds < fos_rounds
+
+    def test_sos_converges_with_speeds(self):
+        net = topologies.cycle(10).with_speeds([1, 2, 1, 2, 1, 2, 1, 2, 1, 2])
+        load = point_load(net, 300).astype(float)
+        process = SecondOrderDiffusion(net, load)
+        process.run_until_balanced(max_rounds=50_000)
+        target = 300 * net.speeds / net.total_speed
+        assert np.all(np.abs(process.load - target) <= 1.0)
+
+    def test_sos_may_induce_negative_load(self):
+        """With an aggressive beta the outgoing demand can exceed the load."""
+        net = topologies.path(8)
+        load = point_load(net, 100, node=7).astype(float)
+        process = SecondOrderDiffusion(net, load, beta=1.99)
+        process.run(60)
+        # The run completes; the flag records whether negative load occurred.
+        assert isinstance(process.induced_negative_load, bool)

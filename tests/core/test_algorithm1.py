@@ -1,0 +1,221 @@
+"""Tests for Algorithm 1 (deterministic flow imitation) and Theorem 3.
+
+The tests check the paper's intermediate results on concrete instances:
+
+* Observation 4 — the per-edge flow error stays below ``w_max``;
+* Lemma 6 — the discrete load deviates from the continuous load by less than
+  ``d * w_max`` per node (as long as the infinite source is unused);
+* Theorem 3(1) — max-avg discrepancy at the continuous balancing time is at
+  most ``2 d w_max + 2``;
+* Theorem 3(2) — with the balanced base load ``d w_max s_i`` the infinite
+  source is never used and the max-min bound holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continuous.dimension_exchange import periodic_dimension_exchange, random_matching_exchange
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.continuous.sos import SecondOrderDiffusion
+from repro.core.algorithm1 import (
+    DeterministicFlowImitation,
+    theorem3_discrepancy_bound,
+    theorem3_required_base_load,
+)
+from repro.core.flow_imitation import TaskSelectionPolicy
+from repro.network import topologies
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.generators import (
+    balanced_load,
+    point_load,
+    uniform_random_load,
+    weighted_assignment,
+)
+from repro.tasks.load import max_avg_discrepancy, max_min_discrepancy
+from repro.tasks.task import TaskFactory
+
+
+def build_unit(network, loads, continuous_kind="fos", seed=None, policy=TaskSelectionPolicy.FIFO):
+    assignment = TaskAssignment.from_unit_loads(network, loads)
+    if continuous_kind == "fos":
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+    elif continuous_kind == "sos":
+        continuous = SecondOrderDiffusion(network, assignment.loads())
+    elif continuous_kind == "periodic-matching":
+        continuous = periodic_dimension_exchange(network, assignment.loads())
+    else:
+        continuous = random_matching_exchange(network, assignment.loads(), seed=seed)
+    return DeterministicFlowImitation(continuous, assignment, selection_policy=policy)
+
+
+UNIT_NETWORKS = {
+    "cycle": lambda: topologies.cycle(12),
+    "torus": lambda: topologies.torus(5, dims=2),
+    "hypercube": lambda: topologies.hypercube(4),
+    "star": lambda: topologies.star(9),
+    "expander": lambda: topologies.random_regular(20, 4, seed=3),
+}
+
+
+class TestObservation4:
+    @pytest.mark.parametrize("family", sorted(UNIT_NETWORKS))
+    def test_flow_error_below_wmax_unit_tokens(self, family):
+        network = UNIT_NETWORKS[family]()
+        balancer = build_unit(network, point_load(network, 16 * network.num_nodes))
+        for _ in range(25):
+            balancer.advance()
+            errors = balancer.flow_errors()
+            assert np.all(np.abs(errors) <= balancer.w_max + 1e-9)
+
+    def test_flow_error_below_wmax_weighted(self):
+        network = topologies.torus(4, dims=2)
+        assignment = weighted_assignment(network, num_tasks=200, max_weight=5,
+                                         placement="uniform", seed=2)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        assert balancer.w_max == assignment.max_task_weight()
+        for _ in range(20):
+            balancer.advance()
+            assert np.all(np.abs(balancer.flow_errors()) <= balancer.w_max + 1e-9)
+
+
+class TestLemma6:
+    @pytest.mark.parametrize("family", sorted(UNIT_NETWORKS))
+    def test_load_deviation_below_d_wmax(self, family):
+        network = UNIT_NETWORKS[family]()
+        balancer = build_unit(network, point_load(network, 16 * network.num_nodes))
+        bound = network.max_degree * balancer.w_max
+        for _ in range(25):
+            balancer.advance()
+            if balancer.used_infinite_source:
+                break
+            assert np.all(np.abs(balancer.load_deviation()) <= bound + 1e-9)
+
+    def test_load_deviation_weighted_with_speeds(self):
+        network = topologies.random_regular(16, 4, seed=5).with_speeds(
+            [1 + (i % 3) for i in range(16)])
+        assignment = weighted_assignment(network, num_tasks=300, max_weight=4,
+                                         placement="uniform", seed=3)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        bound = network.max_degree * balancer.w_max
+        for _ in range(20):
+            balancer.advance()
+            if balancer.used_infinite_source:
+                break
+            assert np.all(np.abs(balancer.load_deviation()) <= bound + 1e-9)
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("family", sorted(UNIT_NETWORKS))
+    @pytest.mark.parametrize("continuous_kind", ["fos", "periodic-matching"])
+    def test_max_avg_bound_unit_tokens(self, family, continuous_kind):
+        network = UNIT_NETWORKS[family]()
+        balancer = build_unit(network, point_load(network, 16 * network.num_nodes),
+                              continuous_kind=continuous_kind, seed=1)
+        balancer.run_until_continuous_balanced(max_rounds=50_000)
+        bound = theorem3_discrepancy_bound(network.max_degree, balancer.w_max)
+        discrepancy = max_avg_discrepancy(balancer.loads(include_dummies=False), network,
+                                          total_weight=balancer.original_weight)
+        assert discrepancy <= bound + 1e-9
+
+    def test_max_min_bound_with_sufficient_initial_load(self):
+        """Theorem 3(2): base load d * w_max per speed unit => no infinite source."""
+        network = topologies.torus(5, dims=2)
+        base = int(theorem3_required_base_load(network.max_degree, 1.0))
+        loads = point_load(network, 200) + balanced_load(network, base)
+        balancer = build_unit(network, loads)
+        balancer.run_until_continuous_balanced(max_rounds=50_000)
+        assert not balancer.used_infinite_source
+        bound = theorem3_discrepancy_bound(network.max_degree, 1.0)
+        assert max_min_discrepancy(balancer.loads(), network) <= bound + 1e-9
+
+    def test_max_min_bound_weighted_with_speeds(self):
+        network = topologies.random_regular(18, 3, seed=7).with_speeds(
+            [1 + (i % 2) for i in range(18)])
+        factory = TaskFactory()
+        assignment = weighted_assignment(network, num_tasks=150, max_weight=3,
+                                         placement="uniform", seed=9, factory=factory)
+        w_max = assignment.max_task_weight()
+        base = int(np.ceil(theorem3_required_base_load(network.max_degree, w_max)))
+        padding_factory = TaskFactory(start_id=10**8)
+        for node, count in enumerate(balanced_load(network, base)):
+            for task in padding_factory.create_many(int(count), weight=1.0, origin=node):
+                assignment.add(node, task)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        balancer.run_until_continuous_balanced(max_rounds=50_000)
+        assert not balancer.used_infinite_source
+        bound = theorem3_discrepancy_bound(network.max_degree, w_max)
+        assert max_min_discrepancy(balancer.loads(), network) <= bound + 1e-9
+
+    def test_bound_helpers(self):
+        assert theorem3_discrepancy_bound(4, 1.0) == 10.0
+        assert theorem3_discrepancy_bound(3, 2.0) == 14.0
+        assert theorem3_required_base_load(5, 2.0) == 10.0
+
+
+class TestDeterminismAndPolicies:
+    def test_runs_are_deterministic(self):
+        network = topologies.torus(4, dims=2)
+        loads = uniform_random_load(network, 320, seed=4)
+        a = build_unit(network, loads)
+        b = build_unit(network, loads)
+        a.run(15)
+        b.run(15)
+        np.testing.assert_array_equal(a.loads(), b.loads())
+
+    @pytest.mark.parametrize("policy", TaskSelectionPolicy.ALL)
+    def test_selection_policies_respect_bound(self, policy):
+        network = topologies.random_regular(14, 3, seed=2)
+        assignment = weighted_assignment(network, num_tasks=140, max_weight=4,
+                                         placement="uniform", seed=6)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment, selection_policy=policy)
+        balancer.run_until_continuous_balanced(max_rounds=50_000)
+        bound = theorem3_discrepancy_bound(network.max_degree, balancer.w_max)
+        discrepancy = max_avg_discrepancy(balancer.loads(include_dummies=False), network,
+                                          total_weight=balancer.original_weight)
+        assert discrepancy <= bound + 1e-9
+
+    def test_policies_can_produce_different_trajectories(self):
+        """Different selection policies move different tasks (same totals)."""
+        network = topologies.cycle(6)
+        results = {}
+        for policy in TaskSelectionPolicy.ALL:
+            assignment = weighted_assignment(network, num_tasks=60, max_weight=5,
+                                             placement="point", seed=1)
+            continuous = FirstOrderDiffusion(network, assignment.loads())
+            balancer = DeterministicFlowImitation(continuous, assignment,
+                                                  selection_policy=policy)
+            balancer.run(10)
+            results[policy] = balancer.loads()
+        # All policies conserve the workload.
+        totals = {policy: loads.sum() for policy, loads in results.items()}
+        assert len(set(round(v, 6) for v in totals.values())) == 1
+
+
+class TestSecondOrderSubstrate:
+    def test_algorithm1_on_sos(self):
+        """Algorithm 1 also discretizes the second-order scheme (it is additive + terminating)."""
+        network = topologies.torus(4, dims=2)
+        base = int(theorem3_required_base_load(network.max_degree, 1.0))
+        loads = point_load(network, 80) + balanced_load(network, base)
+        balancer = build_unit(network, loads, continuous_kind="sos")
+        balancer.run_until_continuous_balanced(max_rounds=50_000)
+        bound = theorem3_discrepancy_bound(network.max_degree, 1.0)
+        discrepancy = max_avg_discrepancy(balancer.loads(include_dummies=False), network,
+                                          total_weight=balancer.original_weight)
+        assert discrepancy <= bound + 1e-9
+
+    def test_algorithm1_on_random_matchings(self):
+        network = topologies.random_regular(16, 4, seed=8)
+        loads = point_load(network, 16 * 16)
+        balancer = build_unit(network, loads, continuous_kind="random-matching", seed=13)
+        balancer.run_until_continuous_balanced(max_rounds=50_000)
+        bound = theorem3_discrepancy_bound(network.max_degree, 1.0)
+        discrepancy = max_avg_discrepancy(balancer.loads(include_dummies=False), network,
+                                          total_weight=balancer.original_weight)
+        assert discrepancy <= bound + 1e-9

@@ -1,0 +1,142 @@
+"""Tests for Algorithm 2 (randomized flow imitation) and Theorem 8."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.continuous.dimension_exchange import periodic_dimension_exchange
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.core.algorithm2 import (
+    RandomizedFlowImitation,
+    theorem8_max_avg_bound,
+    theorem8_max_min_bound,
+    theorem8_required_base_load,
+)
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.generators import balanced_load, point_load, weighted_assignment
+from repro.tasks.load import max_avg_discrepancy, max_min_discrepancy
+
+
+def build(network, loads, seed=0, continuous_kind="fos"):
+    assignment = TaskAssignment.from_unit_loads(network, loads)
+    if continuous_kind == "fos":
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+    else:
+        continuous = periodic_dimension_exchange(network, assignment.loads())
+    return RandomizedFlowImitation(continuous, assignment, seed=seed)
+
+
+class TestValidation:
+    def test_weighted_tasks_rejected(self):
+        network = topologies.cycle(6)
+        assignment = weighted_assignment(network, num_tasks=10, max_weight=3,
+                                         placement="uniform", seed=1)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        with pytest.raises(ProcessError):
+            RandomizedFlowImitation(continuous, assignment)
+
+    def test_unit_tokens_accepted(self):
+        network = topologies.cycle(6)
+        balancer = build(network, [6] * 6)
+        assert balancer.w_max == 1.0
+
+
+class TestFlowErrorBound:
+    @pytest.mark.parametrize("family,builder", [
+        ("torus", lambda: topologies.torus(5, dims=2)),
+        ("hypercube", lambda: topologies.hypercube(4)),
+        ("expander", lambda: topologies.random_regular(20, 4, seed=1)),
+    ])
+    def test_flow_error_below_one(self, family, builder):
+        """Observation 9(3): every per-edge error is a (shifted) fractional part in (-1, 1)."""
+        network = builder()
+        balancer = build(network, point_load(network, 16 * network.num_nodes), seed=3)
+        for _ in range(25):
+            balancer.advance()
+            assert np.all(np.abs(balancer.flow_errors()) <= 1.0 + 1e-9)
+
+    def test_expected_flow_unbiased(self):
+        """Averaged over seeds, the discrete cumulative flow tracks the continuous flow."""
+        network = topologies.cycle(8)
+        loads = point_load(network, 64)
+        per_seed_errors = []
+        for seed in range(12):
+            balancer = build(network, loads, seed=seed)
+            balancer.run(10)
+            per_seed_errors.append(balancer.flow_errors())
+        mean_error = np.mean(per_seed_errors, axis=0)
+        # Per-edge errors are in (-1, 1); their mean over independent seeds
+        # should be noticeably smaller than 1 in magnitude.
+        assert np.all(np.abs(mean_error) < 0.75)
+
+
+class TestTheorem8:
+    @pytest.mark.parametrize("dimension", [3, 4, 5])
+    def test_max_avg_bound_on_hypercubes(self, dimension):
+        network = topologies.hypercube(dimension)
+        loads = point_load(network, 32 * network.num_nodes)
+        balancer = build(network, loads, seed=dimension)
+        balancer.run_until_continuous_balanced(max_rounds=50_000)
+        # Generous constant: the theorem's bound is d/4 + O(sqrt(d log n)).
+        bound = theorem8_max_avg_bound(network.max_degree, network.num_nodes, constant=3.0)
+        discrepancy = max_avg_discrepancy(balancer.loads(include_dummies=False), network,
+                                          total_weight=balancer.original_weight)
+        assert discrepancy <= bound + 1e-9
+
+    def test_max_min_bound_with_sufficient_initial_load(self):
+        network = topologies.torus(6, dims=2)
+        base = int(math.ceil(theorem8_required_base_load(network.max_degree,
+                                                         network.num_nodes)))
+        loads = point_load(network, 200) + balanced_load(network, base)
+        balancer = build(network, loads, seed=5)
+        balancer.run_until_continuous_balanced(max_rounds=50_000)
+        assert not balancer.used_infinite_source
+        bound = theorem8_max_min_bound(network.max_degree, network.num_nodes, constant=4.0)
+        assert max_min_discrepancy(balancer.loads(), network) <= bound + 1e-9
+
+    def test_randomized_beats_or_matches_worst_case_on_large_star(self):
+        """For large degree the sqrt(d log n) shape is far below the 2d bound of Algorithm 1."""
+        assert theorem8_max_avg_bound(64, 256) < 2 * 64 + 2
+
+    def test_bound_helpers_monotone(self):
+        assert theorem8_max_avg_bound(8, 64) < theorem8_max_avg_bound(16, 64)
+        assert theorem8_max_min_bound(8, 64) < theorem8_max_min_bound(8, 4096)
+        assert theorem8_required_base_load(8, 64) >= 2.0
+
+
+class TestRandomnessControl:
+    def test_same_seed_same_result(self):
+        network = topologies.torus(4, dims=2)
+        loads = point_load(network, 160)
+        a = build(network, loads, seed=42)
+        b = build(network, loads, seed=42)
+        a.run(20)
+        b.run(20)
+        np.testing.assert_array_equal(a.loads(), b.loads())
+
+    def test_different_seeds_can_differ(self):
+        network = topologies.torus(4, dims=2)
+        loads = point_load(network, 160)
+        a = build(network, loads, seed=1)
+        b = build(network, loads, seed=2)
+        a.run(20)
+        b.run(20)
+        assert not np.array_equal(a.loads(), b.loads())
+
+    def test_load_conservation(self):
+        network = topologies.hypercube(4)
+        loads = point_load(network, 256)
+        balancer = build(network, loads, seed=9)
+        balancer.run(30)
+        assert balancer.loads(include_dummies=False).sum() == pytest.approx(256.0)
+
+    def test_discrepancy_bound_method(self):
+        network = topologies.hypercube(4)
+        balancer = build(network, point_load(network, 64), seed=0)
+        assert balancer.discrepancy_bound() == pytest.approx(
+            theorem8_max_avg_bound(4, 16))

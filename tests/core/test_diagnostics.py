@@ -1,0 +1,136 @@
+"""Tests for the flow-imitation invariant auditor (:mod:`repro.core.diagnostics`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.continuous.sos import SecondOrderDiffusion
+from repro.core.algorithm1 import DeterministicFlowImitation
+from repro.core.algorithm2 import RandomizedFlowImitation
+from repro.core.diagnostics import AuditReport, FlowImitationAuditor, InvariantViolation
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.generators import point_load, weighted_assignment
+
+
+def build_algorithm1(network, loads):
+    assignment = TaskAssignment.from_unit_loads(network, loads)
+    continuous = FirstOrderDiffusion(network, assignment.loads())
+    return DeterministicFlowImitation(continuous, assignment)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("builder", [
+        lambda: topologies.torus(5, dims=2),
+        lambda: topologies.hypercube(4),
+        lambda: topologies.random_regular(20, 4, seed=2),
+        lambda: topologies.star(9),
+    ])
+    def test_algorithm1_runs_are_clean(self, builder):
+        network = builder()
+        balancer = build_algorithm1(network, point_load(network, 16 * network.num_nodes))
+        auditor = FlowImitationAuditor(balancer)
+        report = auditor.run_until_continuous_balanced(max_rounds=50_000)
+        assert report.clean, report.violations
+        assert report.rounds_checked == balancer.round_index
+        assert report.max_flow_error <= balancer.w_max + 1e-9
+        assert report.max_load_deviation <= network.max_degree * balancer.w_max + 1e-9
+
+    def test_algorithm2_runs_are_clean(self):
+        network = topologies.torus(5, dims=2)
+        loads = point_load(network, 25 * 32)
+        assignment = TaskAssignment.from_unit_loads(network, loads)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = RandomizedFlowImitation(continuous, assignment, seed=3)
+        auditor = FlowImitationAuditor(balancer)
+        report = auditor.run_audited(rounds=30)
+        assert report.clean, report.violations
+
+    def test_weighted_run_is_clean(self):
+        network = topologies.random_regular(16, 4, seed=3)
+        assignment = weighted_assignment(network, num_tasks=200, max_weight=4,
+                                         placement="uniform", seed=5)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        auditor = FlowImitationAuditor(balancer)
+        report = auditor.run_audited(rounds=20)
+        assert report.clean, report.violations
+
+    def test_summary_mentions_rounds(self):
+        network = topologies.cycle(8)
+        balancer = build_algorithm1(network, point_load(network, 64))
+        auditor = FlowImitationAuditor(balancer)
+        auditor.run_audited(rounds=5)
+        text = auditor.report.summary()
+        assert "5 rounds" in text
+        assert "clean" in text
+
+
+class TestViolationDetection:
+    def test_corrupted_bookkeeping_is_detected(self):
+        """Tampering with the discrete cumulative flow must trip the auditor."""
+        network = topologies.cycle(8)
+        balancer = build_algorithm1(network, point_load(network, 64))
+        auditor = FlowImitationAuditor(balancer)
+        balancer.advance()
+        balancer._discrete_cumulative[0] += 10.0  # corrupt the bookkeeping
+        violations = auditor.check_round()
+        assert violations
+        kinds = {violation.invariant for violation in violations}
+        assert "flow-error-bound" in kinds
+
+    def test_conservation_violation_detected(self):
+        network = topologies.cycle(8)
+        balancer = build_algorithm1(network, point_load(network, 64))
+        auditor = FlowImitationAuditor(balancer)
+        balancer.advance()
+        # Secretly remove a real task from the assignment.
+        node = int(np.argmax(balancer.loads()))
+        task = balancer.assignment.tasks_at(node)[0]
+        balancer.assignment.remove(node, task)
+        violations = auditor.check_round()
+        assert any(violation.invariant == "conservation" for violation in violations)
+        assert not auditor.report.clean
+
+    def test_sos_violating_definition1_shows_up_as_dummy_usage_not_violation(self):
+        """When the substrate induces negative load the auditor reports dummies, not bugs."""
+        network = topologies.cycle(24)
+        loads = point_load(network, 24 * 64)
+        assignment = TaskAssignment.from_unit_loads(network, loads)
+        continuous = SecondOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        auditor = FlowImitationAuditor(balancer)
+        report = auditor.run_audited(rounds=40)
+        # The flow-error bound (Observation 4) holds regardless of the substrate.
+        assert all(violation.invariant != "flow-error-bound"
+                   for violation in report.violations)
+        assert all(violation.invariant != "non-negativity"
+                   for violation in report.violations)
+        assert report.dummy_tokens == balancer.dummy_tokens_created
+
+
+class TestValidation:
+    def test_only_flow_imitation_accepted(self):
+        from repro.discrete.baselines.diffusion import RoundDownDiffusion
+
+        network = topologies.cycle(6)
+        baseline = RoundDownDiffusion(network, [6] * 6)
+        with pytest.raises(ProcessError):
+            FlowImitationAuditor(baseline)  # type: ignore[arg-type]
+
+    def test_negative_rounds_rejected(self):
+        network = topologies.cycle(6)
+        balancer = build_algorithm1(network, [6] * 6)
+        auditor = FlowImitationAuditor(balancer)
+        with pytest.raises(ProcessError):
+            auditor.run_audited(rounds=-1)
+
+    def test_report_dataclasses(self):
+        report = AuditReport()
+        assert report.clean
+        violation = InvariantViolation(round_index=3, invariant="x", detail="d", magnitude=1.0)
+        report.violations.append(violation)
+        assert not report.clean

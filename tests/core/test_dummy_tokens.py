@@ -1,0 +1,103 @@
+"""Tests of the infinite-source / dummy-token mechanism of Algorithms 1 and 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.continuous.sos import SecondOrderDiffusion
+from repro.core.algorithm1 import DeterministicFlowImitation, theorem3_required_base_load
+from repro.core.algorithm2 import RandomizedFlowImitation
+from repro.network import topologies
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.generators import balanced_load, point_load
+from repro.tasks.task import Task
+
+
+class TestPlanLevelDummyCreation:
+    def test_unit_token_plan_creates_dummies_when_pool_empty(self):
+        network = topologies.cycle(6)
+        assignment = TaskAssignment.from_unit_loads(network, [6] * 6)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        plan = balancer._plan_unit_tokens(source=0, destination=1, residual=3.4, pool=[])
+        assert plan.dummy_tokens == 3
+        assert plan.tasks == []
+
+    def test_unit_token_plan_mixes_real_and_dummy(self):
+        network = topologies.cycle(6)
+        assignment = TaskAssignment.from_unit_loads(network, [6] * 6)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        pool = list(assignment.tasks_at(0))[:2]
+        plan = balancer._plan_unit_tokens(source=0, destination=1, residual=5.0, pool=pool)
+        assert len(plan.tasks) == 2
+        assert plan.dummy_tokens == 3
+
+    def test_weighted_plan_uses_unit_dummies(self):
+        network = topologies.cycle(6)
+        assignment = TaskAssignment(network)
+        assignment.add(0, Task(task_id=0, weight=3.0))
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        plan = balancer._plan_weighted(source=0, destination=1, residual=8.0, pool=[])
+        # while 8 - committed > w_max(=3): add unit dummies -> needs 5 dummies (8-5=3).
+        assert plan.dummy_tokens == 5
+        assert plan.weight == pytest.approx(5.0)
+
+
+class TestEndToEndDummyBehaviour:
+    def test_no_dummies_with_sufficient_base_load(self):
+        """Theorem 3(2) precondition => the infinite source is never touched."""
+        network = topologies.hypercube(4)
+        base = int(theorem3_required_base_load(network.max_degree, 1.0))
+        loads = point_load(network, 100) + balanced_load(network, base)
+        assignment = TaskAssignment.from_unit_loads(network, loads)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        balancer.run_until_continuous_balanced(max_rounds=50_000)
+        assert not balancer.used_infinite_source
+        assert balancer.dummy_tokens_created == 0
+
+    def test_dummies_marked_and_removable(self):
+        """When dummies are created they are flagged, counted and removable."""
+        network = topologies.random_regular(30, 5, seed=4)
+        # A large point load with no base load: some downstream node will be
+        # asked to forward before it has received enough real tokens.
+        loads = point_load(network, 3000)
+        assignment = TaskAssignment.from_unit_loads(network, loads)
+        continuous = SecondOrderDiffusion(network, assignment.loads(), beta=1.9)
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        balancer.run(60)
+        if balancer.dummy_tokens_created == 0:
+            pytest.skip("this instance did not need the infinite source")
+        assert balancer.used_infinite_source
+        dummy_weight = balancer.assignment.total_dummy_weight()
+        assert dummy_weight == pytest.approx(balancer.dummy_tokens_created)
+        removed = balancer.remove_dummies()
+        assert removed == pytest.approx(dummy_weight)
+        assert balancer.assignment.total_dummy_weight() == 0.0
+        # Real workload is conserved no matter how many dummies came and went.
+        assert balancer.loads().sum() == pytest.approx(3000.0)
+
+    def test_real_workload_conserved_with_dummies(self):
+        network = topologies.torus(10, dims=2)
+        loads = point_load(network, 32 * network.num_nodes)
+        assignment = TaskAssignment.from_unit_loads(network, loads)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = RandomizedFlowImitation(continuous, assignment, seed=12)
+        balancer.run(80)
+        assert balancer.loads(include_dummies=False).sum() == pytest.approx(
+            32.0 * network.num_nodes)
+        assert balancer.dummy_tokens_created >= 0
+
+    def test_dummy_loads_never_negative(self):
+        network = topologies.torus(6, dims=2)
+        loads = point_load(network, 36 * 32)
+        assignment = TaskAssignment.from_unit_loads(network, loads)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = RandomizedFlowImitation(continuous, assignment, seed=3)
+        balancer.run(50)
+        assert np.all(balancer.assignment.dummy_loads() >= 0)
+        assert np.all(balancer.loads() >= 0)

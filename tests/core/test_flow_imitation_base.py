@@ -1,0 +1,146 @@
+"""Unit tests for the shared flow-imitation machinery (:mod:`repro.core.flow_imitation`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.core.algorithm1 import DeterministicFlowImitation
+from repro.core.flow_imitation import EdgeSendPlan, TaskSelectionPolicy
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.generators import point_load
+
+
+def build(network, loads):
+    assignment = TaskAssignment.from_unit_loads(network, loads)
+    continuous = FirstOrderDiffusion(network, assignment.loads())
+    return DeterministicFlowImitation(continuous, assignment)
+
+
+class TestConstructionValidation:
+    def test_network_mismatch_rejected(self):
+        net_a = topologies.cycle(6)
+        net_b = topologies.cycle(6)
+        assignment = TaskAssignment.from_unit_loads(net_a, [6] * 6)
+        continuous = FirstOrderDiffusion(net_b, [6.0] * 6)
+        with pytest.raises(ProcessError):
+            DeterministicFlowImitation(continuous, assignment)
+
+    def test_advanced_continuous_rejected(self):
+        net = topologies.cycle(6)
+        assignment = TaskAssignment.from_unit_loads(net, [6] * 6)
+        continuous = FirstOrderDiffusion(net, assignment.loads())
+        continuous.advance()
+        with pytest.raises(ProcessError):
+            DeterministicFlowImitation(continuous, assignment)
+
+    def test_load_mismatch_rejected(self):
+        net = topologies.cycle(6)
+        assignment = TaskAssignment.from_unit_loads(net, [6] * 6)
+        continuous = FirstOrderDiffusion(net, [1.0] * 6)
+        with pytest.raises(ProcessError):
+            DeterministicFlowImitation(continuous, assignment)
+
+    def test_invalid_selection_policy_rejected(self):
+        net = topologies.cycle(6)
+        assignment = TaskAssignment.from_unit_loads(net, [6] * 6)
+        continuous = FirstOrderDiffusion(net, assignment.loads())
+        with pytest.raises(ProcessError):
+            DeterministicFlowImitation(continuous, assignment, selection_policy="rounded")
+
+    def test_invalid_max_task_weight_rejected(self):
+        net = topologies.cycle(6)
+        assignment = TaskAssignment.from_unit_loads(net, [6] * 6)
+        continuous = FirstOrderDiffusion(net, assignment.loads())
+        with pytest.raises(ProcessError):
+            DeterministicFlowImitation(continuous, assignment, max_task_weight=0.0)
+
+
+class TestBookkeeping:
+    def test_load_conservation_without_dummies(self):
+        net = topologies.torus(4, dims=2)
+        loads = point_load(net, 160)
+        balancer = build(net, loads)
+        balancer.run(20)
+        total = balancer.loads().sum() - balancer.dummy_tokens_created
+        assert total == pytest.approx(160.0)
+
+    def test_total_with_dummies_consistent(self):
+        net = topologies.torus(4, dims=2)
+        loads = point_load(net, 160)
+        balancer = build(net, loads)
+        balancer.run(20)
+        with_dummies = balancer.loads(include_dummies=True).sum()
+        without = balancer.loads(include_dummies=False).sum()
+        assert with_dummies - without == pytest.approx(balancer.assignment.total_dummy_weight())
+        assert without == pytest.approx(160.0)
+
+    def test_round_reports_accumulate(self):
+        net = topologies.cycle(8)
+        balancer = build(net, point_load(net, 64))
+        balancer.run(5)
+        reports = balancer.round_reports
+        assert len(reports) == 5
+        assert [report.round_index for report in reports] == list(range(5))
+        assert all(report.weight_moved >= 0 for report in reports)
+
+    def test_discrete_cumulative_flow_matches_load_change(self):
+        """The per-node load change equals the net discrete inflow."""
+        net = topologies.hypercube(3)
+        loads = point_load(net, 80)
+        balancer = build(net, loads)
+        balancer.run(10)
+        assert not balancer.used_infinite_source
+        cumulative = balancer.discrete_cumulative_flows()
+        final = balancer.loads()
+        for node in net.nodes:
+            inflow = 0.0
+            for neighbor in net.neighbors(node):
+                index = net.edge_index(node, neighbor)
+                signed = cumulative[index]
+                inflow += -signed if node < neighbor else signed
+            assert final[node] - loads[node] == pytest.approx(inflow, abs=1e-9)
+
+    def test_flow_errors_antisymmetric_in_sign_convention(self):
+        net = topologies.cycle(8)
+        balancer = build(net, point_load(net, 64))
+        balancer.run(8)
+        errors = balancer.flow_errors()
+        assert errors.shape == (net.num_edges,)
+
+    def test_run_until_continuous_balanced_returns_T(self):
+        net = topologies.torus(4, dims=2)
+        loads = point_load(net, 160)
+        balancer = build(net, loads)
+        T = balancer.run_until_continuous_balanced()
+        assert T == balancer.round_index
+        assert balancer.continuous.is_balanced()
+
+    def test_remove_dummies_clears_dummy_weight(self):
+        net = topologies.cycle(8)
+        balancer = build(net, point_load(net, 64))
+        balancer.run_until_continuous_balanced()
+        balancer.remove_dummies()
+        assert balancer.assignment.total_dummy_weight() == 0.0
+
+    def test_summary_uses_reference_weight(self):
+        net = topologies.cycle(6)
+        balancer = build(net, [6, 6, 6, 6, 6, 6])
+        balancer.run(3)
+        summary = balancer.summary(reference_weight=36.0)
+        assert summary.average_makespan == pytest.approx(6.0)
+
+
+class TestEdgeSendPlan:
+    def test_weight_includes_dummies(self):
+        from repro.tasks.task import Task
+
+        plan = EdgeSendPlan(source=0, destination=1,
+                            tasks=[Task(task_id=1, weight=2.0)], dummy_tokens=3)
+        assert plan.weight == pytest.approx(5.0)
+
+    def test_selection_policy_constants(self):
+        assert set(TaskSelectionPolicy.ALL) == {"fifo", "largest-first", "smallest-first"}

@@ -1,0 +1,156 @@
+"""Tests for the discrete diffusion baselines (round-down, quasirandom, randomized, excess-token)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discrete.baselines.diffusion import (
+    ExcessTokenDiffusion,
+    QuasirandomDiffusion,
+    RandomizedRoundingDiffusion,
+    RoundDownDiffusion,
+)
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.tasks.generators import point_load, uniform_random_load
+from repro.tasks.load import max_min_discrepancy
+
+
+ALL_BASELINES = {
+    "round-down": lambda net, loads, seed: RoundDownDiffusion(net, loads),
+    "quasirandom": lambda net, loads, seed: QuasirandomDiffusion(net, loads),
+    "randomized": lambda net, loads, seed: RandomizedRoundingDiffusion(net, loads, seed=seed),
+    "excess": lambda net, loads, seed: ExcessTokenDiffusion(net, loads, seed=seed),
+}
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+    def test_token_conservation(self, name):
+        net = topologies.torus(5, dims=2)
+        loads = point_load(net, 25 * 16)
+        balancer = ALL_BASELINES[name](net, loads, 3)
+        balancer.run(40)
+        assert balancer.loads().sum() == pytest.approx(25.0 * 16)
+
+    @pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+    def test_loads_stay_integer(self, name):
+        net = topologies.hypercube(4)
+        loads = uniform_random_load(net, 400, seed=1)
+        balancer = ALL_BASELINES[name](net, loads, 5)
+        balancer.run(25)
+        final = balancer.loads()
+        np.testing.assert_allclose(final, np.round(final))
+
+    @pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+    def test_balanced_input_stays_balanced(self, name):
+        net = topologies.torus(4, dims=2)
+        loads = np.full(16, 20, dtype=int)
+        balancer = ALL_BASELINES[name](net, loads, 7)
+        balancer.run(15)
+        np.testing.assert_array_equal(balancer.loads(), loads)
+
+    @pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+    def test_discrepancy_decreases_from_point_load(self, name):
+        net = topologies.random_regular(24, 4, seed=2)
+        loads = point_load(net, 24 * 32)
+        balancer = ALL_BASELINES[name](net, loads, 11)
+        start = max_min_discrepancy(balancer.loads(), net)
+        balancer.run(120)
+        end = max_min_discrepancy(balancer.loads(), net)
+        assert end < start / 4
+
+
+class TestRoundDown:
+    def test_never_negative(self):
+        net = topologies.star(10)
+        balancer = RoundDownDiffusion(net, point_load(net, 99))
+        balancer.run(100)
+        assert not balancer.went_negative
+        assert np.all(balancer.loads() >= 0)
+
+    def test_stuck_on_small_differences(self):
+        """Round-down cannot fix a unit difference across an edge (the classic weakness)."""
+        net = topologies.path(2)
+        balancer = RoundDownDiffusion(net, [1, 0])
+        balancer.run(10)
+        np.testing.assert_array_equal(balancer.loads(), [1, 0])
+
+    def test_final_discrepancy_grows_with_cycle_length(self):
+        """The Omega(d * diam) behaviour: longer cycles end with larger discrepancy."""
+        finals = {}
+        for n in (8, 32):
+            net = topologies.cycle(n)
+            loads = point_load(net, 32 * n)
+            balancer = RoundDownDiffusion(net, loads)
+            balancer.run(40 * n)
+            finals[n] = max_min_discrepancy(balancer.loads(), net)
+        assert finals[32] > finals[8]
+
+
+class TestQuasirandom:
+    def test_accumulated_errors_bounded(self):
+        """The bounded-error property: per-edge accumulated error stays below 1."""
+        net = topologies.torus(4, dims=2)
+        balancer = QuasirandomDiffusion(net, point_load(net, 160))
+        balancer.run(60)
+        assert np.all(np.abs(balancer.accumulated_errors) <= 1.0 + 1e-9)
+
+    def test_beats_round_down_on_cycle(self):
+        net = topologies.cycle(32)
+        loads = point_load(net, 32 * 32)
+        rd = RoundDownDiffusion(net, loads)
+        qr = QuasirandomDiffusion(net, loads)
+        rounds = 1500
+        rd.run(rounds)
+        qr.run(rounds)
+        assert max_min_discrepancy(qr.loads(), net) < max_min_discrepancy(rd.loads(), net)
+
+    def test_deterministic(self):
+        net = topologies.hypercube(4)
+        loads = uniform_random_load(net, 300, seed=2)
+        a = QuasirandomDiffusion(net, loads)
+        b = QuasirandomDiffusion(net, loads)
+        a.run(20)
+        b.run(20)
+        np.testing.assert_array_equal(a.loads(), b.loads())
+
+
+class TestRandomizedRounding:
+    def test_seed_reproducibility(self):
+        net = topologies.torus(4, dims=2)
+        loads = point_load(net, 320)
+        a = RandomizedRoundingDiffusion(net, loads, seed=9)
+        b = RandomizedRoundingDiffusion(net, loads, seed=9)
+        a.run(25)
+        b.run(25)
+        np.testing.assert_array_equal(a.loads(), b.loads())
+
+    def test_may_go_negative_is_recorded(self):
+        """Randomized rounding can overdraw a node; the flag records it if it happens."""
+        net = topologies.star(12)
+        balancer = RandomizedRoundingDiffusion(net, point_load(net, 30, node=3), seed=1)
+        balancer.run(50)
+        assert isinstance(balancer.went_negative, bool)
+
+
+class TestExcessTokens:
+    def test_never_negative(self):
+        net = topologies.random_regular(20, 4, seed=3)
+        balancer = ExcessTokenDiffusion(net, point_load(net, 777), seed=4)
+        balancer.run(150)
+        assert not balancer.went_negative
+        assert np.all(balancer.loads() >= 0)
+
+    def test_alphas_exposed(self):
+        net = topologies.cycle(5)
+        balancer = ExcessTokenDiffusion(net, [5, 0, 0, 0, 0], seed=0)
+        assert set(balancer.alphas) == set(net.edges)
+
+
+class TestValidation:
+    def test_missing_alpha_rejected(self):
+        net = topologies.cycle(4)
+        with pytest.raises(ProcessError):
+            RoundDownDiffusion(net, [4, 0, 0, 0], alphas={(0, 1): 0.3})

@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.discrete.base`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discrete.base import IntegerLoadBalancer
+from repro.exceptions import ProcessError
+from repro.network import topologies
+
+
+class NullBalancer(IntegerLoadBalancer):
+    """A do-nothing discrete process used to test the base class plumbing."""
+
+    def _execute_round(self) -> None:
+        pass
+
+
+class ShiftBalancer(IntegerLoadBalancer):
+    """Moves one token from node 0 to node 1 every round (for move bookkeeping tests)."""
+
+    def _execute_round(self) -> None:
+        self._apply_edge_moves([(0, 1, 1)])
+
+
+class TestIntegerLoadBalancer:
+    def test_initial_load_validation(self):
+        net = topologies.cycle(4)
+        with pytest.raises(ProcessError):
+            NullBalancer(net, [1, 2, 3])
+        with pytest.raises(ProcessError):
+            NullBalancer(net, [1, -2, 3, 4])
+        with pytest.raises(ProcessError):
+            NullBalancer(net, [1.5, 2, 3, 4])
+
+    def test_round_counter_and_run(self):
+        net = topologies.cycle(4)
+        balancer = NullBalancer(net, [1, 2, 3, 4])
+        balancer.run(7)
+        assert balancer.round_index == 7
+        with pytest.raises(ProcessError):
+            balancer.run(-1)
+
+    def test_loads_are_floats_and_copies(self):
+        net = topologies.cycle(4)
+        balancer = NullBalancer(net, [1, 2, 3, 4])
+        loads = balancer.loads()
+        loads[0] = 99
+        np.testing.assert_array_equal(balancer.loads(), [1, 2, 3, 4])
+
+    def test_negative_load_flag(self):
+        net = topologies.cycle(4)
+        balancer = ShiftBalancer(net, [1, 0, 0, 0])
+        balancer.advance()
+        assert not balancer.went_negative
+        balancer.advance()
+        assert balancer.went_negative
+        assert balancer.loads()[0] == -1
+
+    def test_negative_move_rejected(self):
+        net = topologies.cycle(4)
+        balancer = NullBalancer(net, [1, 1, 1, 1])
+        with pytest.raises(ProcessError):
+            balancer._apply_edge_moves([(0, 1, -1)])
+
+    def test_summary_and_discrepancies(self):
+        net = topologies.cycle(4)
+        balancer = NullBalancer(net, [4, 0, 0, 0])
+        assert balancer.max_min_discrepancy() == 4.0
+        assert balancer.max_avg_discrepancy() == 3.0
+        assert balancer.total_weight() == 4.0
+        summary = balancer.summary()
+        assert summary.max_makespan == 4.0
+
+    def test_initial_loads_copy(self):
+        net = topologies.cycle(4)
+        balancer = ShiftBalancer(net, [2, 0, 0, 0])
+        balancer.run(2)
+        np.testing.assert_array_equal(balancer.initial_loads, [2, 0, 0, 0])

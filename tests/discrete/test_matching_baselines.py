@@ -1,0 +1,115 @@
+"""Tests for the discrete matching-model baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discrete.baselines.matching import RandomizedRoundingMatching, RoundDownMatching
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.network.matchings import (
+    PeriodicMatchingSchedule,
+    RandomMatchingSchedule,
+    SingleMatchingSchedule,
+)
+from repro.tasks.generators import point_load
+from repro.tasks.load import max_min_discrepancy
+
+
+class TestRoundDownMatching:
+    def test_single_edge_balances_down_to_one_token(self):
+        net = topologies.path(2)
+        schedule = SingleMatchingSchedule(net, [(0, 1)])
+        balancer = RoundDownMatching(net, [9, 0], schedule)
+        balancer.run(10)
+        loads = balancer.loads()
+        assert loads.sum() == 9
+        assert abs(loads[0] - loads[1]) <= 1
+
+    def test_periodic_convergence_on_hypercube(self):
+        net = topologies.hypercube(4)
+        schedule = PeriodicMatchingSchedule(net)
+        loads = point_load(net, 16 * 32)
+        balancer = RoundDownMatching(net, loads, schedule)
+        balancer.run(400)
+        assert max_min_discrepancy(balancer.loads(), net) <= 2 * net.max_degree
+        assert not balancer.went_negative
+
+    def test_random_matching_convergence(self):
+        net = topologies.random_regular(20, 4, seed=1)
+        schedule = RandomMatchingSchedule(net, seed=2)
+        loads = point_load(net, 20 * 16)
+        balancer = RoundDownMatching(net, loads, schedule)
+        balancer.run(600)
+        assert max_min_discrepancy(balancer.loads(), net) <= 3 * net.max_degree
+        assert np.all(balancer.loads() >= 0)
+
+    def test_respects_speeds(self):
+        net = topologies.path(2).with_speeds([1, 3])
+        schedule = SingleMatchingSchedule(net, [(0, 1)])
+        balancer = RoundDownMatching(net, [8, 0], schedule)
+        balancer.run(10)
+        loads = balancer.loads()
+        # Balanced allocation is (2, 6); round-down gets within one token.
+        assert abs(loads[0] - 2) <= 1
+        assert abs(loads[1] - 6) <= 1
+
+    def test_conservation(self):
+        net = topologies.torus(4, dims=2)
+        schedule = PeriodicMatchingSchedule(net)
+        balancer = RoundDownMatching(net, point_load(net, 161), schedule)
+        balancer.run(100)
+        assert balancer.loads().sum() == pytest.approx(161)
+
+
+class TestRandomizedRoundingMatching:
+    def test_invalid_probability_rule(self):
+        net = topologies.cycle(4)
+        schedule = PeriodicMatchingSchedule(net)
+        with pytest.raises(ProcessError):
+            RandomizedRoundingMatching(net, [4, 0, 0, 0], schedule, probability="maybe")
+
+    @pytest.mark.parametrize("rule", ["half", "fractional"])
+    def test_conservation(self, rule):
+        net = topologies.hypercube(3)
+        schedule = PeriodicMatchingSchedule(net)
+        balancer = RandomizedRoundingMatching(net, point_load(net, 99), schedule,
+                                              probability=rule, seed=3)
+        balancer.run(120)
+        assert balancer.loads().sum() == pytest.approx(99)
+
+    @pytest.mark.parametrize("rule", ["half", "fractional"])
+    def test_reaches_small_discrepancy(self, rule):
+        net = topologies.random_regular(16, 4, seed=4)
+        schedule = RandomMatchingSchedule(net, seed=5)
+        loads = point_load(net, 16 * 32)
+        balancer = RandomizedRoundingMatching(net, loads, schedule, probability=rule, seed=6)
+        balancer.run(500)
+        assert max_min_discrepancy(balancer.loads(), net) <= 2 * net.max_degree
+
+    def test_seed_reproducibility(self):
+        net = topologies.torus(4, dims=2)
+        schedule = PeriodicMatchingSchedule(net)
+        loads = point_load(net, 160)
+        a = RandomizedRoundingMatching(net, loads, schedule, seed=7)
+        b = RandomizedRoundingMatching(net, loads, schedule, seed=7)
+        a.run(50)
+        b.run(50)
+        np.testing.assert_array_equal(a.loads(), b.loads())
+
+    def test_probability_rule_exposed(self):
+        net = topologies.cycle(4)
+        schedule = PeriodicMatchingSchedule(net)
+        balancer = RandomizedRoundingMatching(net, [4, 0, 0, 0], schedule,
+                                              probability="fractional", seed=0)
+        assert balancer.probability_rule == "fractional"
+
+
+class TestScheduleValidation:
+    def test_network_mismatch_rejected(self):
+        net_a = topologies.cycle(6)
+        net_b = topologies.cycle(6)
+        schedule = PeriodicMatchingSchedule(net_a)
+        with pytest.raises(ProcessError):
+            RoundDownMatching(net_b, [6] * 6, schedule)

@@ -1,0 +1,97 @@
+"""Tests for the two-phase random-walk baseline (Section 2.3, random walk approach)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discrete.baselines.random_walk import (
+    RandomWalkFineBalancer,
+    TwoPhaseRandomWalkBalancer,
+)
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.tasks.generators import point_load, uniform_random_load
+from repro.tasks.load import max_min_discrepancy
+
+
+class TestFineBalancer:
+    def test_token_classification(self):
+        net = topologies.cycle(4)
+        balancer = RandomWalkFineBalancer(net, [10, 2, 2, 2], threshold=1, seed=1)
+        # Average is 4: node 0 has 10 > 5 -> 5 positive tokens; nodes 1-3 have 2 < 4 -> 2 holes each.
+        assert balancer.positive_tokens[0] == 5
+        np.testing.assert_array_equal(balancer.negative_tokens[1:], [2, 2, 2])
+
+    def test_balanced_input_has_no_tokens(self):
+        net = topologies.torus(4, dims=2)
+        balancer = RandomWalkFineBalancer(net, [7] * 16, threshold=1, seed=2)
+        assert balancer.unmatched_tokens == 0
+
+    def test_conservation(self):
+        net = topologies.hypercube(3)
+        loads = uniform_random_load(net, 120, seed=3)
+        balancer = RandomWalkFineBalancer(net, loads, seed=4)
+        balancer.run(60)
+        assert balancer.loads().sum() == pytest.approx(120.0)
+
+    def test_annihilation_reduces_tokens(self):
+        net = topologies.random_regular(16, 4, seed=5)
+        loads = point_load(net, 64) + 4
+        balancer = RandomWalkFineBalancer(net, loads, seed=6)
+        before = balancer.unmatched_tokens
+        balancer.run_until_matched(max_rounds=5_000)
+        assert balancer.unmatched_tokens < before
+
+    def test_negative_threshold_rejected(self):
+        net = topologies.cycle(4)
+        with pytest.raises(ProcessError):
+            RandomWalkFineBalancer(net, [4, 0, 0, 0], threshold=-1)
+
+    def test_seed_reproducibility(self):
+        net = topologies.torus(4, dims=2)
+        loads = point_load(net, 80) + 2
+        a = RandomWalkFineBalancer(net, loads, seed=9)
+        b = RandomWalkFineBalancer(net, loads, seed=9)
+        a.run(30)
+        b.run(30)
+        np.testing.assert_array_equal(a.loads(), b.loads())
+
+
+class TestTwoPhase:
+    def test_improves_on_point_load(self):
+        net = topologies.random_regular(24, 4, seed=7)
+        loads = point_load(net, 24 * 16)
+        balancer = TwoPhaseRandomWalkBalancer(net, loads, phase1_rounds=60, seed=8)
+        start = max_min_discrepancy(balancer.loads(), net)
+        balancer.run(200)
+        assert balancer.in_fine_phase
+        end = max_min_discrepancy(balancer.loads(), net)
+        assert end < start / 8
+
+    def test_phase_switch_after_budget(self):
+        net = topologies.torus(4, dims=2)
+        balancer = TwoPhaseRandomWalkBalancer(net, point_load(net, 160),
+                                              phase1_rounds=5, seed=1)
+        balancer.run(5)
+        assert not balancer.in_fine_phase
+        balancer.run(1)
+        assert balancer.in_fine_phase
+
+    def test_default_phase1_budget_used_when_not_given(self):
+        net = topologies.hypercube(3)
+        balancer = TwoPhaseRandomWalkBalancer(net, point_load(net, 80), seed=2)
+        balancer.run(100)
+        assert balancer.in_fine_phase
+
+    def test_conservation(self):
+        net = topologies.hypercube(4)
+        balancer = TwoPhaseRandomWalkBalancer(net, point_load(net, 321),
+                                              phase1_rounds=20, seed=3)
+        balancer.run(150)
+        assert balancer.loads().sum() == pytest.approx(321.0)
+
+    def test_negative_phase1_rounds_rejected(self):
+        net = topologies.cycle(4)
+        with pytest.raises(ProcessError):
+            TwoPhaseRandomWalkBalancer(net, [4, 0, 0, 0], phase1_rounds=-1)

@@ -1,0 +1,75 @@
+"""Tests for the discrete second-order round-down baseline ([18], Section 2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discrete.baselines.diffusion import RoundDownDiffusion, RoundDownSecondOrder
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.tasks.generators import point_load
+from repro.tasks.load import max_min_discrepancy
+
+
+class TestConstruction:
+    def test_default_beta_in_range(self):
+        net = topologies.cycle(16)
+        balancer = RoundDownSecondOrder(net, point_load(net, 64))
+        assert 1.0 <= balancer.beta <= 2.0
+
+    def test_explicit_beta(self):
+        net = topologies.cycle(8)
+        balancer = RoundDownSecondOrder(net, [8] * 8, beta=1.3)
+        assert balancer.beta == 1.3
+
+    def test_invalid_beta(self):
+        net = topologies.cycle(8)
+        with pytest.raises(ProcessError):
+            RoundDownSecondOrder(net, [8] * 8, beta=2.5)
+
+
+class TestDynamics:
+    def test_beta_one_matches_first_order_round_down(self):
+        net = topologies.torus(4, dims=2)
+        loads = point_load(net, 320)
+        second = RoundDownSecondOrder(net, loads, beta=1.0)
+        first = RoundDownDiffusion(net, loads)
+        second.run(15)
+        first.run(15)
+        np.testing.assert_array_equal(second.loads(), first.loads())
+
+    def test_conservation(self):
+        net = topologies.hypercube(4)
+        balancer = RoundDownSecondOrder(net, point_load(net, 333))
+        balancer.run(50)
+        assert balancer.loads().sum() == pytest.approx(333)
+
+    def test_loads_stay_integer(self):
+        net = topologies.random_regular(16, 4, seed=1)
+        balancer = RoundDownSecondOrder(net, point_load(net, 160))
+        balancer.run(30)
+        final = balancer.loads()
+        np.testing.assert_allclose(final, np.round(final))
+
+    def test_balanced_input_stays_balanced(self):
+        net = topologies.torus(4, dims=2)
+        balancer = RoundDownSecondOrder(net, [12] * 16)
+        balancer.run(10)
+        np.testing.assert_array_equal(balancer.loads(), [12] * 16)
+
+    def test_reduces_discrepancy_from_point_load(self):
+        net = topologies.random_regular(24, 4, seed=2)
+        loads = point_load(net, 24 * 32)
+        balancer = RoundDownSecondOrder(net, loads)
+        start = max_min_discrepancy(balancer.loads(), net)
+        balancer.run(120)
+        assert max_min_discrepancy(balancer.loads(), net) < start / 4
+
+    def test_momentum_can_overdraw_nodes(self):
+        """The SOS momentum may create negative load — the flag records it faithfully."""
+        net = topologies.path(12)
+        balancer = RoundDownSecondOrder(net, point_load(net, 2000, node=11), beta=1.95)
+        balancer.run(100)
+        assert isinstance(balancer.went_negative, bool)
+        assert balancer.loads().sum() == pytest.approx(2000)

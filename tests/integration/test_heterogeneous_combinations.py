@@ -1,0 +1,120 @@
+"""Cross-cutting integration tests: speeds x weights x substrates x algorithms.
+
+The paper's selling point is generality — weighted tasks, heterogeneous
+speeds, and any additive terminating substrate.  These tests exercise the
+combinations that no single unit-test module covers together, always checking
+the model-level invariants (conservation, speed-proportional balance,
+theorem bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continuous.dimension_exchange import (
+    periodic_dimension_exchange,
+    random_matching_exchange,
+)
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.core.algorithm1 import DeterministicFlowImitation, theorem3_discrepancy_bound
+from repro.core.algorithm2 import RandomizedFlowImitation
+from repro.network import topologies
+from repro.simulation.engine import run_algorithm
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.generators import (
+    balanced_load,
+    point_load,
+    random_integer_speeds,
+    weighted_assignment,
+)
+from repro.tasks.load import balanced_allocation, max_avg_discrepancy, max_min_discrepancy
+from repro.tasks.task import TaskFactory
+
+
+def heterogeneous_network(seed=3, n=20, degree=4, max_speed=4):
+    base = topologies.random_regular(n, degree, seed=seed)
+    return base.with_speeds(random_integer_speeds(base, max_speed=max_speed, seed=seed + 1))
+
+
+def pad_with_base_load(network, assignment, level):
+    factory = TaskFactory(start_id=10**8)
+    for node, count in enumerate(balanced_load(network, level)):
+        for task in factory.create_many(int(count), weight=1.0, origin=node):
+            assignment.add(node, task)
+
+
+class TestWeightedTasksOnMatchingSubstrates:
+    @pytest.mark.parametrize("substrate", ["periodic", "random"])
+    def test_algorithm1_weighted_speeds_matching(self, substrate):
+        network = heterogeneous_network()
+        assignment = weighted_assignment(network, num_tasks=300, max_weight=3,
+                                         placement="uniform", seed=11)
+        w_max = assignment.max_task_weight()
+        pad_with_base_load(network, assignment, int(np.ceil(network.max_degree * w_max)))
+        if substrate == "periodic":
+            continuous = periodic_dimension_exchange(network, assignment.loads())
+        else:
+            continuous = random_matching_exchange(network, assignment.loads(), seed=5)
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        balancer.run_until_continuous_balanced(max_rounds=100_000)
+        assert not balancer.used_infinite_source
+        bound = theorem3_discrepancy_bound(network.max_degree, w_max)
+        assert max_min_discrepancy(balancer.loads(), network) <= bound + 1e-9
+
+    def test_tokens_algorithm2_on_matching_with_speeds(self):
+        network = heterogeneous_network(seed=9)
+        loads = point_load(network, 40 * network.num_nodes) + balanced_load(network, 8)
+        assignment = TaskAssignment.from_unit_loads(network, loads)
+        continuous = periodic_dimension_exchange(network, assignment.loads())
+        balancer = RandomizedFlowImitation(continuous, assignment, seed=7)
+        balancer.run_until_continuous_balanced(max_rounds=100_000)
+        # Final loads approach the speed-proportional allocation.
+        target = balanced_allocation(balancer.original_weight, network)
+        deviation = np.abs(balancer.loads(include_dummies=False) - target) / network.speeds
+        assert deviation.max() <= 3 * theorem3_discrepancy_bound(network.max_degree, 1.0)
+
+
+class TestSpeedProportionality:
+    def test_fast_nodes_end_with_proportionally_more_load(self):
+        """A node with twice the speed ends with roughly twice the load."""
+        network = topologies.cycle(8).with_speeds([1, 2, 1, 2, 1, 2, 1, 2])
+        loads = point_load(network, 8 * 60) + balanced_load(network, 2)
+        assignment = TaskAssignment.from_unit_loads(network, loads)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        balancer.run_until_continuous_balanced(max_rounds=100_000)
+        final = balancer.loads()
+        slow = final[network.speeds == 1].mean()
+        fast = final[network.speeds == 2].mean()
+        assert fast > 1.5 * slow
+
+    def test_engine_run_with_speeds_and_weights(self):
+        network = heterogeneous_network(seed=13)
+        assignment = weighted_assignment(network, num_tasks=250, max_weight=4,
+                                         placement="proportional", seed=17)
+        result = run_algorithm("algorithm1", network, assignment=assignment, seed=2)
+        bound = theorem3_discrepancy_bound(network.max_degree, result.max_task_weight)
+        assert result.final_max_avg_no_dummies <= bound + 1e-9
+        # The reported total weight is the original (non-dummy) workload, which is
+        # conserved even though the assignment object was mutated by the run.
+        assert result.total_weight == pytest.approx(
+            assignment.total_weight(include_dummies=False))
+
+
+class TestMakespanImprovement:
+    @pytest.mark.parametrize("algorithm", ["algorithm1", "algorithm2", "excess-tokens",
+                                           "quasirandom"])
+    def test_makespan_strictly_improves_from_hot_spot(self, algorithm):
+        network = topologies.torus(6, dims=2)
+        loads = point_load(network, 36 * 32)
+        before = max_avg_discrepancy(loads, network)
+        result = run_algorithm(algorithm, network, initial_load=loads, seed=4)
+        assert result.final_max_avg < before / 10
+
+    def test_all_algorithms_conserve_reported_weight(self):
+        network = topologies.hypercube(4)
+        loads = point_load(network, 16 * 16)
+        for algorithm in ("algorithm1", "algorithm2", "round-down", "excess-tokens"):
+            result = run_algorithm(algorithm, network, initial_load=loads, seed=6)
+            assert result.total_weight == pytest.approx(16.0 * 16)

@@ -1,0 +1,126 @@
+"""End-to-end integration tests of the paper's headline claims.
+
+These tests run the full coupled pipeline (topology generation -> continuous
+substrate -> discretization -> metrics) and assert the *qualitative* results
+reported by the paper:
+
+* Algorithm 1's final discrepancy is bounded by ``2 d w_max + 2`` on every
+  graph class of Tables 1 and 2, independently of ``n``;
+* the classical round-down baseline degrades with the diameter whereas
+  Algorithm 1 does not;
+* the discrepancy of Algorithm 2 follows the ``sqrt(d log n)`` shape;
+* the sufficient-initial-load condition of Theorems 3(2)/8(2) prevents any
+  use of the infinite source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import theorem3_discrepancy_bound
+from repro.core.algorithm2 import theorem8_max_avg_bound
+from repro.network import topologies
+from repro.simulation.engine import compare_algorithms, run_algorithm
+from repro.tasks.generators import balanced_load, point_load
+
+
+class TestTable1Shape:
+    """Table 1: discrete diffusion processes on the four graph classes."""
+
+    @pytest.mark.parametrize("family,builder", [
+        ("expander", lambda: topologies.random_regular(32, 4, seed=1)),
+        ("hypercube", lambda: topologies.hypercube(5)),
+        ("torus", lambda: topologies.torus(6, dims=2)),
+        ("arbitrary", lambda: topologies.random_geometric(32, seed=2)),
+    ])
+    def test_algorithm1_within_theorem_bound_on_all_classes(self, family, builder):
+        network = builder()
+        load = point_load(network, 32 * network.num_nodes)
+        results = {r.algorithm: r for r in compare_algorithms(
+            network, load, ["round-down", "algorithm1", "algorithm2"], seed=4)}
+        bound = theorem3_discrepancy_bound(network.max_degree, 1.0)
+        assert results["algorithm1"].final_max_min <= bound + 1e-9
+        # Algorithm 2 follows the d/4 + O(sqrt(d log n)) shape (generous constant).
+        assert results["algorithm2"].final_max_min <= 2 * theorem8_max_avg_bound(
+            network.max_degree, network.num_nodes, constant=3.0)
+
+    def test_round_down_degrades_with_n_but_algorithm1_does_not(self):
+        finals = {"round-down": [], "algorithm1": []}
+        for n in (16, 64):
+            network = topologies.cycle(n)
+            load = point_load(network, 32 * n)
+            for result in compare_algorithms(network, load, ["round-down", "algorithm1"],
+                                             seed=1):
+                finals[result.algorithm].append(result.final_max_min)
+        # Round-down at least doubles; Algorithm 1 stays within its constant bound.
+        assert finals["round-down"][1] >= 2 * finals["round-down"][0]
+        bound = theorem3_discrepancy_bound(2, 1.0)
+        assert max(finals["algorithm1"]) <= bound + 1e-9
+
+
+class TestTable2Shape:
+    """Table 2: the matching models."""
+
+    @pytest.mark.parametrize("kind", ["periodic-matching", "random-matching"])
+    def test_flow_imitation_bounded_in_matching_models(self, kind):
+        network = topologies.hypercube(5)
+        load = point_load(network, 32 * network.num_nodes)
+        results = {r.algorithm: r for r in compare_algorithms(
+            network, load,
+            ["matching-round-down", "matching-randomized", "algorithm1", "algorithm2"],
+            continuous_kind=kind, seed=7)}
+        bound = theorem3_discrepancy_bound(network.max_degree, 1.0)
+        assert results["algorithm1"].final_max_min <= bound + 1e-9
+        assert results["algorithm2"].final_max_min <= 2 * theorem8_max_avg_bound(
+            network.max_degree, network.num_nodes, constant=3.0)
+        # Every algorithm ran for the same number of rounds (the balancing time T).
+        assert len({r.rounds for r in results.values()}) == 1
+
+
+class TestHeterogeneousSetting:
+    """The general model: weighted tasks and node speeds (the paper's main novelty)."""
+
+    def test_speed_proportional_balance_reached(self):
+        network = topologies.random_regular(24, 4, seed=9).with_speeds(
+            [1 + (i % 4) for i in range(24)])
+        base = network.max_degree  # w_max = 1
+        load = point_load(network, 24 * 16) + balanced_load(network, base)
+        result = run_algorithm("algorithm1", network, initial_load=load, seed=2)
+        assert not result.used_infinite_source
+        bound = theorem3_discrepancy_bound(network.max_degree, 1.0)
+        assert result.final_max_min <= bound + 1e-9
+
+    def test_weighted_tasks_follow_wmax_scaling(self):
+        """The bound scales with w_max: heavier tasks allow proportionally larger discrepancy."""
+        from repro.tasks.generators import weighted_assignment
+
+        network = topologies.torus(5, dims=2)
+        discrepancies = {}
+        for w_max in (1, 4):
+            assignment = weighted_assignment(network, num_tasks=400, max_weight=w_max,
+                                             placement="uniform", seed=3)
+            result = run_algorithm("algorithm1", network, assignment=assignment, seed=1)
+            bound = theorem3_discrepancy_bound(network.max_degree, assignment.max_task_weight())
+            assert result.final_max_avg_no_dummies <= bound + 1e-9
+            discrepancies[w_max] = result.final_max_avg_no_dummies
+        # Both stay within their own bound; the w_max=4 bound is four times larger.
+        assert theorem3_discrepancy_bound(4, 4) > theorem3_discrepancy_bound(4, 1)
+
+
+class TestSufficientInitialLoad:
+    def test_infinite_source_unused_above_threshold(self):
+        import math
+
+        from repro.core.algorithm2 import theorem8_required_base_load
+
+        network = topologies.hypercube(4)
+        # Base load satisfying both Theorem 3(2) (d * w_max) and Theorem 8(2).
+        base = max(network.max_degree,
+                   int(math.ceil(theorem8_required_base_load(network.max_degree,
+                                                             network.num_nodes))))
+        load = point_load(network, 128) + balanced_load(network, base)
+        for algorithm in ("algorithm1", "algorithm2"):
+            result = run_algorithm(algorithm, network, initial_load=load, seed=5)
+            assert not result.used_infinite_source, algorithm
+            assert result.dummy_tokens == 0

@@ -1,0 +1,64 @@
+"""Tests for the additional interconnection topologies (CCC, ring of cliques)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network import topologies
+from repro.simulation.engine import run_algorithm
+from repro.tasks.generators import point_load
+
+
+class TestCubeConnectedCycles:
+    def test_size_and_regularity(self):
+        for dimension in (3, 4):
+            net = topologies.cube_connected_cycles(dimension)
+            assert net.num_nodes == dimension * 2**dimension
+            assert net.is_regular
+            assert net.max_degree == 3
+            assert net.is_connected()
+
+    def test_minimum_dimension(self):
+        with pytest.raises(TopologyError):
+            topologies.cube_connected_cycles(2)
+
+    def test_balancing_on_ccc(self):
+        """Algorithm 1 keeps its constant bound on CCC (degree 3 -> bound 8)."""
+        net = topologies.cube_connected_cycles(3)
+        load = point_load(net, 16 * net.num_nodes)
+        result = run_algorithm("algorithm1", net, initial_load=load, seed=1)
+        assert result.final_max_min <= 2 * 3 + 2
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        net = topologies.ring_of_cliques(4, 5)
+        assert net.num_nodes == 20
+        assert net.is_connected()
+        assert net.max_degree >= 4
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            topologies.ring_of_cliques(2, 5)
+        with pytest.raises(TopologyError):
+            topologies.ring_of_cliques(4, 1)
+
+    def test_low_conductance_slows_continuous_balancing(self):
+        """A ring of cliques balances slower than a comparable expander."""
+        from repro.simulation.engine import determine_balancing_time
+
+        cliques = topologies.ring_of_cliques(6, 5)
+        expander = topologies.random_regular(30, 4, seed=1)
+        load_cliques = point_load(cliques, 30 * 32)
+        load_expander = point_load(expander, 30 * 32)
+        assert determine_balancing_time(cliques, load_cliques, "fos") > \
+            determine_balancing_time(expander, load_expander, "fos")
+
+
+class TestNamedVariants:
+    @pytest.mark.parametrize("name", ["ccc", "ring-of-cliques"])
+    def test_named_topology_builds(self, name):
+        net = topologies.named_topology(name, 40, seed=1)
+        assert net.is_connected()
+        assert net.num_nodes >= 20

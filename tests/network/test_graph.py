@@ -1,0 +1,166 @@
+"""Unit tests for :mod:`repro.network.graph`."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.graph import Network
+from repro.network import topologies
+
+
+def build_triangle(speeds=None) -> Network:
+    graph = nx.Graph()
+    graph.add_edges_from([(0, 1), (1, 2), (0, 2)])
+    return Network(graph, speeds=speeds, name="triangle")
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        net = build_triangle()
+        assert net.num_nodes == 3
+        assert net.num_edges == 3
+        assert net.max_degree == 2
+        assert net.min_degree == 2
+        assert net.is_regular
+        assert len(net) == 3
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(nx.Graph())
+
+    def test_self_loops_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        graph.add_edge(0, 1)
+        with pytest.raises(NetworkError):
+            Network(graph)
+
+    def test_default_speeds_are_uniform(self):
+        net = build_triangle()
+        assert net.has_uniform_speeds
+        assert net.total_speed == 3.0
+        np.testing.assert_allclose(net.speeds, [1, 1, 1])
+
+    def test_explicit_speeds(self):
+        net = build_triangle(speeds=[1, 2, 3])
+        assert not net.has_uniform_speeds
+        assert net.total_speed == 6.0
+        assert net.speed(1) == 2.0
+
+    def test_wrong_speed_length_rejected(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(NetworkError):
+            Network(graph, speeds=[1, 2])
+
+    def test_speed_below_one_rejected(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(NetworkError):
+            Network(graph, speeds=[0.5, 1, 1])
+
+    def test_non_finite_speed_rejected(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(NetworkError):
+            Network(graph, speeds=[np.inf, 1, 1])
+
+    def test_string_labels_are_relabelled_to_integers(self):
+        graph = nx.Graph()
+        graph.add_edges_from([("a", "b"), ("b", "c")])
+        net = Network(graph)
+        assert set(net.nodes) == {0, 1, 2}
+        assert net.node_labels == ["a", "b", "c"]
+
+
+class TestTopologyQueries:
+    def test_neighbors_sorted(self):
+        net = topologies.star(5)
+        assert net.neighbors(0) == (1, 2, 3, 4)
+        assert net.neighbors(2) == (0,)
+
+    def test_degree(self):
+        net = topologies.star(5)
+        assert net.degree(0) == 4
+        assert net.degree(3) == 1
+        np.testing.assert_array_equal(net.degrees, [4, 1, 1, 1, 1])
+
+    def test_has_edge(self):
+        net = build_triangle()
+        assert net.has_edge(0, 1)
+        assert net.has_edge(1, 0)
+        net2 = topologies.path(3)
+        assert not net2.has_edge(0, 2)
+
+    def test_edge_index_roundtrip(self):
+        net = topologies.torus(4, dims=2)
+        for index, (u, v) in enumerate(net.edges):
+            assert net.edge_index(u, v) == index
+            assert net.edge_index(v, u) == index
+
+    def test_edge_index_missing_edge(self):
+        net = topologies.path(4)
+        with pytest.raises(NetworkError):
+            net.edge_index(0, 3)
+
+    def test_incident_edges(self):
+        net = build_triangle()
+        incident = net.incident_edges(0)
+        assert len(incident) == 2
+        assert all(0 in net.edges[i] for i in incident)
+
+    def test_invalid_node_rejected(self):
+        net = build_triangle()
+        with pytest.raises(NetworkError):
+            net.degree(7)
+        with pytest.raises(NetworkError):
+            net.neighbors(-1)
+
+    def test_connectivity_and_diameter(self):
+        net = topologies.path(5)
+        assert net.is_connected()
+        assert net.diameter() == 4
+
+    def test_disconnected_graph_detected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        net = Network(graph)
+        assert not net.is_connected()
+        with pytest.raises(NetworkError):
+            net.require_connected()
+
+
+class TestMatrices:
+    def test_adjacency_matrix(self):
+        net = build_triangle()
+        adjacency = net.adjacency_matrix()
+        assert adjacency.shape == (3, 3)
+        assert np.all(adjacency == adjacency.T)
+        assert adjacency.sum() == 6  # two entries per edge
+
+    def test_laplacian_row_sums_zero(self):
+        net = topologies.torus(4, dims=2)
+        lap = net.laplacian_matrix()
+        np.testing.assert_allclose(lap.sum(axis=1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(np.diag(lap), net.degrees)
+
+
+class TestDerivedNetworks:
+    def test_with_speeds(self):
+        net = build_triangle()
+        fast = net.with_speeds([2, 2, 2])
+        assert fast.total_speed == 6.0
+        assert net.total_speed == 3.0  # original untouched
+        assert fast.num_edges == net.num_edges
+
+    def test_subnetwork(self):
+        net = topologies.complete(5)
+        sub = net.subnetwork([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_subnetwork_keeps_speeds(self):
+        net = topologies.complete(4).with_speeds([1, 2, 3, 4])
+        sub = net.subnetwork([1, 3])
+        assert sorted(sub.speeds.tolist()) == [2.0, 4.0]

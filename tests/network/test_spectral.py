@@ -1,0 +1,151 @@
+"""Unit tests for :mod:`repro.network.spectral`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProcessError
+from repro.network import topologies
+from repro.network.spectral import (
+    AlphaScheme,
+    compute_alphas,
+    diffusion_matrix,
+    laplacian_second_smallest,
+    optimal_sos_beta,
+    predicted_fos_rounds,
+    predicted_random_matching_rounds,
+    predicted_sos_rounds,
+    second_largest_eigenvalue,
+    spectral_gap,
+    spectral_summary,
+)
+
+
+class TestAlphas:
+    def test_uniform_speeds_max_degree_plus_one(self):
+        net = topologies.cycle(6)
+        alphas = compute_alphas(net, AlphaScheme.MAX_DEGREE_PLUS_ONE)
+        assert all(abs(value - 1.0 / 3.0) < 1e-12 for value in alphas.values())
+
+    def test_half_max_degree(self):
+        net = topologies.torus(4, dims=2)
+        alphas = compute_alphas(net, AlphaScheme.HALF_MAX_DEGREE)
+        assert all(abs(value - 1.0 / 8.0) < 1e-12 for value in alphas.values())
+
+    def test_global_degree(self):
+        net = topologies.star(5)
+        alphas = compute_alphas(net, AlphaScheme.GLOBAL_DEGREE)
+        assert all(abs(value - 1.0 / 5.0) < 1e-12 for value in alphas.values())
+
+    def test_speeds_scale_alphas(self):
+        net = topologies.cycle(4).with_speeds([1, 2, 2, 1])
+        alphas = compute_alphas(net)
+        # Edge (1, 2) has min speed 2, so alpha = 2 / 3.
+        assert abs(alphas[(1, 2)] - 2.0 / 3.0) < 1e-12
+        # Edge (0, 1) has min speed 1.
+        assert abs(alphas[(0, 1)] - 1.0 / 3.0) < 1e-12
+
+    def test_row_sum_constraint_satisfied(self):
+        net = topologies.star(8).with_speeds([1] + [3] * 7)
+        alphas = compute_alphas(net)
+        hub_sum = sum(alphas[(0, j)] for j in range(1, 8))
+        assert hub_sum < net.speed(0)
+
+    def test_unknown_scheme(self):
+        net = topologies.cycle(4)
+        with pytest.raises(ProcessError):
+            compute_alphas(net, "bogus")
+
+
+class TestDiffusionMatrix:
+    def test_row_stochastic(self):
+        net = topologies.hypercube(3)
+        matrix = diffusion_matrix(net)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(matrix >= -1e-12)
+
+    def test_speed_vector_is_left_fixed_point(self):
+        net = topologies.cycle(6).with_speeds([1, 2, 3, 1, 2, 3])
+        matrix = diffusion_matrix(net)
+        speeds = net.speeds
+        np.testing.assert_allclose(speeds @ matrix, speeds, atol=1e-10)
+
+    def test_uniform_case_symmetric(self):
+        net = topologies.torus(4, dims=2)
+        matrix = diffusion_matrix(net)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+
+
+class TestEigenvalues:
+    def test_second_largest_eigenvalue_complete_graph(self):
+        net = topologies.complete(8)
+        matrix = diffusion_matrix(net, scheme=AlphaScheme.GLOBAL_DEGREE)
+        lam = second_largest_eigenvalue(matrix)
+        assert 0.0 <= lam < 1.0
+
+    def test_lambda_close_to_one_for_long_cycle(self):
+        small = second_largest_eigenvalue(diffusion_matrix(topologies.cycle(4)))
+        large = second_largest_eigenvalue(diffusion_matrix(topologies.cycle(64)))
+        assert large > small
+        assert large > 0.99
+
+    def test_single_node_lambda_zero(self):
+        assert second_largest_eigenvalue(np.array([[1.0]])) == 0.0
+
+    def test_gamma_cycle_formula(self):
+        n = 12
+        net = topologies.cycle(n)
+        gamma = laplacian_second_smallest(net)
+        expected = 2.0 - 2.0 * math.cos(2.0 * math.pi / n)
+        assert abs(gamma - expected) < 1e-9
+
+    def test_gamma_complete_graph(self):
+        net = topologies.complete(7)
+        assert abs(laplacian_second_smallest(net) - 7.0) < 1e-9
+
+    def test_spectral_gap(self):
+        net = topologies.hypercube(4)
+        matrix = diffusion_matrix(net)
+        assert abs(spectral_gap(matrix) - (1.0 - second_largest_eigenvalue(matrix))) < 1e-12
+
+
+class TestOptimalBeta:
+    def test_beta_range(self):
+        assert optimal_sos_beta(0.0) == pytest.approx(1.0)
+        assert 1.0 < optimal_sos_beta(0.9) < 2.0
+
+    def test_beta_monotone_in_lambda(self):
+        assert optimal_sos_beta(0.5) < optimal_sos_beta(0.9) < optimal_sos_beta(0.99)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ProcessError):
+            optimal_sos_beta(1.0)
+        with pytest.raises(ProcessError):
+            optimal_sos_beta(-0.1)
+
+
+class TestSummaryAndPredictions:
+    def test_summary_fields_consistent(self):
+        net = topologies.hypercube(4)
+        summary = spectral_summary(net)
+        assert summary.gap == pytest.approx(1.0 - summary.lambda_value)
+        assert summary.gamma > 0
+        assert 1.0 <= summary.optimal_beta <= 2.0
+
+    def test_predicted_rounds_ordering(self):
+        """SOS should be predicted to be at least as fast as FOS."""
+        net = topologies.cycle(32)
+        fos = predicted_fos_rounds(net, initial_discrepancy=100)
+        sos = predicted_sos_rounds(net, initial_discrepancy=100)
+        assert sos <= fos
+
+    def test_predicted_rounds_grow_with_discrepancy(self):
+        net = topologies.torus(5, dims=2)
+        assert predicted_fos_rounds(net, 1000) > predicted_fos_rounds(net, 10)
+
+    def test_predicted_random_matching_positive(self):
+        net = topologies.hypercube(3)
+        assert predicted_random_matching_rounds(net, 100) > 0

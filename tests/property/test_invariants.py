@@ -1,0 +1,152 @@
+"""Hypothesis property-based tests of the core invariants.
+
+These tests sample random instances (topologies, load vectors, seeds) and
+check the invariants that must hold for *every* instance:
+
+* conservation of the real workload by every discrete process;
+* the per-edge flow-error bound of the flow-imitation algorithms;
+* the per-node deviation bound (Lemma 6) while the infinite source is unused;
+* discrepancy metrics are non-negative, and max-avg <= max-min;
+* the continuous/discrete coupling never loses or invents tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.core.algorithm1 import DeterministicFlowImitation
+from repro.core.algorithm2 import RandomizedFlowImitation
+from repro.discrete.baselines.diffusion import RoundDownDiffusion
+from repro.network import topologies
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.load import (
+    max_avg_discrepancy,
+    max_min_discrepancy,
+    quadratic_potential,
+    summarize_loads,
+)
+
+
+def small_network(kind: int):
+    """Deterministically map an integer to one of a few small topologies."""
+    builders = [
+        lambda: topologies.cycle(6),
+        lambda: topologies.path(5),
+        lambda: topologies.star(6),
+        lambda: topologies.torus(3, dims=2),
+        lambda: topologies.hypercube(3),
+        lambda: topologies.complete(5),
+    ]
+    return builders[kind % len(builders)]()
+
+
+load_strategy = st.lists(st.integers(min_value=0, max_value=40), min_size=5, max_size=9)
+
+
+def fit_load(loads, network):
+    """Resize a hypothesis-generated load list to the network size."""
+    values = list(loads)
+    n = network.num_nodes
+    if len(values) < n:
+        values = values + [0] * (n - len(values))
+    return np.array(values[:n], dtype=int)
+
+
+class TestMetricsProperties:
+    @given(kind=st.integers(0, 5), loads=load_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_discrepancies_non_negative_and_ordered(self, kind, loads):
+        network = small_network(kind)
+        vector = fit_load(loads, network)
+        assert max_min_discrepancy(vector, network) >= 0
+        assert max_avg_discrepancy(vector, network) >= 0
+        assert max_avg_discrepancy(vector, network) <= max_min_discrepancy(vector, network) + 1e-9
+        assert quadratic_potential(vector, network) >= 0
+
+    @given(kind=st.integers(0, 5), loads=load_strategy, shift=st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_discrepancy_invariant_under_uniform_shift(self, kind, loads, shift):
+        """Adding the same number of tokens per speed unit leaves discrepancies unchanged."""
+        network = small_network(kind)
+        vector = fit_load(loads, network).astype(float)
+        shifted = vector + shift * network.speeds
+        assert max_min_discrepancy(vector, network) == pytest.approx(
+            max_min_discrepancy(shifted, network))
+
+    @given(kind=st.integers(0, 5), loads=load_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_summary_consistent_with_individual_metrics(self, kind, loads):
+        network = small_network(kind)
+        vector = fit_load(loads, network)
+        summary = summarize_loads(vector, network)
+        assert summary.max_min_discrepancy == pytest.approx(max_min_discrepancy(vector, network))
+        assert summary.max_avg_discrepancy == pytest.approx(max_avg_discrepancy(vector, network))
+
+
+class TestContinuousProperties:
+    @given(kind=st.integers(0, 5), loads=load_strategy, rounds=st.integers(1, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_fos_conserves_and_contracts(self, kind, loads, rounds):
+        network = small_network(kind)
+        vector = fit_load(loads, network).astype(float)
+        process = FirstOrderDiffusion(network, vector)
+        initial_potential = quadratic_potential(vector, network)
+        process.run(rounds)
+        assert process.load.sum() == pytest.approx(vector.sum())
+        assert np.all(process.load >= -1e-9)
+        assert quadratic_potential(process.load, network) <= initial_potential + 1e-9
+
+
+class TestFlowImitationProperties:
+    @given(kind=st.integers(0, 5), loads=load_strategy, rounds=st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_algorithm1_invariants(self, kind, loads, rounds):
+        network = small_network(kind)
+        vector = fit_load(loads, network)
+        assignment = TaskAssignment.from_unit_loads(network, vector)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = DeterministicFlowImitation(continuous, assignment)
+        deviation_bound = network.max_degree * balancer.w_max
+        for _ in range(rounds):
+            balancer.advance()
+            # Real workload is conserved exactly.
+            assert balancer.loads(include_dummies=False).sum() == pytest.approx(float(vector.sum()))
+            # Observation 4: flow errors below w_max.
+            assert np.all(np.abs(balancer.flow_errors()) <= balancer.w_max + 1e-9)
+            # Lemma 6: node-level deviation below d * w_max while no dummies used.
+            if not balancer.used_infinite_source:
+                assert np.all(np.abs(balancer.load_deviation()) <= deviation_bound + 1e-9)
+            # Discrete loads never negative (dummies cover any shortfall).
+            assert np.all(balancer.loads() >= -1e-9)
+
+    @given(kind=st.integers(0, 5), loads=load_strategy, seed=st.integers(0, 1000),
+           rounds=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_algorithm2_invariants(self, kind, loads, seed, rounds):
+        network = small_network(kind)
+        vector = fit_load(loads, network)
+        assignment = TaskAssignment.from_unit_loads(network, vector)
+        continuous = FirstOrderDiffusion(network, assignment.loads())
+        balancer = RandomizedFlowImitation(continuous, assignment, seed=seed)
+        for _ in range(rounds):
+            balancer.advance()
+            assert balancer.loads(include_dummies=False).sum() == pytest.approx(float(vector.sum()))
+            assert np.all(np.abs(balancer.flow_errors()) <= 1.0 + 1e-9)
+            assert np.all(balancer.loads() >= -1e-9)
+
+
+class TestBaselineProperties:
+    @given(kind=st.integers(0, 5), loads=load_strategy, rounds=st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_round_down_conserves_and_stays_non_negative(self, kind, loads, rounds):
+        network = small_network(kind)
+        vector = fit_load(loads, network)
+        balancer = RoundDownDiffusion(network, vector)
+        balancer.run(rounds)
+        assert balancer.loads().sum() == pytest.approx(float(vector.sum()))
+        assert np.all(balancer.loads() >= 0)
+        assert not balancer.went_negative

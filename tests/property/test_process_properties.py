@@ -1,0 +1,115 @@
+"""Further hypothesis property tests: matching processes, baselines, assignments.
+
+Complements ``tests/property/test_invariants.py`` with invariants of the
+matching-based processes, the quasirandom baseline's bounded-error property,
+and the task-assignment bookkeeping under random move sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuous.dimension_exchange import DimensionExchange
+from repro.discrete.baselines.diffusion import QuasirandomDiffusion
+from repro.discrete.baselines.matching import RoundDownMatching
+from repro.network import topologies
+from repro.network.matchings import PeriodicMatchingSchedule, RandomMatchingSchedule
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.task import TaskFactory
+
+
+def small_network(kind: int):
+    builders = [
+        lambda: topologies.cycle(6),
+        lambda: topologies.torus(3, dims=2),
+        lambda: topologies.hypercube(3),
+        lambda: topologies.star(6),
+    ]
+    return builders[kind % len(builders)]()
+
+
+def fit_load(loads, network):
+    values = list(loads)
+    n = network.num_nodes
+    if len(values) < n:
+        values = values + [0] * (n - len(values))
+    return np.array(values[:n], dtype=int)
+
+
+load_strategy = st.lists(st.integers(min_value=0, max_value=50), min_size=4, max_size=9)
+
+
+class TestMatchingProcesses:
+    @given(kind=st.integers(0, 3), loads=load_strategy, seed=st.integers(0, 500),
+           rounds=st.integers(1, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_continuous_dimension_exchange_invariants(self, kind, loads, seed, rounds):
+        network = small_network(kind)
+        vector = fit_load(loads, network).astype(float)
+        schedule = RandomMatchingSchedule(network, seed=seed)
+        process = DimensionExchange(network, vector, schedule)
+        process.run(rounds)
+        # Conservation, non-negativity, and never any negative-load violation.
+        assert process.load.sum() == pytest.approx(vector.sum())
+        assert np.all(process.load >= -1e-9)
+        assert not process.induced_negative_load
+
+    @given(kind=st.integers(0, 3), loads=load_strategy, rounds=st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_round_down_matching_invariants(self, kind, loads, rounds):
+        network = small_network(kind)
+        vector = fit_load(loads, network)
+        schedule = PeriodicMatchingSchedule(network)
+        balancer = RoundDownMatching(network, vector, schedule)
+        start_discrepancy = balancer.max_min_discrepancy()
+        balancer.run(rounds)
+        assert balancer.loads().sum() == pytest.approx(float(vector.sum()))
+        assert np.all(balancer.loads() >= 0)
+        # Matching-model round-down never increases the max-min discrepancy.
+        assert balancer.max_min_discrepancy() <= start_discrepancy + 1e-9
+
+
+class TestQuasirandomBoundedError:
+    @given(kind=st.integers(0, 3), loads=load_strategy, rounds=st.integers(1, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_accumulated_error_below_one(self, kind, loads, rounds):
+        network = small_network(kind)
+        vector = fit_load(loads, network)
+        balancer = QuasirandomDiffusion(network, vector)
+        balancer.run(rounds)
+        assert np.all(np.abs(balancer.accumulated_errors) <= 1.0 + 1e-9)
+        assert balancer.loads().sum() == pytest.approx(float(vector.sum()))
+
+
+class TestAssignmentBookkeeping:
+    @given(loads=load_strategy, moves=st.lists(st.integers(0, 10_000), max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_random_moves_preserve_totals_and_locations(self, loads, moves):
+        network = topologies.complete(5)
+        vector = fit_load(loads, network)
+        factory = TaskFactory()
+        assignment = TaskAssignment(network)
+        for node, count in enumerate(vector):
+            for task in factory.create_many(int(count), weight=1.0, origin=node):
+                assignment.add(node, task)
+        total = assignment.total_weight()
+        all_tasks = [task for node in network.nodes for task in assignment.tasks_at(node)]
+        for choice in moves:
+            if not all_tasks:
+                break
+            task = all_tasks[choice % len(all_tasks)]
+            source = assignment.location_of(task)
+            destination = (source + 1 + choice) % network.num_nodes
+            if destination == source:
+                continue
+            assignment.move(task, source, destination)
+            assert assignment.location_of(task) == destination
+        assert assignment.total_weight() == pytest.approx(total)
+        assert assignment.num_tasks == len(all_tasks)
+        # Every node's load equals the sum of the weights of the tasks it holds.
+        for node in network.nodes:
+            held = sum(task.weight for task in assignment.tasks_at(node))
+            assert assignment.load(node) == pytest.approx(held)

@@ -1,0 +1,107 @@
+"""Tests for CSV/JSON export and ASCII charts (:mod:`repro.simulation.reporting`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.simulation.reporting import (
+    bar_chart,
+    load_rows_from_csv,
+    rows_to_csv,
+    rows_to_json,
+    sparkline,
+    trace_chart,
+)
+
+ROWS = [
+    {"algorithm": "round-down", "n": 16, "max_min": 8.0},
+    {"algorithm": "algorithm1", "n": 16, "max_min": 4.0},
+]
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = rows_to_csv(ROWS, tmp_path / "out.csv")
+        assert path.exists()
+        rows = load_rows_from_csv(path)
+        assert len(rows) == 2
+        assert rows[0]["algorithm"] == "round-down"
+        assert float(rows[1]["max_min"]) == 4.0
+
+    def test_column_selection(self, tmp_path):
+        path = rows_to_csv(ROWS, tmp_path / "out.csv", columns=["algorithm"])
+        rows = load_rows_from_csv(path)
+        assert list(rows[0].keys()) == ["algorithm"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = rows_to_csv(ROWS, tmp_path / "nested" / "dir" / "out.csv")
+        assert path.exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            rows_to_csv([], tmp_path / "out.csv")
+
+    def test_missing_file_on_load(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_rows_from_csv(tmp_path / "nope.csv")
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        path = rows_to_json(ROWS, tmp_path / "out.json")
+        data = json.loads(path.read_text())
+        assert len(data) == 2
+        assert data[1]["algorithm"] == "algorithm1"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            rows_to_json([], tmp_path / "out.json")
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_max(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_title(self):
+        chart = bar_chart({"a": 1.0}, title="final discrepancy")
+        assert chart.splitlines()[0] == "final discrepancy"
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ExperimentError):
+            bar_chart({})
+        with pytest.raises(ExperimentError):
+            bar_chart({"a": -1.0})
+
+    def test_sparkline_length_and_extremes(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert len(line) == 5
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_sparkline_all_zero(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_sparkline_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])
+
+    def test_trace_chart_downsamples(self):
+        trace = list(range(200, 0, -1))
+        chart = trace_chart({"round-down": trace, "algorithm1": trace[:50]}, width=30)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert all("|" in line for line in lines)
+        # The rendered sparkline portion is down-sampled to the requested width.
+        assert max(len(line) for line in lines) < 80
+
+    def test_trace_chart_validation(self):
+        with pytest.raises(ExperimentError):
+            trace_chart({})
+        with pytest.raises(ExperimentError):
+            trace_chart({"x": []})

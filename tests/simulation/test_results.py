@@ -1,0 +1,60 @@
+"""Tests for the :class:`~repro.simulation.results.RunResult` record."""
+
+from __future__ import annotations
+
+from repro.simulation.results import RunResult
+
+
+def make_result(**overrides) -> RunResult:
+    defaults = dict(
+        algorithm="algorithm1",
+        continuous_kind="fos",
+        network_name="torus-2d-8",
+        num_nodes=64,
+        max_degree=4,
+        rounds=39,
+        total_weight=2048.0,
+        max_task_weight=1.0,
+        final_max_min=8.0,
+        final_max_avg=4.0,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestRunResult:
+    def test_defaults(self):
+        result = make_result()
+        assert result.dummy_tokens == 0
+        assert not result.used_infinite_source
+        assert not result.went_negative
+        assert result.trace_max_min is None
+        assert result.extra == {}
+
+    def test_as_dict_contains_core_fields(self):
+        row = make_result().as_dict()
+        assert row["algorithm"] == "algorithm1"
+        assert row["network"] == "torus-2d-8"
+        assert row["n"] == 64
+        assert row["max_min"] == 8.0
+        assert row["max_avg"] == 4.0
+        assert row["rounds"] == 39
+
+    def test_as_dict_merges_extra(self):
+        result = make_result(extra={"spectral_gap": 0.12})
+        row = result.as_dict()
+        assert row["spectral_gap"] == 0.12
+
+    def test_optional_fields_pass_through(self):
+        result = make_result(final_max_min_no_dummies=7.0, dummy_tokens=3,
+                             used_infinite_source=True)
+        row = result.as_dict()
+        assert row["max_min_no_dummies"] == 7.0
+        assert row["dummy_tokens"] == 3
+        assert row["used_infinite_source"] is True
+
+    def test_extra_dicts_are_independent(self):
+        first = make_result()
+        second = make_result()
+        first.extra["x"] = 1.0
+        assert "x" not in second.extra

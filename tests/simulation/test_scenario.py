@@ -1,0 +1,130 @@
+"""Tests for declarative scenarios (:mod:`repro.simulation.scenario`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.simulation.scenario import Scenario, load_scenario, run_scenario
+
+
+class TestScenarioValidation:
+    def test_minimal_scenario(self):
+        scenario = Scenario(name="demo", algorithm="algorithm1")
+        assert scenario.topology == "torus"
+        assert scenario.workload == "point"
+
+    @pytest.mark.parametrize("field,value", [
+        ("algorithm", "gossip"),
+        ("continuous_kind", "teleport"),
+        ("workload", "tsunami"),
+        ("speed_profile", "warp"),
+    ])
+    def test_invalid_choices_rejected(self, field, value):
+        keyword_arguments = {"algorithm": "algorithm1", field: value}
+        with pytest.raises(ExperimentError):
+            Scenario(name="bad", **keyword_arguments)
+
+    def test_invalid_numbers_rejected(self):
+        with pytest.raises(ExperimentError):
+            Scenario(name="bad", algorithm="algorithm1", num_nodes=1)
+        with pytest.raises(ExperimentError):
+            Scenario(name="bad", algorithm="algorithm1", tokens_per_node=-1)
+        with pytest.raises(ExperimentError):
+            Scenario(name="bad", algorithm="algorithm1", rounds=-2)
+
+
+class TestSerialisation:
+    def test_dict_roundtrip(self):
+        scenario = Scenario(name="demo", algorithm="algorithm2", topology="hypercube",
+                            num_nodes=32, seed=9, base_load=4)
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ExperimentError):
+            Scenario.from_dict({"name": "x", "algorithm": "algorithm1", "colour": "red"})
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(ExperimentError):
+            Scenario.from_dict({"name": "x"})
+
+    def test_json_roundtrip(self, tmp_path):
+        scenario = Scenario(name="json-demo", algorithm="round-down", topology="cycle",
+                            num_nodes=16, tokens_per_node=8, seed=3)
+        path = scenario.to_json(tmp_path / "scenario.json")
+        loaded = load_scenario(path)
+        assert loaded == scenario
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_scenario(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError):
+            load_scenario(path)
+
+    def test_load_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ExperimentError):
+            load_scenario(path)
+
+
+class TestMaterialisation:
+    def test_build_network_applies_speed_profile(self):
+        scenario = Scenario(name="speeds", algorithm="algorithm1", topology="cycle",
+                            num_nodes=12, speed_profile="power-of-two", seed=5)
+        network = scenario.build_network()
+        assert network.num_nodes == 12
+        assert not network.has_uniform_speeds or np.all(network.speeds == 1)
+
+    def test_build_load_includes_base_load(self):
+        scenario = Scenario(name="base", algorithm="algorithm1", topology="cycle",
+                            num_nodes=8, tokens_per_node=4, base_load=3, seed=1)
+        network = scenario.build_network()
+        load = scenario.build_load(network)
+        assert load.sum() == 4 * 8 + 3 * network.total_speed
+
+    def test_reproducible_given_seed(self):
+        scenario = Scenario(name="repro", algorithm="algorithm2", topology="expander",
+                            num_nodes=16, tokens_per_node=8, workload="uniform", seed=7)
+        a = run_scenario(scenario)
+        b = run_scenario(scenario)
+        assert a.final_max_min == b.final_max_min
+        assert a.rounds == b.rounds
+
+
+class TestRunScenario:
+    @pytest.mark.parametrize("algorithm", ["algorithm1", "algorithm2", "round-down"])
+    def test_diffusion_scenarios(self, algorithm):
+        scenario = Scenario(name="run", algorithm=algorithm, topology="torus",
+                            num_nodes=16, tokens_per_node=8, seed=2)
+        result = run_scenario(scenario)
+        assert result.algorithm == algorithm
+        assert result.rounds > 0
+
+    def test_matching_scenario(self):
+        scenario = Scenario(name="match", algorithm="matching-round-down",
+                            topology="hypercube", num_nodes=16, tokens_per_node=8,
+                            continuous_kind="random-matching", seed=4)
+        result = run_scenario(scenario)
+        assert result.continuous_kind == "random-matching"
+
+    def test_heterogeneous_scenario(self):
+        scenario = Scenario(name="hetero", algorithm="algorithm1", topology="expander",
+                            num_nodes=16, tokens_per_node=8, speed_profile="random",
+                            base_load=4, seed=6)
+        result = run_scenario(scenario)
+        assert result.final_max_min >= 0
+
+    def test_fixed_rounds_scenario(self):
+        scenario = Scenario(name="short", algorithm="round-down", topology="cycle",
+                            num_nodes=8, tokens_per_node=8, rounds=3, seed=1)
+        result = run_scenario(scenario)
+        assert result.rounds == 3

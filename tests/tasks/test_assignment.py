@@ -1,0 +1,170 @@
+"""Unit tests for :mod:`repro.tasks.assignment`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TaskError
+from repro.network import topologies
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.task import Task, TaskFactory
+
+
+@pytest.fixture
+def net():
+    return topologies.cycle(4)
+
+
+@pytest.fixture
+def factory():
+    return TaskFactory()
+
+
+class TestConstruction:
+    def test_empty_assignment(self, net):
+        assignment = TaskAssignment(net)
+        assert assignment.num_tasks == 0
+        np.testing.assert_array_equal(assignment.loads(), np.zeros(4))
+
+    def test_from_unit_loads(self, net):
+        assignment = TaskAssignment.from_unit_loads(net, [3, 0, 2, 1])
+        np.testing.assert_array_equal(assignment.loads(), [3, 0, 2, 1])
+        assert assignment.num_tasks == 6
+        assert assignment.max_task_weight() == 1.0
+
+    def test_from_unit_loads_wrong_length(self, net):
+        with pytest.raises(TaskError):
+            TaskAssignment.from_unit_loads(net, [1, 2, 3])
+
+    def test_from_unit_loads_negative(self, net):
+        with pytest.raises(TaskError):
+            TaskAssignment.from_unit_loads(net, [1, -1, 0, 0])
+
+    def test_from_unit_loads_non_integer(self, net):
+        with pytest.raises(TaskError):
+            TaskAssignment.from_unit_loads(net, [1, 1.5, 0, 0])
+
+    def test_initial_tasks_per_node(self, net, factory):
+        tasks = [[factory.create(weight=2.0)], [], [factory.create()], []]
+        assignment = TaskAssignment(net, tasks_per_node=tasks)
+        np.testing.assert_array_equal(assignment.loads(), [2, 0, 1, 0])
+
+    def test_initial_tasks_wrong_length(self, net, factory):
+        with pytest.raises(TaskError):
+            TaskAssignment(net, tasks_per_node=[[], []])
+
+
+class TestQueriesAndMetrics:
+    def test_total_weight_and_makespans(self, net, factory):
+        assignment = TaskAssignment(net)
+        assignment.add(0, factory.create(weight=4.0))
+        assignment.add(1, factory.create(weight=2.0))
+        assert assignment.total_weight() == 6.0
+        np.testing.assert_allclose(assignment.makespans(), [4, 2, 0, 0])
+
+    def test_makespans_respect_speeds(self, factory):
+        net = topologies.cycle(4).with_speeds([1, 2, 4, 1])
+        assignment = TaskAssignment(net)
+        assignment.add(1, factory.create(weight=4.0))
+        assignment.add(2, factory.create(weight=4.0))
+        np.testing.assert_allclose(assignment.makespans(), [0, 2, 1, 0])
+
+    def test_location_of(self, net, factory):
+        assignment = TaskAssignment(net)
+        task = factory.create()
+        assignment.add(2, task)
+        assert assignment.location_of(task) == 2
+
+    def test_location_of_unassigned(self, net, factory):
+        assignment = TaskAssignment(net)
+        with pytest.raises(TaskError):
+            assignment.location_of(factory.create())
+
+    def test_max_task_weight_empty(self, net):
+        assert TaskAssignment(net).max_task_weight() == 0.0
+
+    def test_tasks_at_invalid_node(self, net):
+        with pytest.raises(TaskError):
+            TaskAssignment(net).tasks_at(9)
+
+
+class TestMutation:
+    def test_add_and_remove(self, net, factory):
+        assignment = TaskAssignment(net)
+        task = factory.create(weight=3.0)
+        assignment.add(1, task)
+        assert assignment.load(1) == 3.0
+        assignment.remove(1, task)
+        assert assignment.load(1) == 0.0
+        assert assignment.num_tasks == 0
+
+    def test_double_add_rejected(self, net, factory):
+        assignment = TaskAssignment(net)
+        task = factory.create()
+        assignment.add(0, task)
+        with pytest.raises(TaskError):
+            assignment.add(1, task)
+
+    def test_remove_from_wrong_node(self, net, factory):
+        assignment = TaskAssignment(net)
+        task = factory.create()
+        assignment.add(0, task)
+        with pytest.raises(TaskError):
+            assignment.remove(2, task)
+
+    def test_move(self, net, factory):
+        assignment = TaskAssignment(net)
+        task = factory.create(weight=2.0)
+        assignment.add(0, task)
+        assignment.move(task, 0, 3)
+        assert assignment.load(0) == 0.0
+        assert assignment.load(3) == 2.0
+        assert assignment.location_of(task) == 3
+
+    def test_move_many_returns_weight(self, net, factory):
+        assignment = TaskAssignment(net)
+        tasks = [factory.create(weight=2.0), factory.create(weight=1.0)]
+        for task in tasks:
+            assignment.add(0, task)
+        moved = assignment.move_many(tasks, 0, 1)
+        assert moved == 3.0
+        assert assignment.load(1) == 3.0
+
+    def test_copy_is_independent(self, net, factory):
+        assignment = TaskAssignment(net)
+        task = factory.create()
+        assignment.add(0, task)
+        clone = assignment.copy()
+        clone.move(task, 0, 1)
+        assert assignment.load(0) == 1.0
+        assert clone.load(1) == 1.0
+
+
+class TestDummies:
+    def test_dummy_loads_tracked_separately(self, net, factory):
+        assignment = TaskAssignment(net)
+        assignment.add(0, factory.create(weight=2.0))
+        assignment.add(0, factory.create_dummy())
+        assignment.add(1, factory.create_dummy())
+        np.testing.assert_array_equal(assignment.loads(), [3, 1, 0, 0])
+        np.testing.assert_array_equal(assignment.loads(include_dummies=False), [2, 0, 0, 0])
+        np.testing.assert_array_equal(assignment.dummy_loads(), [1, 1, 0, 0])
+        assert assignment.total_dummy_weight() == 2.0
+
+    def test_remove_dummies(self, net, factory):
+        assignment = TaskAssignment(net)
+        assignment.add(0, factory.create())
+        assignment.add(2, factory.create_dummy())
+        assignment.add(2, factory.create_dummy())
+        removed = assignment.remove_dummies()
+        assert removed == 2.0
+        assert assignment.total_dummy_weight() == 0.0
+        assert assignment.num_tasks == 1
+
+    def test_moving_dummy_moves_its_dummy_weight(self, net, factory):
+        assignment = TaskAssignment(net)
+        dummy = factory.create_dummy()
+        assignment.add(0, dummy)
+        assignment.move(dummy, 0, 2)
+        np.testing.assert_array_equal(assignment.dummy_loads(), [0, 0, 1, 0])

@@ -1,0 +1,71 @@
+"""Unit tests for :mod:`repro.tasks.task`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TaskError
+from repro.tasks.task import Task, TaskFactory
+
+
+class TestTask:
+    def test_default_is_unit_token(self):
+        task = Task(task_id=1)
+        assert task.weight == 1.0
+        assert task.is_token
+        assert not task.is_dummy
+
+    def test_weighted_task(self):
+        task = Task(task_id=2, weight=3.0, origin=5)
+        assert task.weight == 3.0
+        assert not task.is_token
+        assert task.origin == 5
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(TaskError):
+            Task(task_id=3, weight=0.0)
+        with pytest.raises(TaskError):
+            Task(task_id=4, weight=-1.0)
+
+    def test_dummy_must_have_unit_weight(self):
+        with pytest.raises(TaskError):
+            Task(task_id=5, weight=2.0, is_dummy=True)
+        dummy = Task(task_id=6, weight=1.0, is_dummy=True)
+        assert dummy.is_dummy
+
+    def test_tasks_are_immutable(self):
+        task = Task(task_id=7)
+        with pytest.raises(AttributeError):
+            task.weight = 2.0  # type: ignore[misc]
+
+
+class TestTaskFactory:
+    def test_ids_are_unique_and_increasing(self):
+        factory = TaskFactory()
+        tasks = [factory.create() for _ in range(10)]
+        ids = [task.task_id for task in tasks]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 10
+
+    def test_start_id(self):
+        factory = TaskFactory(start_id=100)
+        assert factory.create().task_id == 100
+
+    def test_create_dummy(self):
+        factory = TaskFactory()
+        dummy = factory.create_dummy(origin=3)
+        assert dummy.is_dummy
+        assert dummy.weight == 1.0
+        assert dummy.origin == 3
+
+    def test_create_many(self):
+        factory = TaskFactory()
+        tasks = list(factory.create_many(5, weight=2.0, origin=1))
+        assert len(tasks) == 5
+        assert all(task.weight == 2.0 for task in tasks)
+        assert all(task.origin == 1 for task in tasks)
+
+    def test_create_many_negative_rejected(self):
+        factory = TaskFactory()
+        with pytest.raises(TaskError):
+            list(factory.create_many(-1))

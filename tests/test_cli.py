@@ -1,0 +1,84 @@
+"""Tests for the command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.topology == "torus"
+        assert args.continuous == "fos"
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--algorithms", "frobnicate"])
+
+
+class TestCommands:
+    def test_compare_command_output(self, capsys):
+        exit_code = main(["compare", "--topology", "cycle", "--nodes", "8",
+                          "--tokens-per-node", "8",
+                          "--algorithms", "round-down", "algorithm1", "--seed", "1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "round-down" in output
+        assert "algorithm1" in output
+        assert "max_min" in output
+
+    def test_compare_matching_model(self, capsys):
+        exit_code = main(["compare", "--topology", "hypercube", "--nodes", "16",
+                          "--tokens-per-node", "4", "--continuous", "periodic-matching",
+                          "--algorithms", "matching-round-down", "algorithm1"])
+        assert exit_code == 0
+        assert "matching-round-down" in capsys.readouterr().out
+
+    def test_initial_load_command(self, capsys):
+        exit_code = main(["initial-load"])
+        assert exit_code == 0
+        assert "base_level" in capsys.readouterr().out
+
+    def test_scaling_command(self, capsys):
+        exit_code = main(["scaling", "--family", "cycle", "--sizes", "8", "16"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "algorithm" in output
+
+    def test_scenario_command(self, capsys, tmp_path):
+        from repro.simulation.scenario import Scenario
+
+        scenario_path = Scenario(name="cli-demo", algorithm="algorithm1", topology="cycle",
+                                 num_nodes=8, tokens_per_node=8, seed=1).to_json(
+            tmp_path / "scenario.json")
+        csv_path = tmp_path / "result.csv"
+        exit_code = main(["scenario", "--file", str(scenario_path), "--csv", str(csv_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cli-demo" in output
+        assert csv_path.exists()
+
+    def test_sweep_command(self, capsys):
+        exit_code = main(["sweep", "--algorithm", "algorithm2", "--topology", "torus",
+                          "--nodes", "16", "--tokens-per-node", "8",
+                          "--seeds", "1", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "algorithm2" in output
+        assert "max_min_mean" in output
+
+    def test_audit_command(self, capsys):
+        exit_code = main(["audit", "--algorithm", "algorithm1", "--topology", "cycle",
+                          "--nodes", "12", "--tokens-per-node", "8", "--seed", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "audited" in output
+        assert "clean" in output
+        assert "Theorem 3 bound" in output

@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+from __future__ import annotations
+
+import repro
+from repro import exceptions
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in ("NetworkError", "TopologyError", "TaskError", "ProcessError",
+                     "NegativeLoadError", "ConvergenceError", "ScheduleError",
+                     "ExperimentError"):
+            error_type = getattr(exceptions, name)
+            assert issubclass(error_type, exceptions.ReproError)
+
+    def test_specialisations(self):
+        assert issubclass(exceptions.TopologyError, exceptions.NetworkError)
+        assert issubclass(exceptions.NegativeLoadError, exceptions.ProcessError)
+        assert issubclass(exceptions.ConvergenceError, exceptions.ProcessError)
+        assert issubclass(exceptions.ScheduleError, exceptions.ProcessError)
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_key_classes_exported(self):
+        assert repro.DeterministicFlowImitation is not None
+        assert repro.RandomizedFlowImitation is not None
+        assert repro.FirstOrderDiffusion is not None
+        assert callable(repro.run_algorithm)
