@@ -30,10 +30,23 @@ from .network import (
 )
 from .simulation import (
     ALL_ALGORITHMS,
+    DynamicScenario,
     RunResult,
+    Scenario,
     compare_algorithms,
     determine_balancing_time,
+    make_balancer,
     run_algorithm,
+    run_dynamic_scenario,
+    run_scenario,
+)
+from .dynamic import (
+    EVENT_PROFILES,
+    DynamicEvent,
+    EventGenerator,
+    make_event_generator,
+    run_stream,
+    summarize_dynamic,
 )
 from .tasks import (
     Task,
@@ -79,7 +92,19 @@ __all__ = [
     # simulation
     "ALL_ALGORITHMS",
     "RunResult",
+    "Scenario",
+    "DynamicScenario",
     "run_algorithm",
+    "run_scenario",
+    "run_dynamic_scenario",
     "compare_algorithms",
     "determine_balancing_time",
+    "make_balancer",
+    # dynamic workloads
+    "EVENT_PROFILES",
+    "DynamicEvent",
+    "EventGenerator",
+    "make_event_generator",
+    "run_stream",
+    "summarize_dynamic",
 ]

@@ -85,6 +85,22 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--file", required=True, help="path to the scenario JSON file")
     scenario.add_argument("--csv", help="optional path to append the result row as CSV")
 
+    dynamic = subparsers.add_parser(
+        "dynamic", help="run a balancer under a streaming (time-varying) workload")
+    dynamic.add_argument("--scenario", default="burst",
+                         help="event profile name (see repro.dynamic.EVENT_PROFILES)")
+    dynamic.add_argument("--algorithm", default="algorithm2", choices=list(ALL_ALGORITHMS))
+    dynamic.add_argument("--topology", default="torus")
+    dynamic.add_argument("--nodes", type=int, default=64)
+    dynamic.add_argument("--tokens-per-node", type=int, default=8,
+                         help="density of the initial (uniform random) workload")
+    dynamic.add_argument("--continuous", default="fos",
+                         choices=["fos", "sos", "periodic-matching", "random-matching"],
+                         help="continuous substrate to re-couple after each event")
+    dynamic.add_argument("--rounds", type=int, default=240, help="stream horizon")
+    dynamic.add_argument("--seed", type=int, default=7)
+    dynamic.add_argument("--csv", help="optional path to write the summary row as CSV")
+
     sweep = subparsers.add_parser("sweep", help="run one configuration over several seeds")
     sweep.add_argument("--algorithm", required=True, choices=list(ALL_ALGORITHMS))
     sweep.add_argument("--topology", default="torus")
@@ -146,6 +162,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(format_table([row], columns=["scenario", "algorithm", "network", "n",
                                            "rounds", "max_min", "max_avg",
                                            "dummy_tokens", "went_negative"]))
+        if args.csv:
+            rows_to_csv([row], args.csv)
+            print(f"wrote {args.csv}")
+    elif args.command == "dynamic":
+        from .core.algorithm1 import theorem3_discrepancy_bound
+        from .dynamic.metrics import recovery_report, summarize_dynamic
+        from .simulation.reporting import rows_to_csv
+        from .simulation.scenario import DynamicScenario, run_dynamic_scenario
+
+        scenario = DynamicScenario(
+            name=f"cli-{args.scenario}", algorithm=args.algorithm,
+            topology=args.topology, num_nodes=args.nodes,
+            tokens_per_node=args.tokens_per_node, continuous_kind=args.continuous,
+            events=args.scenario, rounds=args.rounds, seed=args.seed,
+        )
+        result = run_dynamic_scenario(scenario)
+        band = theorem3_discrepancy_bound(result.max_degree, result.max_task_weight)
+        summary = summarize_dynamic(result, band)
+        row = {"scenario": args.scenario, **result.as_dict(), **summary}
+        print(f"dynamic '{args.scenario}' stream: {args.algorithm} on "
+              f"{result.network_name} ({result.num_nodes} nodes after "
+              f"{result.rounds} rounds, continuous={args.continuous})")
+        print(format_table([row], columns=["scenario", "algorithm", "n", "rounds",
+                                           "events", "arrivals", "departures",
+                                           "recouplings", "steady_state", "band",
+                                           "time_in_band", "max_min"]))
+        for burst in recovery_report(result, band):
+            recovered = burst["recovery_time"]
+            recovery = (f"recovered in {recovered} rounds"
+                        if recovered is not None else "did NOT recover")
+            print(f"  burst at round {burst['round']}: peak discrepancy "
+                  f"{burst['peak']:.1f}, {recovery} (band {band:.1f})")
         if args.csv:
             rows_to_csv([row], args.csv)
             print(f"wrote {args.csv}")

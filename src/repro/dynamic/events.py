@@ -1,0 +1,408 @@
+"""Event model for dynamic (time-varying) workloads.
+
+The static experiments of the paper fix a task multiset and a network and run
+a balancer until the continuous substrate balances.  Real load balancers face
+*streams*: tasks arrive and depart while balancing is underway, and nodes join
+or leave the network.  This module provides the vocabulary for such runs:
+
+* :class:`DynamicEvent` — one atomic change to the system, scheduled for the
+  start of a round: a task **arrival**, a task **departure**, a node **join**
+  or a node **leave**;
+* :class:`EventGenerator` — a deterministic (seeded) source of events, polled
+  once per round by the streaming engine with a read-only
+  :class:`StreamView` of the current system state;
+* concrete generators covering the classic dynamic regimes: Poisson streams,
+  periodic bursts, an adversarial hotspot that always targets the most loaded
+  node, and node churn;
+* a registry of named **event profiles** (:data:`EVENT_PROFILES`) so the CLI,
+  scenarios and benchmarks can request "burst" or "churn" by name.
+
+Nodes are identified by *stable labels*: the label a node got when it entered
+the system, which never changes even when other nodes leave.  The streaming
+engine (:mod:`repro.dynamic.stream`) owns the mapping between stable labels
+and the contiguous ``0..n-1`` indices of the currently coupled
+:class:`~repro.network.graph.Network`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+from ..network.graph import Network
+
+__all__ = [
+    "ARRIVAL",
+    "DEPARTURE",
+    "JOIN",
+    "LEAVE",
+    "EVENT_KINDS",
+    "DynamicEvent",
+    "StreamView",
+    "EventGenerator",
+    "ScheduledEvents",
+    "PoissonArrivals",
+    "PoissonDepartures",
+    "BurstyArrivals",
+    "AdversarialHotspot",
+    "NodeChurn",
+    "CompositeGenerator",
+    "EVENT_PROFILES",
+    "make_event_generator",
+]
+
+ARRIVAL = "arrival"
+DEPARTURE = "departure"
+JOIN = "join"
+LEAVE = "leave"
+
+EVENT_KINDS = (ARRIVAL, DEPARTURE, JOIN, LEAVE)
+
+
+@dataclass(frozen=True)
+class DynamicEvent:
+    """One atomic change to the system, applied at the start of a round.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    node:
+        The stable label of the affected node.  Required for arrivals,
+        departures and leaves; ignored for joins (the engine assigns the
+        label of the new node).
+    tokens:
+        Number of unit tokens added (arrival / join) or requested to be
+        removed (departure).  Departures remove at most the tokens actually
+        present; the engine records the realised amount in the timeline.
+    attach_to:
+        For joins: the stable labels of the existing nodes the new node
+        connects to (at least one, so the network stays connected).
+    tag:
+        Free-form marker set by the generator ("burst", "hotspot", ...) so
+        metrics can locate specific events in the timeline.
+    """
+
+    kind: str
+    node: Optional[int] = None
+    tokens: int = 0
+    attach_to: Tuple[int, ...] = ()
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ExperimentError(
+                f"unknown event kind {self.kind!r}; valid kinds: {EVENT_KINDS}")
+        if self.tokens < 0:
+            raise ExperimentError("event token counts must be non-negative")
+        if self.kind in (ARRIVAL, DEPARTURE, LEAVE) and self.node is None:
+            raise ExperimentError(f"{self.kind} events require a node label")
+        if self.kind == JOIN and not self.attach_to:
+            raise ExperimentError("join events require at least one attachment target")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly view (used for result timelines)."""
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "tokens": self.tokens,
+            "attach_to": list(self.attach_to),
+            "tag": self.tag,
+        }
+
+
+@dataclass(frozen=True)
+class StreamView:
+    """Read-only snapshot of the streaming system handed to generators.
+
+    Attributes
+    ----------
+    round_index:
+        The round about to be executed.
+    labels:
+        Sorted stable labels of the nodes currently in the system.
+    loads:
+        Current integer load per stable label (real tasks, excluding any
+        dummy tokens of the flow-imitation algorithms).
+    network:
+        The currently coupled network (contiguous ``0..n-1`` indices;
+        ``network.node_labels`` maps an index back to its stable label).
+    """
+
+    round_index: int
+    labels: Tuple[int, ...]
+    loads: Mapping[int, int]
+    network: Network
+
+    @property
+    def total_load(self) -> int:
+        """Total number of real tokens currently in the system."""
+        return int(sum(self.loads.values()))
+
+    def max_load_label(self) -> int:
+        """Stable label of the most loaded node (smallest label on ties)."""
+        return max(self.labels, key=lambda label: (self.loads.get(label, 0), -label))
+
+
+class EventGenerator(ABC):
+    """Deterministic source of events, polled once per round.
+
+    Generators own their randomness: a generator constructed with the same
+    seed yields the same event sequence when shown the same sequence of
+    views, which is what makes dynamic runs reproducible end-to-end.
+    """
+
+    @abstractmethod
+    def events(self, view: StreamView) -> List[DynamicEvent]:
+        """Return the events to apply at the start of round ``view.round_index``."""
+
+
+class ScheduledEvents(EventGenerator):
+    """A fixed, explicit schedule: ``{round_index: [events, ...]}``."""
+
+    def __init__(self, schedule: Mapping[int, Sequence[DynamicEvent]]) -> None:
+        for round_index in schedule:
+            if round_index < 0:
+                raise ExperimentError("event rounds must be non-negative")
+        self._schedule = {int(r): list(evs) for r, evs in schedule.items()}
+
+    def events(self, view: StreamView) -> List[DynamicEvent]:
+        return list(self._schedule.get(view.round_index, ()))
+
+
+class PoissonArrivals(EventGenerator):
+    """Each round, ``Poisson(rate)`` unit tokens arrive on uniform random nodes."""
+
+    def __init__(self, rate: float, seed: Optional[int] = None, tag: str = "") -> None:
+        if rate < 0:
+            raise ExperimentError("arrival rate must be non-negative")
+        self._rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+        self._tag = tag
+
+    def events(self, view: StreamView) -> List[DynamicEvent]:
+        count = int(self._rng.poisson(self._rate))
+        if count == 0:
+            return []
+        picks = self._rng.choice(len(view.labels), size=count)
+        per_label = np.bincount(picks, minlength=len(view.labels))
+        return [
+            DynamicEvent(ARRIVAL, node=view.labels[index], tokens=int(tokens), tag=self._tag)
+            for index, tokens in enumerate(per_label) if tokens
+        ]
+
+
+class PoissonDepartures(EventGenerator):
+    """Each round, ``Poisson(rate)`` tokens finish and leave the system.
+
+    Departing tokens are sampled proportionally to the current loads (each
+    in-system token is equally likely to finish), which keeps the stream
+    load-neutral when paired with :class:`PoissonArrivals` of the same rate.
+    """
+
+    def __init__(self, rate: float, seed: Optional[int] = None, tag: str = "") -> None:
+        if rate < 0:
+            raise ExperimentError("departure rate must be non-negative")
+        self._rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+        self._tag = tag
+
+    def events(self, view: StreamView) -> List[DynamicEvent]:
+        total = view.total_load
+        count = min(int(self._rng.poisson(self._rate)), total)
+        if count <= 0:
+            return []
+        loads = np.array([view.loads.get(label, 0) for label in view.labels], dtype=float)
+        picks = self._rng.choice(len(view.labels), size=count, p=loads / loads.sum())
+        per_label = np.bincount(picks, minlength=len(view.labels))
+        events = []
+        for index, tokens in enumerate(per_label):
+            if not tokens:
+                continue
+            label = view.labels[index]
+            # Never request more tokens than the node actually holds.
+            tokens = min(int(tokens), int(view.loads.get(label, 0)))
+            if tokens:
+                events.append(DynamicEvent(DEPARTURE, node=label, tokens=tokens, tag=self._tag))
+        return events
+
+
+class BurstyArrivals(EventGenerator):
+    """Periodic bursts: every ``period`` rounds, dump ``burst_size`` tokens on one node.
+
+    The target node is fixed (``node``) or drawn uniformly per burst.  Bursts
+    are tagged ``"burst"`` so :func:`repro.dynamic.metrics.burst_rounds` can
+    locate them in the timeline.
+    """
+
+    def __init__(self, burst_size: int, period: int, first_round: int = 0,
+                 node: Optional[int] = None, seed: Optional[int] = None) -> None:
+        if burst_size < 0:
+            raise ExperimentError("burst_size must be non-negative")
+        if period < 1:
+            raise ExperimentError("burst period must be at least 1")
+        if first_round < 0:
+            raise ExperimentError("first_round must be non-negative")
+        self._burst_size = int(burst_size)
+        self._period = int(period)
+        self._first = int(first_round)
+        self._node = node
+        self._rng = np.random.default_rng(seed)
+
+    def events(self, view: StreamView) -> List[DynamicEvent]:
+        t = view.round_index
+        if t < self._first or (t - self._first) % self._period or not self._burst_size:
+            return []
+        if self._node is not None and self._node in view.labels:
+            target = self._node
+        else:
+            target = view.labels[int(self._rng.integers(len(view.labels)))]
+        return [DynamicEvent(ARRIVAL, node=target, tokens=self._burst_size, tag="burst")]
+
+
+class AdversarialHotspot(EventGenerator):
+    """Arrivals that always target the currently most loaded node.
+
+    This is the adversary that keeps the discrepancy as high as the stream
+    rate allows: new work lands exactly where balancing has not caught up yet.
+    """
+
+    def __init__(self, tokens_per_round: int, seed: Optional[int] = None) -> None:
+        if tokens_per_round < 0:
+            raise ExperimentError("tokens_per_round must be non-negative")
+        self._tokens = int(tokens_per_round)
+        self._rng = np.random.default_rng(seed)
+
+    def events(self, view: StreamView) -> List[DynamicEvent]:
+        if not self._tokens:
+            return []
+        return [DynamicEvent(ARRIVAL, node=view.max_load_label(),
+                             tokens=self._tokens, tag="hotspot")]
+
+
+class NodeChurn(EventGenerator):
+    """Bernoulli node churn: joins and leaves with per-round probabilities.
+
+    A joining node attaches to ``attach_degree`` uniformly chosen existing
+    nodes (so it is immediately connected).  A leave targets a uniformly
+    chosen node; the streaming engine *rejects* the leave when removing the
+    node would disconnect the network or shrink it below three nodes, which
+    is how connectivity is preserved unconditionally.
+    """
+
+    def __init__(self, join_probability: float = 0.05, leave_probability: float = 0.05,
+                 attach_degree: int = 2, seed: Optional[int] = None) -> None:
+        for name, p in (("join_probability", join_probability),
+                        ("leave_probability", leave_probability)):
+            if not 0.0 <= p <= 1.0:
+                raise ExperimentError(f"{name} must be a probability, got {p}")
+        if attach_degree < 1:
+            raise ExperimentError("attach_degree must be at least 1")
+        self._join_p = float(join_probability)
+        self._leave_p = float(leave_probability)
+        self._attach = int(attach_degree)
+        self._rng = np.random.default_rng(seed)
+
+    def events(self, view: StreamView) -> List[DynamicEvent]:
+        events: List[DynamicEvent] = []
+        if self._rng.random() < self._join_p:
+            k = min(self._attach, len(view.labels))
+            picks = self._rng.choice(len(view.labels), size=k, replace=False)
+            attach = tuple(view.labels[int(index)] for index in sorted(picks))
+            events.append(DynamicEvent(JOIN, attach_to=attach, tag="churn"))
+        if self._rng.random() < self._leave_p:
+            victim = view.labels[int(self._rng.integers(len(view.labels)))]
+            events.append(DynamicEvent(LEAVE, node=victim, tag="churn"))
+        return events
+
+
+class CompositeGenerator(EventGenerator):
+    """Merge the event streams of several generators (polled in order)."""
+
+    def __init__(self, generators: Sequence[EventGenerator]) -> None:
+        self._generators = list(generators)
+
+    def events(self, view: StreamView) -> List[DynamicEvent]:
+        merged: List[DynamicEvent] = []
+        for generator in self._generators:
+            merged.extend(generator.events(view))
+        return merged
+
+
+# ---------------------------------------------------------------------- #
+# named profiles
+# ---------------------------------------------------------------------- #
+
+
+def _poisson_profile(network: Network, tokens_per_node: int,
+                     seed: Optional[int]) -> EventGenerator:
+    rate = max(1.0, network.num_nodes / 4)
+    return CompositeGenerator([
+        PoissonArrivals(rate, seed=_derive(seed, 1)),
+        PoissonDepartures(rate, seed=_derive(seed, 2)),
+    ])
+
+
+def _burst_profile(network: Network, tokens_per_node: int,
+                   seed: Optional[int]) -> EventGenerator:
+    burst = max(network.num_nodes, tokens_per_node * network.num_nodes // 2)
+    return BurstyArrivals(burst, period=120, first_round=30, seed=_derive(seed, 1))
+
+
+def _hotspot_profile(network: Network, tokens_per_node: int,
+                     seed: Optional[int]) -> EventGenerator:
+    rate = max(1, network.num_nodes // 8)
+    return CompositeGenerator([
+        AdversarialHotspot(rate, seed=_derive(seed, 1)),
+        PoissonDepartures(float(rate), seed=_derive(seed, 2)),
+    ])
+
+
+def _churn_profile(network: Network, tokens_per_node: int,
+                   seed: Optional[int]) -> EventGenerator:
+    rate = max(1.0, network.num_nodes / 8)
+    return CompositeGenerator([
+        PoissonArrivals(rate, seed=_derive(seed, 1)),
+        PoissonDepartures(rate, seed=_derive(seed, 2)),
+        NodeChurn(join_probability=0.05, leave_probability=0.05,
+                  attach_degree=min(2, network.num_nodes - 1), seed=_derive(seed, 3)),
+    ])
+
+
+def _mixed_profile(network: Network, tokens_per_node: int,
+                   seed: Optional[int]) -> EventGenerator:
+    return CompositeGenerator([
+        _poisson_profile(network, tokens_per_node, _derive(seed, 10)),
+        _burst_profile(network, tokens_per_node, _derive(seed, 11)),
+        NodeChurn(join_probability=0.02, leave_probability=0.02,
+                  attach_degree=min(2, network.num_nodes - 1), seed=_derive(seed, 12)),
+    ])
+
+
+#: Named event profiles usable from the CLI, scenarios and benchmarks.  Each
+#: entry maps a name to ``factory(network, tokens_per_node, seed)``.
+EVENT_PROFILES: Dict[str, Callable[[Network, int, Optional[int]], EventGenerator]] = {
+    "poisson": _poisson_profile,
+    "burst": _burst_profile,
+    "hotspot": _hotspot_profile,
+    "churn": _churn_profile,
+    "mixed": _mixed_profile,
+}
+
+
+def make_event_generator(profile: str, network: Network, tokens_per_node: int,
+                         seed: Optional[int] = None) -> EventGenerator:
+    """Build the named event profile scaled to ``network``."""
+    if profile not in EVENT_PROFILES:
+        raise ExperimentError(
+            f"unknown event profile {profile!r}; valid profiles: {sorted(EVENT_PROFILES)}")
+    return EVENT_PROFILES[profile](network, tokens_per_node, seed)
+
+
+def _derive(seed: Optional[int], salt: int) -> Optional[int]:
+    """Derive a deterministic child seed (``None`` stays ``None``)."""
+    return None if seed is None else seed * 1_000_003 + salt

@@ -1,0 +1,391 @@
+"""Streaming engine: drive any balancer through a time-varying scenario.
+
+The engine interleaves :class:`~repro.dynamic.events.DynamicEvent` streams
+with synchronous balancing rounds.  Each round it
+
+1. polls the event generator with a read-only :class:`StreamView`;
+2. applies the returned events to its own mutable system state (per-node
+   token counts and a :class:`networkx.Graph` keyed by *stable labels* that
+   survive node churn);
+3. **re-couples** the balancer whenever an event changed the workload or the
+   topology — the continuous substrate of the paper's framework is only
+   meaningful for a fixed graph and total load, so the discrete balancer is
+   rebuilt from the current loads through the same registry
+   (:func:`repro.simulation.engine.make_balancer`) used by static runs;
+4. advances the balancer one round and records the discrepancy, the total
+   real load and the quadratic potential.
+
+Re-coupling is the dynamic analogue of restarting the paper's Algorithm 1/2
+on the current configuration: between events the coupling (and therefore the
+Theorem 3/8 guarantees relative to the *current* configuration) is exactly
+the static one.  Dummy tokens created by a flow-imitation balancer are
+eliminated at each re-coupling boundary (the paper's final clean-up step), so
+the tracked workload always equals ``initial + arrivals - departures``.
+
+Node leaves that would disconnect the network (or shrink it below three
+nodes) are rejected and recorded as such — the engine unconditionally
+preserves connectivity, which every balancing process in this library
+requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..core.flow_imitation import FlowImitationBalancer, TaskSelectionPolicy
+from ..exceptions import ExperimentError
+from ..network.graph import Network
+from ..simulation.engine import ALL_ALGORITHMS, CONTINUOUS_KINDS, make_balancer, make_schedule
+from ..simulation.results import RunResult
+from ..tasks.load import max_avg_discrepancy, max_min_discrepancy, quadratic_potential
+from .events import ARRIVAL, DEPARTURE, JOIN, LEAVE, DynamicEvent, EventGenerator, StreamView
+
+__all__ = ["run_stream", "StreamingEngine"]
+
+
+class StreamingEngine:
+    """Mutable system state plus the event/round loop of a dynamic run.
+
+    Most callers should use :func:`run_stream`; the class is public so tests
+    and long-running drivers can step the system round by round and inspect
+    intermediate state.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        network: Network,
+        initial_load: Sequence[float],
+        generator: EventGenerator,
+        continuous_kind: str = "fos",
+        seed: Optional[int] = None,
+        selection_policy: str = TaskSelectionPolicy.FIFO,
+    ) -> None:
+        if algorithm not in ALL_ALGORITHMS:
+            raise ExperimentError(
+                f"unknown algorithm {algorithm!r}; valid algorithms: {ALL_ALGORITHMS}")
+        if continuous_kind not in CONTINUOUS_KINDS:
+            raise ExperimentError(
+                f"unknown continuous kind {continuous_kind!r}; valid: {CONTINUOUS_KINDS}")
+        network.require_connected()
+        loads = np.asarray(list(initial_load), dtype=float)
+        if loads.shape != (network.num_nodes,):
+            raise ExperimentError(
+                f"initial load must have length {network.num_nodes}, got {loads.shape}")
+        if np.any(loads < 0) or not np.allclose(loads, np.round(loads)):
+            raise ExperimentError("dynamic runs require non-negative integer token loads")
+
+        self._algorithm = algorithm
+        self._continuous_kind = continuous_kind
+        self._generator = generator
+        self._seed = seed
+        self._selection_policy = selection_policy
+        self._base_name = network.name
+
+        # Stable-label state: the graph and token counts the events act on.
+        # ``network`` already uses contiguous labels 0..n-1, which become the
+        # initial stable labels; joins get fresh labels beyond the maximum.
+        self._graph: nx.Graph = nx.Graph()
+        self._graph.add_nodes_from(range(network.num_nodes))
+        self._graph.add_edges_from(network.edges)
+        self._tokens: Dict[int, int] = {
+            node: int(round(loads[node])) for node in network.nodes}
+        self._speeds: Dict[int, float] = {
+            node: float(network.speeds[node]) for node in network.nodes}
+        self._next_label = network.num_nodes
+
+        self._round = 0
+        self._recouplings = 0
+        self._arrived = 0
+        self._departed = 0
+        self._rejected_events = 0
+        self._clamped_tokens = 0
+        # Failure-mode counters accumulated across re-couplings (each
+        # coupling discards the previous balancer together with its own
+        # counters, so the run-level totals live here).
+        self._dummy_tokens = 0
+        self._used_infinite_source = False
+        self._went_negative = False
+        self._timeline: List[Dict[str, object]] = []
+
+        self._network: Network = None  # type: ignore[assignment]
+        self._balancer = None
+        self._couple()
+
+    # ------------------------------------------------------------------ #
+    # read-only state
+    # ------------------------------------------------------------------ #
+
+    @property
+    def round_index(self) -> int:
+        """The index of the next round to be executed."""
+        return self._round
+
+    @property
+    def network(self) -> Network:
+        """The currently coupled network."""
+        return self._network
+
+    @property
+    def balancer(self):
+        """The currently coupled discrete balancer."""
+        return self._balancer
+
+    @property
+    def recouplings(self) -> int:
+        """How many times events forced the balancer to be rebuilt."""
+        return self._recouplings
+
+    @property
+    def timeline(self) -> List[Dict[str, object]]:
+        """Chronological record of all events seen so far (copy)."""
+        return [dict(entry) for entry in self._timeline]
+
+    @property
+    def labels(self) -> Tuple[int, ...]:
+        """Sorted stable labels of the nodes currently in the system."""
+        return tuple(sorted(self._graph.nodes()))
+
+    def tokens_by_label(self) -> Dict[int, int]:
+        """Current real (non-dummy) token count per stable label (copy)."""
+        return dict(self._tokens)
+
+    def total_real_load(self) -> int:
+        """Total number of real tokens currently in the system."""
+        return int(sum(self._tokens.values()))
+
+    def view(self) -> StreamView:
+        """The read-only snapshot handed to the event generator this round."""
+        return StreamView(round_index=self._round, labels=self.labels,
+                          loads=dict(self._tokens), network=self._network)
+
+    # ------------------------------------------------------------------ #
+    # metrics of the current state
+    # ------------------------------------------------------------------ #
+
+    def current_discrepancy(self) -> float:
+        """Max-min discrepancy of the physical loads (dummies included)."""
+        return max_min_discrepancy(self._balancer.loads(), self._network)
+
+    def current_potential(self) -> float:
+        """Quadratic potential of the physical loads (dummies included)."""
+        return quadratic_potential(self._balancer.loads(), self._network)
+
+    # ------------------------------------------------------------------ #
+    # coupling
+    # ------------------------------------------------------------------ #
+
+    def _couple(self) -> None:
+        """(Re)build the network and balancer from the stable-label state."""
+        self._harvest_balancer_counters()
+        labels = self.labels
+        speeds = [self._speeds[label] for label in labels]
+        # Network relabels the (sorted, stable) labels to 0..n-1 itself and
+        # keeps the originals in ``node_labels`` — the index -> stable-label
+        # mapping the StreamView contract promises to generators.
+        network = Network(self._graph.copy(), speeds=speeds,
+                          name=f"{self._base_name}+dynamic")
+        loads = np.array([self._tokens[label] for label in labels], dtype=int)
+
+        couple_seed = None if self._seed is None else self._seed + 7919 * self._recouplings
+        schedule = make_schedule(self._continuous_kind, network, seed=couple_seed)
+        self._network = network
+        self._balancer = make_balancer(
+            self._algorithm, network, initial_load=loads,
+            continuous_kind=self._continuous_kind, schedule=schedule,
+            seed=couple_seed, selection_policy=self._selection_policy,
+        )
+
+    def _harvest_balancer_counters(self) -> None:
+        """Fold the outgoing balancer's failure-mode counters into the run totals."""
+        if self._balancer is None:
+            return
+        if isinstance(self._balancer, FlowImitationBalancer):
+            self._dummy_tokens += self._balancer.dummy_tokens_created
+            self._used_infinite_source |= self._balancer.used_infinite_source
+        else:
+            self._went_negative |= bool(getattr(self._balancer, "went_negative", False))
+
+    def _sync_tokens_from_balancer(self) -> None:
+        """Pull the post-round loads back into the stable-label token counts.
+
+        Flow-imitation balancers report their *real* tasks (dummy tokens are
+        dropped at the next re-coupling boundary, mirroring the paper's final
+        dummy-elimination step).  Baselines that can drive a node negative
+        are clamped at zero here; the clamped amount is recorded so the run
+        result can report the conservation violation instead of hiding it.
+        """
+        if isinstance(self._balancer, FlowImitationBalancer):
+            loads = self._balancer.loads(include_dummies=False)
+        else:
+            loads = self._balancer.loads()
+        for index, label in enumerate(self.labels):
+            count = int(round(float(loads[index])))
+            if count < 0:
+                self._clamped_tokens += -count
+                count = 0
+            self._tokens[label] = count
+
+    # ------------------------------------------------------------------ #
+    # events
+    # ------------------------------------------------------------------ #
+
+    def _apply_event(self, event: DynamicEvent) -> Tuple[bool, Dict[str, object]]:
+        """Apply one event to the stable-label state; return (changed, record)."""
+        record = event.as_dict()
+        record["round"] = self._round
+        record["applied"] = True
+
+        if event.kind == ARRIVAL:
+            if event.node not in self._tokens:
+                record["applied"] = False
+            else:
+                self._tokens[event.node] += event.tokens
+                self._arrived += event.tokens
+            return record["applied"] and event.tokens > 0, record
+
+        if event.kind == DEPARTURE:
+            available = self._tokens.get(event.node, 0)
+            realised = min(event.tokens, available)
+            record["tokens"] = realised
+            if event.node not in self._tokens:
+                record["applied"] = False
+            else:
+                self._tokens[event.node] = available - realised
+                self._departed += realised
+            return realised > 0, record
+
+        if event.kind == JOIN:
+            attach = [label for label in event.attach_to if label in self._tokens]
+            if not attach:
+                record["applied"] = False
+                return False, record
+            label = self._next_label
+            self._next_label += 1
+            self._graph.add_node(label)
+            self._graph.add_edges_from((label, target) for target in attach)
+            self._tokens[label] = event.tokens
+            self._speeds[label] = 1.0
+            self._arrived += event.tokens
+            record["node"] = label
+            record["attach_to"] = attach
+            return True, record
+
+        # LEAVE: reject anything that would disconnect the network or shrink
+        # it below three nodes; surviving tokens migrate to the neighbours.
+        if (event.node not in self._tokens
+                or self._graph.number_of_nodes() <= 3):
+            record["applied"] = False
+            return False, record
+        remaining = self._graph.copy()
+        remaining.remove_node(event.node)
+        if not nx.is_connected(remaining):
+            record["applied"] = False
+            return False, record
+        neighbors = sorted(self._graph.neighbors(event.node))
+        orphaned = self._tokens.pop(event.node)
+        self._speeds.pop(event.node)
+        self._graph = remaining
+        for offset in range(orphaned):
+            self._tokens[neighbors[offset % len(neighbors)]] += 1
+        record["tokens"] = orphaned
+        return True, record
+
+    # ------------------------------------------------------------------ #
+    # the round loop
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """Apply this round's events (re-coupling if needed) and advance."""
+        events = self._generator.events(self.view())
+        changed = False
+        for event in events:
+            event_changed, record = self._apply_event(event)
+            changed = changed or event_changed
+            if not record["applied"]:
+                self._rejected_events += 1
+            self._timeline.append(record)
+        if changed:
+            self._recouplings += 1
+            self._couple()
+        self._balancer.advance()
+        self._sync_tokens_from_balancer()
+        self._round += 1
+
+    def result(self,
+               trace_max_min: Optional[List[float]] = None,
+               trace_total_weight: Optional[List[float]] = None) -> RunResult:
+        """Summarise the run so far as a :class:`RunResult`."""
+        network = self._network
+        loads = self._balancer.loads()
+        total_real = float(self.total_real_load())
+        result = RunResult(
+            algorithm=self._algorithm,
+            continuous_kind=self._continuous_kind,
+            network_name=network.name,
+            num_nodes=network.num_nodes,
+            max_degree=network.max_degree,
+            rounds=self._round,
+            total_weight=total_real,
+            max_task_weight=1.0,
+            final_max_min=max_min_discrepancy(loads, network),
+            final_max_avg=max_avg_discrepancy(loads, network, total_weight=total_real),
+            trace_max_min=trace_max_min,
+            trace_total_weight=trace_total_weight,
+            event_timeline=self.timeline,
+        )
+        if isinstance(self._balancer, FlowImitationBalancer):
+            real_loads = self._balancer.loads(include_dummies=False)
+            result.final_max_min_no_dummies = max_min_discrepancy(real_loads, network)
+            result.final_max_avg_no_dummies = max_avg_discrepancy(
+                real_loads, network, total_weight=total_real)
+            result.dummy_tokens = self._dummy_tokens + self._balancer.dummy_tokens_created
+            result.used_infinite_source = (self._used_infinite_source
+                                           or self._balancer.used_infinite_source)
+        else:
+            result.went_negative = (self._went_negative
+                                    or bool(getattr(self._balancer, "went_negative", False)))
+        result.extra.update({
+            "arrivals": float(self._arrived),
+            "departures": float(self._departed),
+            "recouplings": float(self._recouplings),
+            "rejected_events": float(self._rejected_events),
+            "clamped_tokens": float(self._clamped_tokens),
+        })
+        return result
+
+
+def run_stream(
+    algorithm: str,
+    network: Network,
+    initial_load: Sequence[float],
+    generator: EventGenerator,
+    rounds: int,
+    continuous_kind: str = "fos",
+    seed: Optional[int] = None,
+    selection_policy: str = TaskSelectionPolicy.FIFO,
+) -> RunResult:
+    """Run ``algorithm`` for ``rounds`` rounds under a stream of events.
+
+    Returns a :class:`~repro.simulation.results.RunResult` whose
+    ``trace_max_min`` / ``trace_total_weight`` traces (index 0 is the initial
+    state) and ``event_timeline`` describe the whole dynamic run; the
+    ``extra`` dictionary carries the arrival/departure/re-coupling counters.
+    Apply :mod:`repro.dynamic.metrics` to the result to obtain steady-state
+    discrepancy, per-burst recovery times and drain rates.
+    """
+    if rounds < 0:
+        raise ExperimentError("rounds must be non-negative")
+    engine = StreamingEngine(algorithm, network, initial_load, generator,
+                             continuous_kind=continuous_kind, seed=seed,
+                             selection_policy=selection_policy)
+    trace = [engine.current_discrepancy()]
+    totals = [float(engine.total_real_load())]
+    for _ in range(rounds):
+        engine.step()
+        trace.append(engine.current_discrepancy())
+        totals.append(float(engine.total_real_load()))
+    return engine.result(trace_max_min=trace, trace_total_weight=totals)

@@ -8,13 +8,21 @@ from .engine import (
     MATCHING_BASELINES,
     compare_algorithms,
     determine_balancing_time,
+    make_balancer,
     make_continuous,
     make_schedule,
     run_algorithm,
 )
 from .locality import DisplacementSummary, summarize_displacements, task_displacements
 from .results import RunResult
-from .scenario import Scenario, load_scenario, run_scenario
+from .scenario import (
+    DynamicScenario,
+    Scenario,
+    load_dynamic_scenario,
+    load_scenario,
+    run_dynamic_scenario,
+    run_scenario,
+)
 from .sweep import SweepConfiguration, SweepResult, grid_sweep, run_sweep
 from . import experiments, reporting
 
@@ -23,8 +31,11 @@ __all__ = [
     "summarize_displacements",
     "task_displacements",
     "Scenario",
+    "DynamicScenario",
     "load_scenario",
+    "load_dynamic_scenario",
     "run_scenario",
+    "run_dynamic_scenario",
     "SweepConfiguration",
     "SweepResult",
     "grid_sweep",
@@ -39,6 +50,7 @@ __all__ = [
     "determine_balancing_time",
     "make_continuous",
     "make_schedule",
+    "make_balancer",
     "run_algorithm",
     "RunResult",
     "experiments",

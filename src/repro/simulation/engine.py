@@ -53,6 +53,7 @@ __all__ = [
     "ALL_ALGORITHMS",
     "make_schedule",
     "make_continuous",
+    "make_balancer",
     "determine_balancing_time",
     "run_algorithm",
     "compare_algorithms",
@@ -179,6 +180,45 @@ def _build_baseline(
     )
 
 
+def make_balancer(
+    algorithm: str,
+    network: Network,
+    initial_load: Optional[Sequence[float]] = None,
+    assignment: Optional[TaskAssignment] = None,
+    continuous_kind: str = "fos",
+    schedule: Optional[MatchingSchedule] = None,
+    seed: Optional[int] = None,
+    selection_policy: str = TaskSelectionPolicy.FIFO,
+) -> DiscreteBalancer:
+    """Construct (and couple) a discrete balancer of the requested kind.
+
+    This is the registry entry point shared by :func:`run_algorithm` and the
+    dynamic streaming engine (:mod:`repro.dynamic.stream`), which rebuilds —
+    "re-couples" — the balancer whenever events change the workload or the
+    topology.  Exactly one of ``initial_load`` / ``assignment`` must be given;
+    task assignments (weighted tasks) are only supported by the flow-imitation
+    algorithms.
+    """
+    if algorithm not in ALL_ALGORITHMS:
+        raise ExperimentError(
+            f"unknown algorithm {algorithm!r}; valid algorithms: {ALL_ALGORITHMS}"
+        )
+    if (initial_load is None) == (assignment is None):
+        raise ExperimentError("provide exactly one of initial_load or assignment")
+    if algorithm in FLOW_IMITATION_ALGORITHMS:
+        if assignment is None:
+            assignment = _build_assignment(network, initial_load)
+        return _build_flow_imitation(algorithm, network, assignment,
+                                     continuous_kind, schedule, seed, selection_policy)
+    if assignment is not None:
+        raise ExperimentError(
+            "task assignments (weighted tasks) are only supported by the "
+            "flow-imitation algorithms"
+        )
+    return _build_baseline(algorithm, network, initial_load,
+                           continuous_kind, schedule, seed)
+
+
 def run_algorithm(
     algorithm: str,
     network: Network,
@@ -242,9 +282,10 @@ def run_algorithm(
     w_max = max(w_max, 1.0)
 
     if is_flow_imitation:
-        balancer: DiscreteBalancer = _build_flow_imitation(
-            algorithm, network, assignment_obj, continuous_kind, schedule, seed,
-            selection_policy,
+        balancer: DiscreteBalancer = make_balancer(
+            algorithm, network, assignment=assignment_obj,
+            continuous_kind=continuous_kind, schedule=schedule, seed=seed,
+            selection_policy=selection_policy,
         )
     else:
         if rounds is None:
@@ -252,8 +293,9 @@ def run_algorithm(
                 network, reference_load, continuous_kind, tolerance=tolerance,
                 schedule=schedule, seed=seed, max_rounds=max_rounds,
             )
-        balancer = _build_baseline(algorithm, network, reference_load,
-                                   continuous_kind, schedule, seed)
+        balancer = make_balancer(algorithm, network, initial_load=reference_load,
+                                 continuous_kind=continuous_kind,
+                                 schedule=schedule, seed=seed)
 
     trace: Optional[List[float]] = [] if record_trace else None
 

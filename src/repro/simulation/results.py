@@ -43,6 +43,15 @@ class RunResult:
     trace_max_min:
         Optional per-round trace of the max-min discrepancy (index 0 is the
         initial state).
+    trace_total_weight:
+        Optional per-round trace of the total *real* (non-dummy) load.  Only
+        populated by dynamic runs, where arrivals and departures change the
+        total over time; index 0 is the initial state.
+    event_timeline:
+        Optional chronological record of the workload/topology events of a
+        dynamic run (:mod:`repro.dynamic`).  Each entry is the JSON-friendly
+        dictionary of one applied (or rejected) event, with at least
+        ``round``, ``kind``, ``node``, ``tokens`` and ``applied`` keys.
     extra:
         Free-form additional measurements (e.g. the spectral gap).
     """
@@ -63,6 +72,8 @@ class RunResult:
     used_infinite_source: bool = False
     went_negative: bool = False
     trace_max_min: Optional[List[float]] = None
+    trace_total_weight: Optional[List[float]] = None
+    event_timeline: Optional[List[Dict[str, object]]] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
@@ -84,5 +95,7 @@ class RunResult:
             "used_infinite_source": self.used_infinite_source,
             "went_negative": self.went_negative,
         }
+        if self.event_timeline is not None:
+            row["events"] = len(self.event_timeline)
         row.update(self.extra)
         return row

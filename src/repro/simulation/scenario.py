@@ -30,7 +30,14 @@ from ..tasks import generators
 from .engine import ALL_ALGORITHMS, CONTINUOUS_KINDS, run_algorithm
 from .results import RunResult
 
-__all__ = ["Scenario", "load_scenario", "run_scenario"]
+__all__ = [
+    "Scenario",
+    "DynamicScenario",
+    "load_scenario",
+    "load_dynamic_scenario",
+    "run_scenario",
+    "run_dynamic_scenario",
+]
 
 #: Speed profiles selectable by name.
 _SPEED_PROFILES = {
@@ -57,6 +64,71 @@ _WORKLOADS = {
         network, 2 * tokens),
     "balanced": lambda network, tokens, seed: generators.balanced_load(network, tokens),
 }
+
+
+# ---------------------------------------------------------------------- #
+# helpers shared by Scenario and DynamicScenario
+# ---------------------------------------------------------------------- #
+
+
+def _validate_common(scenario) -> None:
+    """Checks shared by both scenario kinds (duck-typed on the field names)."""
+    if scenario.algorithm not in ALL_ALGORITHMS:
+        raise ExperimentError(
+            f"unknown algorithm {scenario.algorithm!r}; valid: {ALL_ALGORITHMS}")
+    if scenario.continuous_kind not in CONTINUOUS_KINDS:
+        raise ExperimentError(
+            f"unknown continuous kind {scenario.continuous_kind!r}; "
+            f"valid: {CONTINUOUS_KINDS}")
+    if scenario.workload not in _WORKLOADS:
+        raise ExperimentError(
+            f"unknown workload {scenario.workload!r}; valid: {sorted(_WORKLOADS)}")
+    if scenario.speed_profile not in _SPEED_PROFILES:
+        raise ExperimentError(
+            f"unknown speed profile {scenario.speed_profile!r}; "
+            f"valid: {sorted(_SPEED_PROFILES)}")
+    if scenario.num_nodes < 2:
+        raise ExperimentError("a scenario needs at least two nodes")
+    if scenario.tokens_per_node < 0:
+        raise ExperimentError("workload densities must be non-negative")
+
+
+def _from_dict(cls, data: Dict[str, object]):
+    """Build a scenario dataclass from a dictionary, rejecting unknown keys."""
+    allowed = set(cls.__dataclass_fields__)
+    unknown = set(data) - allowed
+    if unknown:
+        raise ExperimentError(f"unknown scenario fields: {sorted(unknown)}")
+    if "name" not in data or "algorithm" not in data:
+        raise ExperimentError("a scenario requires at least 'name' and 'algorithm'")
+    return cls(**data)
+
+
+def _write_json(payload: Dict[str, object], path: Union[str, pathlib.Path]) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _read_json(path: Union[str, pathlib.Path]) -> Dict[str, object]:
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no such scenario file: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"scenario file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ExperimentError("a scenario file must contain a JSON object")
+    return data
+
+
+def _build_network(topology: str, num_nodes: int, speed_profile: str,
+                   seed: int) -> Network:
+    network = topologies.named_topology(topology, num_nodes, seed=seed)
+    speeds = _SPEED_PROFILES[speed_profile](network, seed)
+    return network.with_speeds(speeds)
 
 
 @dataclass
@@ -108,21 +180,8 @@ class Scenario:
     record_trace: bool = False
 
     def __post_init__(self) -> None:
-        if self.algorithm not in ALL_ALGORITHMS:
-            raise ExperimentError(
-                f"unknown algorithm {self.algorithm!r}; valid: {ALL_ALGORITHMS}")
-        if self.continuous_kind not in CONTINUOUS_KINDS:
-            raise ExperimentError(
-                f"unknown continuous kind {self.continuous_kind!r}; valid: {CONTINUOUS_KINDS}")
-        if self.workload not in _WORKLOADS:
-            raise ExperimentError(
-                f"unknown workload {self.workload!r}; valid: {sorted(_WORKLOADS)}")
-        if self.speed_profile not in _SPEED_PROFILES:
-            raise ExperimentError(
-                f"unknown speed profile {self.speed_profile!r}; valid: {sorted(_SPEED_PROFILES)}")
-        if self.num_nodes < 2:
-            raise ExperimentError("a scenario needs at least two nodes")
-        if self.tokens_per_node < 0 or self.base_load < 0:
+        _validate_common(self)
+        if self.base_load < 0:
             raise ExperimentError("workload densities must be non-negative")
         if self.rounds is not None and self.rounds < 0:
             raise ExperimentError("rounds must be non-negative")
@@ -138,20 +197,11 @@ class Scenario:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Scenario":
         """Build a scenario from a dictionary, rejecting unknown keys."""
-        allowed = set(cls.__dataclass_fields__)
-        unknown = set(data) - allowed
-        if unknown:
-            raise ExperimentError(f"unknown scenario fields: {sorted(unknown)}")
-        if "name" not in data or "algorithm" not in data:
-            raise ExperimentError("a scenario requires at least 'name' and 'algorithm'")
-        return cls(**data)  # type: ignore[arg-type]
+        return _from_dict(cls, data)
 
     def to_json(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
         """Write the scenario to a JSON file and return the path."""
-        path = pathlib.Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        return path
+        return _write_json(self.to_dict(), path)
 
     # ------------------------------------------------------------------ #
     # materialisation
@@ -159,9 +209,8 @@ class Scenario:
 
     def build_network(self) -> Network:
         """Instantiate the network (topology + speed profile) of this scenario."""
-        network = topologies.named_topology(self.topology, self.num_nodes, seed=self.seed)
-        speeds = _SPEED_PROFILES[self.speed_profile](network, self.seed)
-        return network.with_speeds(speeds)
+        return _build_network(self.topology, self.num_nodes, self.speed_profile,
+                              self.seed)
 
     def build_load(self, network: Network) -> np.ndarray:
         """Instantiate the integer workload vector of this scenario."""
@@ -173,16 +222,7 @@ class Scenario:
 
 def load_scenario(path: Union[str, pathlib.Path]) -> Scenario:
     """Load a scenario from a JSON file."""
-    path = pathlib.Path(path)
-    if not path.exists():
-        raise ExperimentError(f"no such scenario file: {path}")
-    try:
-        data = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ExperimentError(f"scenario file {path} is not valid JSON: {exc}") from exc
-    if not isinstance(data, dict):
-        raise ExperimentError("a scenario file must contain a JSON object")
-    return Scenario.from_dict(data)
+    return Scenario.from_dict(_read_json(path))
 
 
 def run_scenario(scenario: Scenario) -> RunResult:
@@ -197,4 +237,89 @@ def run_scenario(scenario: Scenario) -> RunResult:
         rounds=scenario.rounds,
         seed=scenario.seed,
         record_trace=scenario.record_trace,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# dynamic scenarios
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class DynamicScenario:
+    """A serialisable description of one dynamic (streaming) experiment.
+
+    The static fields mirror :class:`Scenario`; ``events`` names one of the
+    event profiles of :data:`repro.dynamic.events.EVENT_PROFILES` and
+    ``rounds`` is the fixed horizon of the stream (a dynamic run never
+    "balances and stops" — it is observed for a fixed window).
+    """
+
+    name: str
+    algorithm: str
+    topology: str = "torus"
+    num_nodes: int = 64
+    tokens_per_node: int = 8
+    workload: str = "uniform"
+    speed_profile: str = "uniform"
+    continuous_kind: str = "fos"
+    events: str = "burst"
+    rounds: int = 240
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        from ..dynamic.events import EVENT_PROFILES
+
+        _validate_common(self)
+        if self.events not in EVENT_PROFILES:
+            raise ExperimentError(
+                f"unknown event profile {self.events!r}; valid: {sorted(EVENT_PROFILES)}")
+        if self.rounds < 0:
+            raise ExperimentError("rounds must be non-negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a plain-dictionary representation (JSON friendly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DynamicScenario":
+        """Build a dynamic scenario from a dictionary, rejecting unknown keys."""
+        return _from_dict(cls, data)
+
+    def to_json(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the scenario to a JSON file and return the path."""
+        return _write_json(self.to_dict(), path)
+
+    def build_network(self) -> Network:
+        """Instantiate the initial network (topology + speed profile)."""
+        return _build_network(self.topology, self.num_nodes, self.speed_profile,
+                              self.seed)
+
+    def build_load(self, network: Network) -> np.ndarray:
+        """Instantiate the initial integer workload vector."""
+        return _WORKLOADS[self.workload](network, self.tokens_per_node, self.seed)
+
+
+def load_dynamic_scenario(path: Union[str, pathlib.Path]) -> DynamicScenario:
+    """Load a dynamic scenario from a JSON file."""
+    return DynamicScenario.from_dict(_read_json(path))
+
+
+def run_dynamic_scenario(scenario: DynamicScenario) -> RunResult:
+    """Materialise and execute a dynamic scenario, returning the run result."""
+    from ..dynamic.events import make_event_generator
+    from ..dynamic.stream import run_stream
+
+    network = scenario.build_network()
+    load = scenario.build_load(network)
+    generator = make_event_generator(scenario.events, network,
+                                     scenario.tokens_per_node, seed=scenario.seed)
+    return run_stream(
+        scenario.algorithm,
+        network,
+        load,
+        generator,
+        rounds=scenario.rounds,
+        continuous_kind=scenario.continuous_kind,
+        seed=scenario.seed,
     )

@@ -1,0 +1,244 @@
+"""Tests for the streaming engine: invariants, churn safety, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamic.events import (
+    ARRIVAL,
+    DEPARTURE,
+    JOIN,
+    LEAVE,
+    DynamicEvent,
+    NodeChurn,
+    PoissonArrivals,
+    PoissonDepartures,
+    CompositeGenerator,
+    ScheduledEvents,
+    make_event_generator,
+)
+from repro.dynamic.stream import StreamingEngine, run_stream
+from repro.exceptions import ExperimentError
+from repro.network import topologies
+from repro.tasks.generators import uniform_random_load
+
+
+def torus_instance(seed=3, tokens_per_node=6):
+    network = topologies.torus(4, dims=2)
+    load = uniform_random_load(network, tokens_per_node * network.num_nodes, seed=seed)
+    return network, load
+
+
+class TestValidation:
+    def test_unknown_algorithm(self):
+        network, load = torus_instance()
+        with pytest.raises(ExperimentError):
+            StreamingEngine("frobnicate", network, load, ScheduledEvents({}))
+
+    def test_unknown_continuous_kind(self):
+        network, load = torus_instance()
+        with pytest.raises(ExperimentError):
+            StreamingEngine("algorithm1", network, load, ScheduledEvents({}),
+                            continuous_kind="teleportation")
+
+    def test_wrong_load_length(self):
+        network, _ = torus_instance()
+        with pytest.raises(ExperimentError):
+            StreamingEngine("algorithm1", network, [1, 2, 3], ScheduledEvents({}))
+
+    def test_negative_rounds(self):
+        network, load = torus_instance()
+        with pytest.raises(ExperimentError):
+            run_stream("algorithm1", network, load, ScheduledEvents({}), rounds=-1)
+
+
+class TestLoadConservation:
+    """Total real load always equals initial + arrivals - departures."""
+
+    @pytest.mark.parametrize("algorithm,continuous_kind", [
+        ("algorithm1", "fos"),
+        ("algorithm2", "fos"),
+        ("algorithm2", "random-matching"),
+        ("excess-tokens", "fos"),
+    ])
+    def test_total_load_tracks_arrivals_minus_departures(self, algorithm, continuous_kind):
+        network, load = torus_instance()
+        generator = CompositeGenerator([
+            PoissonArrivals(4.0, seed=1),
+            PoissonDepartures(4.0, seed=2),
+        ])
+        engine = StreamingEngine(algorithm, network, load, generator,
+                                 continuous_kind=continuous_kind, seed=5)
+        initial = engine.total_real_load()
+        for _ in range(60):
+            engine.step()
+            timeline = engine.timeline
+            arrived = sum(entry["tokens"] for entry in timeline
+                          if entry["kind"] in (ARRIVAL, JOIN) and entry["applied"])
+            departed = sum(entry["tokens"] for entry in timeline
+                           if entry["kind"] == DEPARTURE and entry["applied"])
+            assert engine.total_real_load() == initial + arrived - departed
+
+    def test_departure_capped_at_available_tokens(self):
+        network = topologies.cycle(4)
+        load = np.array([3, 0, 0, 0])
+        generator = ScheduledEvents({0: [DynamicEvent(DEPARTURE, node=0, tokens=100)]})
+        result = run_stream("algorithm1", network, load, generator, rounds=2, seed=0)
+        (entry,) = result.event_timeline
+        assert entry["applied"]
+        assert entry["tokens"] == 3  # the realised amount, not the requested 100
+        assert result.trace_total_weight[-1] == 0.0
+
+
+class TestChurn:
+    def test_connectivity_preserved_under_heavy_churn(self):
+        network, load = torus_instance()
+        generator = NodeChurn(join_probability=0.4, leave_probability=0.6,
+                              attach_degree=2, seed=9)
+        engine = StreamingEngine("algorithm2", network, load, generator, seed=9)
+        for _ in range(80):
+            engine.step()
+            assert engine.network.is_connected()
+            assert engine.network.num_nodes >= 3
+
+    def test_leave_that_would_disconnect_is_rejected(self):
+        network = topologies.star(5)  # node 0 is the hub
+        load = np.array([10, 0, 0, 0, 0])
+        generator = ScheduledEvents({0: [DynamicEvent(LEAVE, node=0)]})
+        engine = StreamingEngine("algorithm1", network, load, generator, seed=0)
+        engine.step()
+        (entry,) = engine.timeline
+        assert not entry["applied"]
+        assert engine.network.num_nodes == 5
+        assert engine.network.is_connected()
+
+    def test_join_adds_connected_node_with_fresh_label(self):
+        network = topologies.cycle(4)
+        load = np.array([4, 4, 4, 4])
+        generator = ScheduledEvents({
+            1: [DynamicEvent(JOIN, attach_to=(0, 2), tokens=6)],
+        })
+        engine = StreamingEngine("algorithm1", network, load, generator, seed=0)
+        engine.step()
+        assert engine.network.num_nodes == 4
+        engine.step()
+        assert engine.network.num_nodes == 5
+        assert engine.network.is_connected()
+        assert engine.labels == (0, 1, 2, 3, 4)  # fresh stable label 4
+        assert engine.total_real_load() == 22
+
+    def test_leave_redistributes_tokens_to_neighbors(self):
+        network = topologies.cycle(4)
+        load = np.array([0, 9, 0, 0])
+        generator = ScheduledEvents({0: [DynamicEvent(LEAVE, node=1)]})
+        engine = StreamingEngine("algorithm1", network, load, generator, seed=0)
+        engine.step()
+        assert engine.labels == (0, 2, 3)
+        assert engine.total_real_load() == 9  # orphaned tokens survive
+
+    def test_events_for_departed_labels_are_rejected(self):
+        network = topologies.cycle(4)
+        load = np.array([2, 2, 2, 2])
+        generator = ScheduledEvents({
+            0: [DynamicEvent(LEAVE, node=1)],
+            1: [DynamicEvent(ARRIVAL, node=1, tokens=5)],  # label 1 is gone
+        })
+        engine = StreamingEngine("algorithm1", network, load, generator, seed=0)
+        engine.step()
+        engine.step()
+        arrival = engine.timeline[-1]
+        assert arrival["kind"] == ARRIVAL and not arrival["applied"]
+        assert engine.total_real_load() == 8
+
+
+class TestStableLabelContract:
+    def test_network_node_labels_map_indices_to_stable_labels(self):
+        network = topologies.cycle(5)
+        load = np.array([2, 2, 2, 2, 2])
+        generator = ScheduledEvents({0: [DynamicEvent(LEAVE, node=1)]})
+        engine = StreamingEngine("algorithm1", network, load, generator, seed=0)
+        engine.step()
+        assert engine.labels == (0, 2, 3, 4)
+        assert list(engine.view().network.node_labels) == [0, 2, 3, 4]
+
+
+class TestCounterAccumulation:
+    """Failure-mode counters survive re-couplings instead of being discarded."""
+
+    RECOUPLE = {3: [DynamicEvent(ARRIVAL, node=0, tokens=1)]}
+
+    def test_went_negative_persists_across_recouplings(self):
+        network, load = torus_instance()
+        engine = StreamingEngine("round-down", network, load,
+                                 ScheduledEvents(self.RECOUPLE), seed=0)
+        engine.step()
+        # Simulate the pre-event balancer segment having observed negativity,
+        # then drive past the event so the balancer is rebuilt.
+        engine.balancer._went_negative = True
+        for _ in range(5):
+            engine.step()
+        assert engine.recouplings == 1
+        assert not engine.balancer.went_negative  # the new segment is clean...
+        assert engine.result().went_negative      # ...but the run remembers
+
+    def test_dummy_tokens_persist_across_recouplings(self):
+        network, load = torus_instance()
+        engine = StreamingEngine("algorithm2", network, load,
+                                 ScheduledEvents(self.RECOUPLE), seed=0)
+        engine.step()
+        engine.balancer._dummy_tokens_created = 7
+        engine.balancer._used_infinite_source = True
+        for _ in range(5):
+            engine.step()
+        assert engine.recouplings == 1
+        result = engine.result()
+        assert result.dummy_tokens == 7 + engine.balancer.dummy_tokens_created
+        assert result.used_infinite_source
+
+
+class TestRecoupling:
+    def test_recouples_only_when_state_changes(self):
+        network, load = torus_instance()
+        generator = ScheduledEvents({
+            5: [DynamicEvent(ARRIVAL, node=0, tokens=10)],
+            9: [DynamicEvent(DEPARTURE, node=0, tokens=0)],  # no-op: nothing changes
+        })
+        result = run_stream("algorithm1", network, load, generator, rounds=20, seed=1)
+        assert result.extra["recouplings"] == 1.0
+
+    def test_static_stream_matches_plain_run_shape(self):
+        network, load = torus_instance()
+        result = run_stream("algorithm2", network, load, ScheduledEvents({}),
+                            rounds=40, seed=4)
+        assert result.extra["recouplings"] == 0.0
+        assert result.event_timeline == []
+        assert len(result.trace_max_min) == 41
+        # with no events, the total real load never changes
+        assert set(result.trace_total_weight) == {float(load.sum())}
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_runs(self):
+        def one_run():
+            network, load = torus_instance()
+            generator = make_event_generator("churn", network, 6, seed=13)
+            return run_stream("algorithm2", network, load, generator,
+                              rounds=50, continuous_kind="fos", seed=13)
+
+        first, second = one_run(), one_run()
+        assert first.trace_max_min == second.trace_max_min
+        assert first.trace_total_weight == second.trace_total_weight
+        assert first.event_timeline == second.event_timeline
+
+    def test_run_result_summary_fields(self):
+        network, load = torus_instance()
+        generator = make_event_generator("burst", network, 6, seed=2)
+        result = run_stream("algorithm2", network, load, generator, rounds=60, seed=2)
+        assert result.algorithm == "algorithm2"
+        assert result.rounds == 60
+        assert result.network_name.endswith("+dynamic")
+        assert result.total_weight == result.trace_total_weight[-1]
+        row = result.as_dict()
+        assert row["events"] == len(result.event_timeline)
+        assert "recouplings" in row

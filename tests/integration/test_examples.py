@@ -2,14 +2,24 @@
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _subprocess_env() -> dict:
+    """The examples import ``repro`` from ``src`` without being installed."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    return env
 
 
 def test_examples_directory_is_populated():
@@ -26,6 +36,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=600,
         cwd=tmp_path,  # any artefacts an example writes land in the temp dir
+        env=_subprocess_env(),
     )
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip(), "examples should print a report"

@@ -74,6 +74,24 @@ class TestCommands:
         assert "algorithm2" in output
         assert "max_min_mean" in output
 
+    def test_dynamic_command(self, capsys, tmp_path):
+        csv_path = tmp_path / "dynamic.csv"
+        exit_code = main(["dynamic", "--scenario", "burst", "--algorithm", "algorithm2",
+                          "--topology", "torus", "--nodes", "16", "--tokens-per-node", "6",
+                          "--rounds", "80", "--seed", "3", "--csv", str(csv_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "dynamic 'burst' stream" in output
+        assert "steady_state" in output
+        assert "burst at round" in output
+        assert csv_path.exists()
+
+    def test_dynamic_rejects_unknown_profile(self, capsys):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["dynamic", "--scenario", "tsunami"])
+
     def test_audit_command(self, capsys):
         exit_code = main(["audit", "--algorithm", "algorithm1", "--topology", "cycle",
                           "--nodes", "12", "--tokens-per-node", "8", "--seed", "3"])
