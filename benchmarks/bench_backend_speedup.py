@@ -1,0 +1,123 @@
+"""Backend speedup: object vs array on bench_dynamic_recovery-style streams.
+
+A 64-node torus carries ``W`` unit tokens; periodic bursts dump ``W/10``
+extra tokens on one node, forcing the streaming engine to re-couple every
+few rounds.  The object backend pays O(W) per re-coupling (rebuilding one
+Python task per token) and O(W) per round (queue snapshots); the array
+backend pays O(n) and O(m log m).  Both produce bit-identical discrepancy
+trajectories — the speedup is pure representation.
+
+The measured ladder (W in {10^4, 10^5, 10^6}) is written to
+``BENCH_backend.json`` at the repository root as a perf record.  Run
+directly for the CI smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py --sizes 10000 --min-speedup 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.dynamic.events import BurstyArrivals  # noqa: E402
+from repro.dynamic.stream import run_stream  # noqa: E402
+from repro.network import topologies  # noqa: E402
+from repro.simulation.experiments import format_table  # noqa: E402
+from repro.tasks.generators import uniform_random_load  # noqa: E402
+
+SIZES = (10**4, 10**5, 10**6)
+ROUNDS = 12
+SEED = 11
+RECORD_PATH = REPO_ROOT / "BENCH_backend.json"
+
+
+def run_one(total_tokens: int, backend: str):
+    """One dynamic stream: uniform load + periodic hot-spot bursts."""
+    network = topologies.torus(8, dims=2)
+    load = uniform_random_load(network, total_tokens, seed=SEED)
+    generator = BurstyArrivals(total_tokens // 10, period=4, first_round=2, seed=SEED)
+    start = time.perf_counter()
+    result = run_stream("algorithm2", network, load, generator, rounds=ROUNDS,
+                        seed=SEED, backend=backend)
+    return time.perf_counter() - start, result
+
+
+def run_ladder(sizes=SIZES):
+    rows = []
+    for total_tokens in sizes:
+        object_seconds, object_result = run_one(total_tokens, "object")
+        array_seconds, array_result = run_one(total_tokens, "array")
+        rows.append({
+            "W": total_tokens,
+            "rounds": ROUNDS,
+            "recouplings": int(object_result.extra["recouplings"]),
+            "object_seconds": round(object_seconds, 4),
+            "array_seconds": round(array_seconds, 4),
+            "speedup": round(object_seconds / array_seconds, 1),
+            "trajectories_identical": object_result.trace_max_min == array_result.trace_max_min,
+        })
+    return rows
+
+
+def write_record(rows) -> pathlib.Path:
+    payload = {
+        "benchmark": "backend_speedup",
+        "description": "object vs array backend on a bursty 64-node dynamic stream",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "rows": rows,
+    }
+    RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return RECORD_PATH
+
+
+def check(rows, min_speedup: float) -> None:
+    for row in rows:
+        assert row["trajectories_identical"], (
+            f"W={row['W']}: backends produced different discrepancy trajectories")
+        assert row["speedup"] >= min_speedup, (
+            f"W={row['W']}: array backend only {row['speedup']}x faster "
+            f"(required {min_speedup}x)")
+
+
+def test_backend_speedup(benchmark):
+    from conftest import print_table, run_once
+
+    rows = run_once(benchmark, run_ladder)
+    print_table("Object vs array backend on a bursty dynamic stream "
+                "(8x8 torus, algorithm2, 12 rounds)", format_table(rows))
+    record = write_record(rows)
+    print(f"perf record written to {record}")
+    # The tentpole claim: >= 10x on the million-token stream, exact trajectories.
+    check(rows, min_speedup=2.0)
+    assert rows[-1]["W"] < 10**6 or rows[-1]["speedup"] >= 10.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", nargs="+", type=int, default=list(SIZES),
+                        help="token counts W to benchmark")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail unless the array backend is this much faster")
+    parser.add_argument("--no-record", action="store_true",
+                        help="skip writing BENCH_backend.json")
+    args = parser.parse_args(argv)
+    rows = run_ladder(args.sizes)
+    print(format_table(rows))
+    if not args.no_record:
+        print(f"perf record written to {write_record(rows)}")
+    check(rows, args.min_speedup)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,18 @@ PODC 2012).  The public API is re-exported here; see ``README.md`` for a
 quickstart and ``DESIGN.md`` for the system inventory.
 """
 
+from .backend import (
+    BACKEND_KINDS,
+    ArrayBackend,
+    ArrayDeterministicFlowImitation,
+    ArrayRandomizedFlowImitation,
+    ObjectBackend,
+    get_backend,
+    resolve_backend_name,
+)
 from .core import (
     DeterministicFlowImitation,
+    FlowCoupledBalancer,
     RandomizedFlowImitation,
     TaskSelectionPolicy,
     theorem3_discrepancy_bound,
@@ -65,7 +75,16 @@ __all__ = [
     # core contribution
     "DeterministicFlowImitation",
     "RandomizedFlowImitation",
+    "FlowCoupledBalancer",
     "TaskSelectionPolicy",
+    # load-state backends
+    "BACKEND_KINDS",
+    "ObjectBackend",
+    "ArrayBackend",
+    "ArrayDeterministicFlowImitation",
+    "ArrayRandomizedFlowImitation",
+    "get_backend",
+    "resolve_backend_name",
     "theorem3_discrepancy_bound",
     "theorem8_max_avg_bound",
     # continuous substrates

@@ -1,0 +1,44 @@
+"""Pluggable load-state backends: object-per-token vs numpy count vectors.
+
+See :mod:`repro.backend.base` for the registry and the semantics of the
+``backend=`` parameter threaded through the simulation engine, the dynamic
+streaming engine and the CLI.
+"""
+
+from .base import (
+    BACKEND_KINDS,
+    ArrayBackend,
+    LoadBackend,
+    ObjectBackend,
+    get_backend,
+    resolve_backend_name,
+)
+from .baselines import (
+    ArrayQuasirandomDiffusion,
+    ArrayRandomizedRoundingDiffusion,
+    ArrayRoundDownDiffusion,
+    ArrayRoundDownSecondOrder,
+)
+from .flow import (
+    ArrayDeterministicFlowImitation,
+    ArrayFlowImitation,
+    ArrayRandomizedFlowImitation,
+)
+from .state import TokenCountState
+
+__all__ = [
+    "BACKEND_KINDS",
+    "LoadBackend",
+    "ObjectBackend",
+    "ArrayBackend",
+    "get_backend",
+    "resolve_backend_name",
+    "ArrayFlowImitation",
+    "ArrayDeterministicFlowImitation",
+    "ArrayRandomizedFlowImitation",
+    "ArrayRoundDownDiffusion",
+    "ArrayRoundDownSecondOrder",
+    "ArrayQuasirandomDiffusion",
+    "ArrayRandomizedRoundingDiffusion",
+    "TokenCountState",
+]

@@ -1,0 +1,177 @@
+"""Pluggable load-state backends.
+
+A *backend* decides how the discrete workload of a balancing process is
+represented:
+
+* ``"object"`` — one Python :class:`~repro.tasks.task.Task` per token, held
+  in a :class:`~repro.tasks.assignment.TaskAssignment`.  The original path,
+  and the only one that supports weighted tasks and task-identity analyses
+  (locality, selection policies).
+* ``"array"`` — a single numpy ``int64`` count vector for unit-weight
+  tokens (:mod:`repro.backend.flow`).  O(m) per round instead of O(W),
+  which is what makes million-token dynamic streams feasible.
+* ``"auto"`` — the array backend whenever the workload allows it (an
+  integer token load vector), the object backend otherwise (an explicit
+  ``TaskAssignment``, i.e. weighted tasks or callers that need task
+  identity).  This is the default everywhere: the backends are
+  bit-equivalent, so ``auto`` is purely a performance choice.
+
+Backends are deliberately thin: they only choose *classes*.  The simulation
+engine keeps ownership of substrate construction, schedules and seeds so
+that a given ``(algorithm, substrate, seed)`` triple produces the same
+coupled system — and therefore the same trajectory — on every backend.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Type
+
+from ..continuous.base import ContinuousProcess
+from ..core.algorithm1 import DeterministicFlowImitation
+from ..core.algorithm2 import RandomizedFlowImitation
+from ..core.flow_imitation import FlowCoupledBalancer, TaskSelectionPolicy
+from ..discrete.base import IntegerLoadBalancer
+from ..discrete.baselines.diffusion import (
+    ExcessTokenDiffusion,
+    QuasirandomDiffusion,
+    RandomizedRoundingDiffusion,
+    RoundDownDiffusion,
+)
+from ..exceptions import ExperimentError
+from ..tasks.assignment import TaskAssignment
+from .baselines import (
+    ArrayQuasirandomDiffusion,
+    ArrayRandomizedRoundingDiffusion,
+    ArrayRoundDownDiffusion,
+)
+from .flow import ArrayDeterministicFlowImitation, ArrayRandomizedFlowImitation
+
+__all__ = [
+    "BACKEND_KINDS",
+    "LoadBackend",
+    "ObjectBackend",
+    "ArrayBackend",
+    "get_backend",
+    "resolve_backend_name",
+]
+
+#: Valid values of every ``backend=`` parameter.
+BACKEND_KINDS = ("auto", "object", "array")
+
+
+def resolve_backend_name(backend: str, assignment: Optional[TaskAssignment] = None) -> str:
+    """Resolve a requested backend to a concrete one (``"object"``/``"array"``).
+
+    An explicit :class:`TaskAssignment` always selects the object backend —
+    it may hold weighted tasks, and its task identities are part of the
+    caller-visible contract — so ``"array"`` and ``"auto"`` silently fall
+    back to ``"object"`` for it.
+    """
+    if backend not in BACKEND_KINDS:
+        raise ExperimentError(
+            f"unknown backend {backend!r}; valid backends: {BACKEND_KINDS}"
+        )
+    if backend == "object" or assignment is not None:
+        return "object"
+    return "array"
+
+
+class LoadBackend(ABC):
+    """Factory for the balancer implementations of one load-state representation."""
+
+    name: str
+
+    @abstractmethod
+    def build_flow_imitation(
+        self,
+        algorithm: str,
+        continuous: ContinuousProcess,
+        initial_load: Optional[Sequence[int]] = None,
+        assignment: Optional[TaskAssignment] = None,
+        seed: Optional[int] = None,
+        selection_policy: str = TaskSelectionPolicy.FIFO,
+    ) -> FlowCoupledBalancer:
+        """Couple Algorithm 1 or 2 to ``continuous`` on this backend."""
+
+    @abstractmethod
+    def diffusion_class(self, algorithm: str) -> Type[IntegerLoadBalancer]:
+        """Return the implementation class of a diffusion baseline."""
+
+
+class ObjectBackend(LoadBackend):
+    """The object-per-token path: ``TaskAssignment`` + task-moving balancers."""
+
+    name = "object"
+
+    def build_flow_imitation(
+        self,
+        algorithm: str,
+        continuous: ContinuousProcess,
+        initial_load: Optional[Sequence[int]] = None,
+        assignment: Optional[TaskAssignment] = None,
+        seed: Optional[int] = None,
+        selection_policy: str = TaskSelectionPolicy.FIFO,
+    ) -> FlowCoupledBalancer:
+        if assignment is None:
+            assignment = TaskAssignment.from_unit_loads(continuous.network, initial_load)
+        if algorithm == "algorithm1":
+            return DeterministicFlowImitation(continuous, assignment,
+                                              selection_policy=selection_policy)
+        return RandomizedFlowImitation(continuous, assignment, seed=seed)
+
+    _DIFFUSION = {
+        "round-down": RoundDownDiffusion,
+        "quasirandom": QuasirandomDiffusion,
+        "randomized-rounding": RandomizedRoundingDiffusion,
+        "excess-tokens": ExcessTokenDiffusion,
+    }
+
+    def diffusion_class(self, algorithm: str) -> Type[IntegerLoadBalancer]:
+        return self._DIFFUSION[algorithm]
+
+
+class ArrayBackend(LoadBackend):
+    """The columnar path: numpy count vectors and vectorised rounding."""
+
+    name = "array"
+
+    def build_flow_imitation(
+        self,
+        algorithm: str,
+        continuous: ContinuousProcess,
+        initial_load: Optional[Sequence[int]] = None,
+        assignment: Optional[TaskAssignment] = None,
+        seed: Optional[int] = None,
+        selection_policy: str = TaskSelectionPolicy.FIFO,
+    ) -> FlowCoupledBalancer:
+        if assignment is not None:
+            raise ExperimentError(
+                "the array backend stores token counts only; task assignments "
+                "(weighted tasks) require the object backend"
+            )
+        if algorithm == "algorithm1":
+            # The selection policy is irrelevant for indistinguishable unit
+            # tokens, so the array variant does not take one.
+            return ArrayDeterministicFlowImitation(continuous, initial_load)
+        return ArrayRandomizedFlowImitation(continuous, initial_load, seed=seed)
+
+    _DIFFUSION = {
+        "round-down": ArrayRoundDownDiffusion,
+        "quasirandom": ArrayQuasirandomDiffusion,
+        "randomized-rounding": ArrayRandomizedRoundingDiffusion,
+        # Excess-token forwarding draws order-sensitive per-node randomness;
+        # the shared implementation is already columnar (see backend.baselines).
+        "excess-tokens": ExcessTokenDiffusion,
+    }
+
+    def diffusion_class(self, algorithm: str) -> Type[IntegerLoadBalancer]:
+        return self._DIFFUSION[algorithm]
+
+
+_BACKENDS = {"object": ObjectBackend(), "array": ArrayBackend()}
+
+
+def get_backend(name: str, assignment: Optional[TaskAssignment] = None) -> LoadBackend:
+    """Return the backend instance for ``name`` (resolving ``"auto"``)."""
+    return _BACKENDS[resolve_backend_name(name, assignment=assignment)]

@@ -1,0 +1,62 @@
+"""Vectorized rounding baselines for the array backend.
+
+The literature baselines already keep their state as an ``int64`` load vector
+(:class:`~repro.discrete.base.IntegerLoadBalancer` is columnar by
+construction), so the array backend shares their rounding logic and only
+replaces the one remaining per-edge Python loop — applying the rounded net
+moves — with scatter-adds.  The results are bit-identical: the same integer
+amounts move over the same edges, and the negative-load flag is evaluated on
+the same post-round vector.
+
+:class:`~repro.discrete.baselines.diffusion.ExcessTokenDiffusion` and the
+matching baselines are *not* specialised here: excess-token forwarding draws
+per-node random choices whose order a vectorised rewrite could not reproduce,
+and the matching baselines touch at most ``n/2`` edges per round anyway.
+Both are already O(n·d) per round with no per-token state, so the array
+backend simply reuses the shared implementations for them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..discrete.baselines.diffusion import (
+    QuasirandomDiffusion,
+    RandomizedRoundingDiffusion,
+    RoundDownDiffusion,
+    RoundDownSecondOrder,
+)
+
+__all__ = [
+    "ArrayRoundDownDiffusion",
+    "ArrayRoundDownSecondOrder",
+    "ArrayQuasirandomDiffusion",
+    "ArrayRandomizedRoundingDiffusion",
+]
+
+
+class _VectorizedNetMoves:
+    """Apply rounded per-edge net moves with scatter-adds instead of a loop."""
+
+    def _apply_net_moves(self, sent: np.ndarray) -> None:
+        sent = np.asarray(sent, dtype=np.int64)
+        np.subtract.at(self._loads, self._sources, sent)
+        np.add.at(self._loads, self._targets, sent)
+        if np.any(self._loads < 0):
+            self._went_negative = True
+
+
+class ArrayRoundDownDiffusion(_VectorizedNetMoves, RoundDownDiffusion):
+    """Rabani et al. round-down diffusion with vectorised move application."""
+
+
+class ArrayRoundDownSecondOrder(_VectorizedNetMoves, RoundDownSecondOrder):
+    """Discrete second-order round-down with vectorised move application."""
+
+
+class ArrayQuasirandomDiffusion(_VectorizedNetMoves, QuasirandomDiffusion):
+    """Quasirandom (bounded-error) diffusion with vectorised move application."""
+
+
+class ArrayRandomizedRoundingDiffusion(_VectorizedNetMoves, RandomizedRoundingDiffusion):
+    """Randomized-rounding diffusion with vectorised move application."""

@@ -1,0 +1,154 @@
+"""Columnar unit-token state: count vectors plus run-length FIFO queues.
+
+The array backend stores the workload of every node as a single ``int64``
+count (one entry per node) instead of one Python object per token.  Token
+identity is irrelevant for unit-weight tokens with one exception: whether a
+token is *real* or a *dummy* drawn from the paper's infinite source, because
+dummy tokens are eliminated at the end (and at every re-coupling boundary of
+a dynamic stream) and their per-node distribution therefore feeds back into
+the real workload.
+
+The object backend resolves real-vs-dummy through FIFO queues of task
+objects.  :class:`TokenCountState` reproduces those semantics exactly with
+*run-length* queues: each node holds a deque of ``[count, is_dummy]`` runs.
+While no dummy exists anywhere the queues are not materialised at all —
+every token is real and interchangeable, so per-round work is a handful of
+vectorised scatter-adds.  Only when a node has to draw from the infinite
+source do the queues come into existence, and even then the per-round cost
+is proportional to the number of *transfers*, never to the number of tokens.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import TaskError
+
+__all__ = ["TokenCountState"]
+
+#: A run of consecutive queue positions holding the same token kind.
+#: Mutable on purpose: partial pops shrink the head run in place.
+Run = List  # [count: int, is_dummy: bool]
+
+
+class TokenCountState:
+    """Per-node unit-token counts with object-backend-faithful FIFO semantics."""
+
+    def __init__(self, counts: np.ndarray) -> None:
+        counts = np.asarray(counts)
+        if counts.ndim != 1:
+            raise TaskError("token counts must be a one-dimensional vector")
+        if np.any(counts < 0):
+            raise TaskError("token counts must be non-negative")
+        self.counts = counts.astype(np.int64)
+        self.dummy_counts = np.zeros(counts.shape[0], dtype=np.int64)
+        self._dummy_total = 0
+        self._queues: Optional[List[Deque[Run]]] = None
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dummy_total(self) -> int:
+        """Total number of dummy tokens currently in the system."""
+        return self._dummy_total
+
+    def loads(self, include_dummies: bool = True) -> np.ndarray:
+        """Return the load vector as floats (matching the object backend)."""
+        if include_dummies:
+            return self.counts.astype(float)
+        return (self.counts - self.dummy_counts).astype(float)
+
+    # ------------------------------------------------------------------ #
+    # queue lifecycle
+    # ------------------------------------------------------------------ #
+
+    def materialize_queues(self) -> None:
+        """Create the run queues if they do not exist yet.
+
+        Only legal while no dummy exists: then every queue is all-real and a
+        single run per node is exactly the object backend's queue state (the
+        order of indistinguishable real tokens cannot be observed).
+        """
+        if self._queues is not None:
+            return
+        if self._dummy_total:
+            raise TaskError("cannot rebuild queues while dummy tokens exist")
+        self._queues = [
+            deque([[int(count), False]]) if count else deque()
+            for count in self.counts.tolist()
+        ]
+
+    def drop_queues(self) -> None:
+        """Forget the run queues (legal only while no dummy exists)."""
+        if self._dummy_total:
+            raise TaskError("cannot drop queues while dummy tokens exist")
+        self._queues = None
+
+    # ------------------------------------------------------------------ #
+    # FIFO moves (queue path)
+    # ------------------------------------------------------------------ #
+
+    def pop_front(self, node: int, amount: int) -> Tuple[List[Run], int]:
+        """Pop up to ``amount`` tokens from the head of ``node``'s queue.
+
+        Returns ``(runs, missing)`` where ``runs`` preserves the popped order
+        and ``missing`` is how many tokens the node was short of — the number
+        of dummies the caller must draw from the infinite source.
+        """
+        queue = self._queues[node]
+        runs: List[Run] = []
+        popped_real = 0
+        popped_dummy = 0
+        need = amount
+        while need and queue:
+            head = queue[0]
+            take = min(head[0], need)
+            if take == head[0]:
+                queue.popleft()
+            else:
+                head[0] -= take
+            runs.append([take, head[1]])
+            if head[1]:
+                popped_dummy += take
+            else:
+                popped_real += take
+            need -= take
+        self.counts[node] -= popped_real + popped_dummy
+        self.dummy_counts[node] -= popped_dummy
+        self._dummy_total -= popped_dummy
+        return runs, need
+
+    def push(self, node: int, runs: List[Run]) -> None:
+        """Append popped runs to the tail of ``node``'s queue (order preserved)."""
+        queue = self._queues[node]
+        for count, is_dummy in runs:
+            if queue and queue[-1][1] == is_dummy:
+                queue[-1][0] += count
+            else:
+                queue.append([count, is_dummy])
+            self.counts[node] += count
+            if is_dummy:
+                self.dummy_counts[node] += count
+                self._dummy_total += count
+
+    def push_dummies(self, node: int, count: int) -> None:
+        """Create ``count`` fresh dummy tokens at the tail of ``node``'s queue."""
+        self.push(node, [[count, True]])
+
+    # ------------------------------------------------------------------ #
+    # dummy elimination
+    # ------------------------------------------------------------------ #
+
+    def remove_dummies(self) -> int:
+        """Drop every dummy token (the paper's final clean-up step)."""
+        removed = self._dummy_total
+        self.counts -= self.dummy_counts
+        self.dummy_counts[:] = 0
+        self._dummy_total = 0
+        self._queues = None
+        return removed

@@ -22,7 +22,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .network import topologies
-from .simulation.engine import ALL_ALGORITHMS, compare_algorithms
+from .simulation.engine import ALL_ALGORITHMS, BACKEND_KINDS, compare_algorithms
 from .simulation.experiments import (
     DEFAULT_TABLE1_ALGORITHMS,
     DEFAULT_TABLE2_ALGORITHMS,
@@ -59,6 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--continuous", default="fos",
                          choices=["fos", "sos", "periodic-matching", "random-matching"],
                          help="continuous substrate")
+    compare.add_argument("--backend", default="auto", choices=list(BACKEND_KINDS),
+                         help="load-state backend (array = vectorized fast path)")
     compare.add_argument("--seed", type=int, default=7)
 
     table1 = subparsers.add_parser("table1", help="reproduce the Table 1 comparison")
@@ -98,6 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["fos", "sos", "periodic-matching", "random-matching"],
                          help="continuous substrate to re-couple after each event")
     dynamic.add_argument("--rounds", type=int, default=240, help="stream horizon")
+    dynamic.add_argument("--backend", default="auto", choices=list(BACKEND_KINDS),
+                         help="load-state backend (array = vectorized fast path)")
     dynamic.add_argument("--seed", type=int, default=7)
     dynamic.add_argument("--csv", help="optional path to write the summary row as CSV")
 
@@ -131,7 +135,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         network = topologies.named_topology(args.topology, args.nodes, seed=args.seed)
         load = point_load(network, args.tokens_per_node * network.num_nodes)
         results = compare_algorithms(network, load, args.algorithms,
-                                     continuous_kind=args.continuous, seed=args.seed)
+                                     continuous_kind=args.continuous, seed=args.seed,
+                                     backend=args.backend)
         rows = [result.as_dict() for result in results]
         print(format_table(rows, columns=["algorithm", "network", "n", "max_degree",
                                           "rounds", "max_min", "max_avg",
@@ -176,6 +181,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             topology=args.topology, num_nodes=args.nodes,
             tokens_per_node=args.tokens_per_node, continuous_kind=args.continuous,
             events=args.scenario, rounds=args.rounds, seed=args.seed,
+            backend=args.backend,
         )
         result = run_dynamic_scenario(scenario)
         band = theorem3_discrepancy_bound(result.max_degree, result.max_task_weight)
@@ -183,7 +189,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         row = {"scenario": args.scenario, **result.as_dict(), **summary}
         print(f"dynamic '{args.scenario}' stream: {args.algorithm} on "
               f"{result.network_name} ({result.num_nodes} nodes after "
-              f"{result.rounds} rounds, continuous={args.continuous})")
+              f"{result.rounds} rounds, continuous={args.continuous}, "
+              f"backend={args.backend})")
         print(format_table([row], columns=["scenario", "algorithm", "n", "rounds",
                                            "events", "arrivals", "departures",
                                            "recouplings", "steady_state", "band",

@@ -126,7 +126,8 @@ class ContinuousProcess(ABC):
                  check_negative_load: bool = False) -> None:
         network.require_connected()
         self._network = network
-        self._load = as_load_vector(initial_load, network)
+        # Copy: the process mutates its load vector in place every round.
+        self._load = as_load_vector(initial_load, network).copy()
         if np.any(self._load < 0):
             raise ProcessError("initial load must be non-negative")
         self._initial_load = self._load.copy()
@@ -193,6 +194,29 @@ class ContinuousProcess(ABC):
     def balanced_target(self) -> np.ndarray:
         """Return the perfectly balanced allocation ``(W / S) * s``."""
         return balanced_allocation(self.total_weight, self._network)
+
+    def reset(self, initial_load: Sequence[float]) -> None:
+        """Rewind the process to round 0 with a new initial load vector.
+
+        The network-derived data (edge weights, transfer rates, spectral
+        parameters such as the SOS ``beta``) is kept — only the per-run state
+        (loads, cumulative flows, round counter) is cleared.  This is the
+        O(n) re-coupling primitive used by the dynamic streaming engine when
+        events change the workload but not the topology.
+        """
+        load = as_load_vector(initial_load, self._network).copy()
+        if np.any(load < 0):
+            raise ProcessError("initial load must be non-negative")
+        self._load = load
+        self._initial_load = load.copy()
+        self._round = 0
+        self._induced_negative = False
+        self._cumulative[:] = 0.0
+        self._last_flows = None
+        self._on_reset()
+
+    def _on_reset(self) -> None:
+        """Hook for subclasses that keep extra per-run state."""
 
     def is_balanced(self, tolerance: float = BALANCE_TOLERANCE) -> bool:
         """Whether every node is within ``tolerance`` of its balanced load."""

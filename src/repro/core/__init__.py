@@ -18,6 +18,7 @@ from .algorithm2 import (
 from .diagnostics import AuditReport, FlowImitationAuditor, InvariantViolation
 from .flow_imitation import (
     EdgeSendPlan,
+    FlowCoupledBalancer,
     FlowImitationBalancer,
     RoundReport,
     TaskSelectionPolicy,
@@ -29,6 +30,7 @@ __all__ = [
     "InvariantViolation",
     "DeterministicFlowImitation",
     "RandomizedFlowImitation",
+    "FlowCoupledBalancer",
     "FlowImitationBalancer",
     "EdgeSendPlan",
     "RoundReport",

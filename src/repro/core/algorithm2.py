@@ -99,6 +99,9 @@ class RandomizedFlowImitation(FlowImitationBalancer):
         return theorem8_max_avg_bound(self.network.max_degree,
                                       self.network.num_nodes, constant)
 
+    def _reset_rng(self, seed: Optional[int]) -> None:
+        self._rng = np.random.default_rng(seed)
+
     def _plan_edge_send(self, source: int, destination: int, residual: float,
                         pool: List[Task]) -> EdgeSendPlan:
         if residual <= 0:

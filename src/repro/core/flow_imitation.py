@@ -13,8 +13,19 @@ Both Algorithm 1 (deterministic flow imitation, Section 4) and Algorithm 2
    flow as closely as the task granularity allows, drawing unit-weight dummy
    tasks from an *infinite source* when a node's own tasks do not suffice.
 
+The residual bookkeeping does not care how the discrete workload is
+represented, so it lives in :class:`FlowCoupledBalancer`, which two load
+backends share (see :mod:`repro.backend`):
+
+* :class:`FlowImitationBalancer` (this module) — the *object* backend: one
+  Python :class:`~repro.tasks.task.Task` per token, held in a
+  :class:`~repro.tasks.assignment.TaskAssignment`.  Required for weighted
+  tasks and for locality analyses that track task identity.
+* :class:`~repro.backend.flow.ArrayFlowImitation` — the *array* backend: a
+  single numpy ``int64`` count vector for unit-weight tokens.
+
 The two algorithms differ only in how the target amount for a single edge and
-round is derived from the residual; subclasses implement
+round is derived from the residual; object-backend subclasses implement
 :meth:`FlowImitationBalancer._plan_edge_send`.
 """
 
@@ -29,9 +40,16 @@ from ..continuous.base import BALANCE_TOLERANCE, ContinuousProcess
 from ..discrete.base import DiscreteBalancer
 from ..exceptions import ConvergenceError, ProcessError
 from ..tasks.assignment import TaskAssignment
+from ..tasks.load import as_token_counts
 from ..tasks.task import Task, TaskFactory
 
-__all__ = ["EdgeSendPlan", "RoundReport", "FlowImitationBalancer", "TaskSelectionPolicy"]
+__all__ = [
+    "EdgeSendPlan",
+    "RoundReport",
+    "FlowCoupledBalancer",
+    "FlowImitationBalancer",
+    "TaskSelectionPolicy",
+]
 
 #: Dummy tasks receive identifiers starting at this offset so they never clash
 #: with identifiers of the original workload.
@@ -78,51 +96,43 @@ class RoundReport:
     dummy_tokens_created: int
 
 
-class FlowImitationBalancer(DiscreteBalancer):
-    """Base class implementing the flow-imitation bookkeeping.
+class FlowCoupledBalancer(DiscreteBalancer):
+    """Representation-agnostic base for processes coupled to a continuous one.
+
+    Holds everything the flow-imitation template needs that does not depend
+    on how tasks are stored: the continuous process, the per-edge cumulative
+    discrete flow, the dummy-token counters and the per-round reports.
+    Subclasses own the workload representation and must implement
+    :meth:`loads`, :meth:`remove_dummies`, :meth:`_execute_round` and the
+    re-coupling hooks.
 
     Parameters
     ----------
     continuous:
         The continuous process ``A`` to imitate.  It must be freshly
-        constructed (round 0) and its initial load vector must equal the load
-        vector induced by ``assignment``.  The balancer *owns* the process and
-        advances it internally; callers should not advance it themselves.
-    assignment:
-        The discrete workload: which node holds which (possibly weighted)
-        tasks at time 0.
+        constructed (round 0).  The balancer *owns* the process and advances
+        it internally; callers should not advance it themselves.
     max_task_weight:
-        Override for ``w_max``.  Defaults to the maximum weight present in
-        ``assignment`` (at least 1, the weight of dummy tasks).
+        The ``w_max`` used in the residual bookkeeping.
+    original_weight:
+        The total weight of the original workload (excluding any dummies).
     """
 
     def __init__(
         self,
         continuous: ContinuousProcess,
-        assignment: TaskAssignment,
-        max_task_weight: Optional[float] = None,
+        max_task_weight: float,
+        original_weight: float,
     ) -> None:
         super().__init__(continuous.network)
-        if assignment.network is not continuous.network:
-            raise ProcessError(
-                "the task assignment and the continuous process must share the same network"
-            )
         if continuous.round_index != 0:
             raise ProcessError("the continuous process must not have been advanced yet")
-        if not np.allclose(assignment.loads(), continuous.load, atol=1e-9):
-            raise ProcessError(
-                "the continuous process must start from the load vector induced by the assignment"
-            )
-        self._continuous = continuous
-        self._assignment = assignment
-        if max_task_weight is None:
-            max_task_weight = max(1.0, assignment.max_task_weight())
         if max_task_weight <= 0:
             raise ProcessError("max_task_weight must be positive")
+        self._continuous = continuous
         self._w_max = float(max_task_weight)
-        self._original_weight = assignment.total_weight()
+        self._original_weight = float(original_weight)
         self._discrete_cumulative = np.zeros(continuous.network.num_edges, dtype=float)
-        self._dummy_factory = TaskFactory(start_id=_DUMMY_ID_OFFSET)
         self._dummy_tokens_created = 0
         self._used_infinite_source = False
         self._reports: List[RoundReport] = []
@@ -135,11 +145,6 @@ class FlowImitationBalancer(DiscreteBalancer):
     def continuous(self) -> ContinuousProcess:
         """The continuous process being imitated."""
         return self._continuous
-
-    @property
-    def assignment(self) -> TaskAssignment:
-        """The discrete task assignment (mutated in place as rounds execute)."""
-        return self._assignment
 
     @property
     def w_max(self) -> float:
@@ -166,10 +171,6 @@ class FlowImitationBalancer(DiscreteBalancer):
         """Per-round statistics of the executed rounds (copy)."""
         return list(self._reports)
 
-    def loads(self, include_dummies: bool = True) -> np.ndarray:
-        """Return the current discrete load vector."""
-        return self._assignment.loads(include_dummies=include_dummies)
-
     def discrete_cumulative_flows(self) -> np.ndarray:
         """Per-edge cumulative net discrete flow ``f^{D(A)}_{u,v}`` (canonical direction)."""
         return self._discrete_cumulative.copy()
@@ -190,6 +191,127 @@ class FlowImitationBalancer(DiscreteBalancer):
         bounded by ``d * w_max`` (Lemma 6(2)).
         """
         return self.loads(include_dummies=True) - self._continuous.load
+
+    # ------------------------------------------------------------------ #
+    # driving the run
+    # ------------------------------------------------------------------ #
+
+    def run_until_continuous_balanced(self, tolerance: float = BALANCE_TOLERANCE,
+                                      max_rounds: int = 1_000_000) -> int:
+        """Run the coupled processes until the continuous one is balanced.
+
+        Returns the balancing time ``T^A``.  This is the time horizon at
+        which Theorems 3 and 8 bound the discrete discrepancy.
+        """
+        while not self._continuous.is_balanced(tolerance):
+            if self._round >= max_rounds:
+                raise ConvergenceError(
+                    f"continuous process did not balance within {max_rounds} rounds"
+                )
+            self.advance()
+        return self._round
+
+    def remove_dummies(self) -> float:
+        """Eliminate all dummy tasks (the final step of the balancing process)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # O(n) re-coupling
+    # ------------------------------------------------------------------ #
+
+    def recouple(self, initial_load: Sequence[float],
+                 seed: Optional[int] = None) -> None:
+        """Rewind the coupled pair to round 0 on a new unit-token load vector.
+
+        The continuous substrate is :meth:`~repro.continuous.base.ContinuousProcess.reset`
+        in place (its cached spectral data — edge weights, transfer rates,
+        the SOS ``beta`` — survives), its matching schedule, if any, is
+        reseeded from ``seed``, and the discrete workload is rebuilt by the
+        backend-specific :meth:`_reset_workload` hook.  The result is
+        bit-identical to constructing a fresh balancer through
+        :func:`repro.simulation.engine.make_balancer` with the same seed, but
+        without recomputing topology-derived data: O(n + m) for the array
+        backend instead of O(W).
+
+        Only unit-token integer loads are supported (the dynamic streaming
+        engine guarantees this); weighted workloads must be rebuilt from a
+        fresh :class:`TaskAssignment`.
+        """
+        counts = as_token_counts(initial_load, self.network, error=ProcessError)
+        self._continuous.reset(counts.astype(float))
+        schedule = getattr(self._continuous, "schedule", None)
+        if schedule is not None:
+            schedule.reseed(seed)
+        self._round = 0
+        self._discrete_cumulative[:] = 0.0
+        self._dummy_tokens_created = 0
+        self._used_infinite_source = False
+        self._reports = []
+        self._original_weight = float(counts.sum())
+        self._w_max = 1.0
+        self._reset_workload(counts)
+        self._reset_rng(seed)
+
+    def _reset_workload(self, counts: np.ndarray) -> None:
+        """Rebuild the discrete workload from an integer token-count vector."""
+        raise NotImplementedError
+
+    def _reset_rng(self, seed: Optional[int]) -> None:
+        """Hook for randomized subclasses: re-initialise rounding randomness."""
+
+
+class FlowImitationBalancer(FlowCoupledBalancer):
+    """Object-backend base class: flow imitation over a :class:`TaskAssignment`.
+
+    Parameters
+    ----------
+    continuous:
+        The continuous process ``A`` to imitate.  It must be freshly
+        constructed (round 0) and its initial load vector must equal the load
+        vector induced by ``assignment``.  The balancer *owns* the process and
+        advances it internally; callers should not advance it themselves.
+    assignment:
+        The discrete workload: which node holds which (possibly weighted)
+        tasks at time 0.
+    max_task_weight:
+        Override for ``w_max``.  Defaults to the maximum weight present in
+        ``assignment`` (at least 1, the weight of dummy tasks).
+    """
+
+    def __init__(
+        self,
+        continuous: ContinuousProcess,
+        assignment: TaskAssignment,
+        max_task_weight: Optional[float] = None,
+    ) -> None:
+        if assignment.network is not continuous.network:
+            raise ProcessError(
+                "the task assignment and the continuous process must share the same network"
+            )
+        if continuous.round_index == 0 and not np.allclose(
+                assignment.loads(), continuous.load, atol=1e-9):
+            raise ProcessError(
+                "the continuous process must start from the load vector induced by the assignment"
+            )
+        if max_task_weight is None:
+            max_task_weight = max(1.0, assignment.max_task_weight())
+        super().__init__(continuous, max_task_weight=max_task_weight,
+                         original_weight=assignment.total_weight())
+        self._assignment = assignment
+        self._dummy_factory = TaskFactory(start_id=_DUMMY_ID_OFFSET)
+
+    # ------------------------------------------------------------------ #
+    # state inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def assignment(self) -> TaskAssignment:
+        """The discrete task assignment (mutated in place as rounds execute)."""
+        return self._assignment
+
+    def loads(self, include_dummies: bool = True) -> np.ndarray:
+        """Return the current discrete load vector."""
+        return self._assignment.loads(include_dummies=include_dummies)
 
     # ------------------------------------------------------------------ #
     # the round
@@ -263,27 +385,16 @@ class FlowImitationBalancer(DiscreteBalancer):
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
-    # driving the run
+    # dummies and re-coupling
     # ------------------------------------------------------------------ #
-
-    def run_until_continuous_balanced(self, tolerance: float = BALANCE_TOLERANCE,
-                                      max_rounds: int = 1_000_000) -> int:
-        """Run the coupled processes until the continuous one is balanced.
-
-        Returns the balancing time ``T^A``.  This is the time horizon at
-        which Theorems 3 and 8 bound the discrete discrepancy.
-        """
-        while not self._continuous.is_balanced(tolerance):
-            if self._round >= max_rounds:
-                raise ConvergenceError(
-                    f"continuous process did not balance within {max_rounds} rounds"
-                )
-            self.advance()
-        return self._round
 
     def remove_dummies(self) -> float:
         """Eliminate all dummy tasks (the final step of the balancing process)."""
         return self._assignment.remove_dummies()
+
+    def _reset_workload(self, counts: np.ndarray) -> None:
+        self._assignment = TaskAssignment.from_unit_loads(self.network, counts)
+        self._dummy_factory = TaskFactory(start_id=_DUMMY_ID_OFFSET)
 
     # ------------------------------------------------------------------ #
     # helpers available to subclasses

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..exceptions import ProcessError
 from ..network.graph import Network
-from ..tasks.load import LoadSummary, summarize_loads
+from ..tasks.load import LoadSummary, as_token_counts, summarize_loads
 
 __all__ = ["DiscreteBalancer", "IntegerLoadBalancer"]
 
@@ -117,18 +117,31 @@ class IntegerLoadBalancer(DiscreteBalancer):
 
     def __init__(self, network: Network, initial_load) -> None:
         super().__init__(network)
-        loads = np.asarray(list(initial_load), dtype=float)
-        if loads.shape != (network.num_nodes,):
-            raise ProcessError(
-                f"initial load must have length {network.num_nodes}, got {loads.shape}"
-            )
-        if np.any(loads < 0):
-            raise ProcessError("initial load must be non-negative")
-        if not np.allclose(loads, np.round(loads)):
-            raise ProcessError("token processes require integer initial loads")
-        self._loads = np.round(loads).astype(np.int64)
+        self._loads = self._validated_counts(initial_load)
         self._initial_loads = self._loads.copy()
         self._went_negative = False
+
+    def _validated_counts(self, initial_load) -> np.ndarray:
+        return as_token_counts(initial_load, self._network, error=ProcessError)
+
+    def recouple(self, initial_load, seed: Optional[int] = None) -> None:
+        """Rewind the process to round 0 on a new integer load vector.
+
+        Network-derived data (diffusion weights, the SOS ``beta``, matching
+        schedules) is reused; only the per-run state is reset via the
+        :meth:`_reset_state` hook.  With the same ``seed`` this is equivalent
+        to constructing a fresh balancer, at O(n) instead of recomputing
+        spectral data — the re-coupling primitive of the dynamic streaming
+        engine.
+        """
+        self._loads = self._validated_counts(initial_load)
+        self._initial_loads = self._loads.copy()
+        self._went_negative = False
+        self._round = 0
+        self._reset_state(seed)
+
+    def _reset_state(self, seed: Optional[int]) -> None:
+        """Hook for subclasses with extra per-run state (errors, momentum, rngs)."""
 
     @property
     def initial_loads(self) -> np.ndarray:

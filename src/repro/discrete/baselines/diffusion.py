@@ -151,6 +151,9 @@ class RoundDownSecondOrder(DiffusionBaseline):
         self._beta = float(beta)
         self._previous_net = np.zeros(network.num_edges, dtype=float)
 
+    def _reset_state(self, seed) -> None:
+        self._previous_net[:] = 0.0  # beta and alphas are topology data: kept
+
     @property
     def beta(self) -> float:
         """The SOS relaxation parameter in use."""
@@ -183,6 +186,9 @@ class QuasirandomDiffusion(DiffusionBaseline):
         super().__init__(network, initial_load, alphas=alphas, scheme=scheme)
         self._accumulated_error = np.zeros(network.num_edges, dtype=float)
 
+    def _reset_state(self, seed) -> None:
+        self._accumulated_error[:] = 0.0
+
     @property
     def accumulated_errors(self) -> np.ndarray:
         """The per-edge accumulated rounding error (copy)."""
@@ -212,6 +218,9 @@ class RandomizedRoundingDiffusion(DiffusionBaseline):
                  scheme: str = AlphaScheme.MAX_DEGREE_PLUS_ONE,
                  seed: Optional[int] = None) -> None:
         super().__init__(network, initial_load, alphas=alphas, scheme=scheme)
+        self._rng = np.random.default_rng(seed)
+
+    def _reset_state(self, seed) -> None:
         self._rng = np.random.default_rng(seed)
 
     def _execute_round(self) -> None:
@@ -255,6 +264,9 @@ class ExcessTokenDiffusion(DiffusionBaseline):
                 f"unknown excess-token strategy {strategy!r}; valid: {self.STRATEGIES}"
             )
         self._strategy = strategy
+        self._reset_state(seed)
+
+    def _reset_state(self, seed) -> None:
         self._rng = np.random.default_rng(seed)
         self._round_robin_offsets = self._rng.integers(
             0, np.maximum(self.network.degrees, 1))

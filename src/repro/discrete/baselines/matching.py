@@ -60,6 +60,9 @@ class MatchingBaseline(IntegerLoadBalancer):
         """The matching schedule driving this process."""
         return self._schedule
 
+    def _reset_state(self, seed) -> None:
+        self._schedule.reseed(seed)
+
     def _matched_deltas(self) -> List[Tuple[int, int, float]]:
         """Return ``(sender, receiver, delta)`` for every matched edge with positive delta."""
         speeds = self.network.speeds
@@ -98,6 +101,12 @@ class RandomizedRoundingMatching(MatchingBaseline):
                 f"probability must be 'half' or 'fractional', got {probability!r}"
             )
         self._probability = probability
+        self._rng = np.random.default_rng(seed)
+
+    def _reset_state(self, seed) -> None:
+        # Not called from __init__: re-coupling owns the schedule and may
+        # reseed it, but a constructor must never touch a shared schedule.
+        super()._reset_state(seed)
         self._rng = np.random.default_rng(seed)
 
     @property

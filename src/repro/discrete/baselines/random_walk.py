@@ -58,13 +58,16 @@ class RandomWalkFineBalancer(IntegerLoadBalancer):
         if threshold < 0:
             raise ProcessError("threshold must be non-negative")
         self._threshold = threshold
+        self._reset_state(seed)
+
+    def _reset_state(self, seed) -> None:
         self._rng = np.random.default_rng(seed)
         total = float(self._loads.sum())
-        speeds = network.speeds
+        speeds = self.network.speeds
         self._targets = total * speeds / speeds.sum()
         # Positive tokens: load above target + threshold.  Negative tokens: holes below target.
         self._positive = np.maximum(
-            self._loads - np.ceil(self._targets).astype(np.int64) - threshold, 0)
+            self._loads - np.ceil(self._targets).astype(np.int64) - self._threshold, 0)
         self._negative = np.maximum(
             np.floor(self._targets).astype(np.int64) - self._loads, 0)
 
@@ -151,10 +154,13 @@ class TwoPhaseRandomWalkBalancer(IntegerLoadBalancer):
             raise ProcessError("phase1_rounds must be non-negative")
         self._phase1_rounds = phase1_rounds
         self._threshold = threshold
-        self._seed = seed
         self._scheme = scheme
+        self._reset_state(seed)
+
+    def _reset_state(self, seed) -> None:
+        self._seed = seed
         self._phase1: Optional[RoundDownDiffusion] = RoundDownDiffusion(
-            network, initial_load, scheme=scheme)
+            self.network, self._loads, scheme=self._scheme)
         self._phase2: Optional[RandomWalkFineBalancer] = None
         self._phase1_executed = 0
 

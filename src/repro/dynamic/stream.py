@@ -35,7 +35,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
-from ..core.flow_imitation import FlowImitationBalancer, TaskSelectionPolicy
+from ..backend import resolve_backend_name
+from ..core.flow_imitation import FlowCoupledBalancer, TaskSelectionPolicy
 from ..exceptions import ExperimentError
 from ..network.graph import Network
 from ..simulation.engine import ALL_ALGORITHMS, CONTINUOUS_KINDS, make_balancer, make_schedule
@@ -63,6 +64,7 @@ class StreamingEngine:
         continuous_kind: str = "fos",
         seed: Optional[int] = None,
         selection_policy: str = TaskSelectionPolicy.FIFO,
+        backend: str = "auto",
     ) -> None:
         if algorithm not in ALL_ALGORITHMS:
             raise ExperimentError(
@@ -83,6 +85,9 @@ class StreamingEngine:
         self._generator = generator
         self._seed = seed
         self._selection_policy = selection_policy
+        # Dynamic runs always balance unit tokens, so "auto" resolves to the
+        # vectorised array backend; the backends are trajectory-identical.
+        self._backend = resolve_backend_name(backend)
         self._base_name = network.name
 
         # Stable-label state: the graph and token counts the events act on.
@@ -99,6 +104,7 @@ class StreamingEngine:
 
         self._round = 0
         self._recouplings = 0
+        self._fast_recouplings = 0
         self._arrived = 0
         self._departed = 0
         self._rejected_events = 0
@@ -136,8 +142,18 @@ class StreamingEngine:
 
     @property
     def recouplings(self) -> int:
-        """How many times events forced the balancer to be rebuilt."""
+        """How many times events forced the balancer to be re-coupled."""
         return self._recouplings
+
+    @property
+    def fast_recouplings(self) -> int:
+        """How many re-couplings took the O(n) in-place path (topology fixed)."""
+        return self._fast_recouplings
+
+    @property
+    def backend(self) -> str:
+        """The resolved load-state backend driving this stream."""
+        return self._backend
 
     @property
     def timeline(self) -> List[Dict[str, object]]:
@@ -178,6 +194,9 @@ class StreamingEngine:
     # coupling
     # ------------------------------------------------------------------ #
 
+    def _couple_seed(self) -> Optional[int]:
+        return None if self._seed is None else self._seed + 7919 * self._recouplings
+
     def _couple(self) -> None:
         """(Re)build the network and balancer from the stable-label state."""
         self._harvest_balancer_counters()
@@ -190,20 +209,37 @@ class StreamingEngine:
                           name=f"{self._base_name}+dynamic")
         loads = np.array([self._tokens[label] for label in labels], dtype=int)
 
-        couple_seed = None if self._seed is None else self._seed + 7919 * self._recouplings
+        couple_seed = self._couple_seed()
         schedule = make_schedule(self._continuous_kind, network, seed=couple_seed)
         self._network = network
         self._balancer = make_balancer(
             self._algorithm, network, initial_load=loads,
             continuous_kind=self._continuous_kind, schedule=schedule,
             seed=couple_seed, selection_policy=self._selection_policy,
+            backend=self._backend,
         )
+
+    def _recouple_loads(self) -> None:
+        """O(n) re-coupling: only loads changed, so rewind the balancer in place.
+
+        The network, the matching schedule object and the substrate's cached
+        spectral data (diffusion weights, transfer rates, the SOS ``beta``)
+        are all reused; with the same per-coupling seed the resulting system
+        is bit-identical to a full :meth:`_couple` rebuild, which keeps
+        dynamic trajectories independent of how a re-coupling was performed.
+        On the array backend this removes every O(W) term from the event
+        path — the unlock for million-token streams.
+        """
+        self._harvest_balancer_counters()
+        loads = np.array([self._tokens[label] for label in self.labels], dtype=np.int64)
+        self._balancer.recouple(loads, seed=self._couple_seed())
+        self._fast_recouplings += 1
 
     def _harvest_balancer_counters(self) -> None:
         """Fold the outgoing balancer's failure-mode counters into the run totals."""
         if self._balancer is None:
             return
-        if isinstance(self._balancer, FlowImitationBalancer):
+        if isinstance(self._balancer, FlowCoupledBalancer):
             self._dummy_tokens += self._balancer.dummy_tokens_created
             self._used_infinite_source |= self._balancer.used_infinite_source
         else:
@@ -218,7 +254,7 @@ class StreamingEngine:
         are clamped at zero here; the clamped amount is recorded so the run
         result can report the conservation violation instead of hiding it.
         """
-        if isinstance(self._balancer, FlowImitationBalancer):
+        if isinstance(self._balancer, FlowCoupledBalancer):
             loads = self._balancer.loads(include_dummies=False)
         else:
             loads = self._balancer.loads()
@@ -302,15 +338,21 @@ class StreamingEngine:
         """Apply this round's events (re-coupling if needed) and advance."""
         events = self._generator.events(self.view())
         changed = False
+        topology_changed = False
         for event in events:
             event_changed, record = self._apply_event(event)
             changed = changed or event_changed
+            topology_changed = topology_changed or (
+                event_changed and event.kind in (JOIN, LEAVE))
             if not record["applied"]:
                 self._rejected_events += 1
             self._timeline.append(record)
         if changed:
             self._recouplings += 1
-            self._couple()
+            if topology_changed:
+                self._couple()
+            else:
+                self._recouple_loads()
         self._balancer.advance()
         self._sync_tokens_from_balancer()
         self._round += 1
@@ -337,7 +379,7 @@ class StreamingEngine:
             trace_total_weight=trace_total_weight,
             event_timeline=self.timeline,
         )
-        if isinstance(self._balancer, FlowImitationBalancer):
+        if isinstance(self._balancer, FlowCoupledBalancer):
             real_loads = self._balancer.loads(include_dummies=False)
             result.final_max_min_no_dummies = max_min_discrepancy(real_loads, network)
             result.final_max_avg_no_dummies = max_avg_discrepancy(
@@ -352,6 +394,7 @@ class StreamingEngine:
             "arrivals": float(self._arrived),
             "departures": float(self._departed),
             "recouplings": float(self._recouplings),
+            "fast_recouplings": float(self._fast_recouplings),
             "rejected_events": float(self._rejected_events),
             "clamped_tokens": float(self._clamped_tokens),
         })
@@ -367,6 +410,7 @@ def run_stream(
     continuous_kind: str = "fos",
     seed: Optional[int] = None,
     selection_policy: str = TaskSelectionPolicy.FIFO,
+    backend: str = "auto",
 ) -> RunResult:
     """Run ``algorithm`` for ``rounds`` rounds under a stream of events.
 
@@ -381,7 +425,7 @@ def run_stream(
         raise ExperimentError("rounds must be non-negative")
     engine = StreamingEngine(algorithm, network, initial_load, generator,
                              continuous_kind=continuous_kind, seed=seed,
-                             selection_policy=selection_policy)
+                             selection_policy=selection_policy, backend=backend)
     trace = [engine.current_discrepancy()]
     totals = [float(engine.total_real_load())]
     for _ in range(rounds):

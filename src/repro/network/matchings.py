@@ -111,6 +111,21 @@ class MatchingSchedule:
     def _generate(self, round_index: int) -> Sequence[Edge]:
         raise NotImplementedError
 
+    def reseed(self, seed: Optional[int] = None) -> None:
+        """Restart the schedule from round 0 as if freshly constructed.
+
+        Deterministic schedules only drop their memoised matchings; random
+        schedules additionally re-initialise their generator from ``seed``.
+        Sharing processes must be rewound together (the streaming engine's
+        re-coupling does exactly that), otherwise they would observe different
+        matchings for the same round index.
+        """
+        self._cache.clear()
+        self._reseed_rng(seed)
+
+    def _reseed_rng(self, seed: Optional[int]) -> None:
+        """Hook for schedules that carry randomness."""
+
     @property
     def period(self) -> Optional[int]:
         """The period of the schedule, or ``None`` for aperiodic schedules."""
@@ -172,6 +187,9 @@ class RandomMatchingSchedule(MatchingSchedule):
         super().__init__(network)
         self._rng = np.random.default_rng(seed)
         self._edges = list(network.edges)
+
+    def _reseed_rng(self, seed: Optional[int]) -> None:
+        self._rng = np.random.default_rng(seed)
 
     def _generate(self, round_index: int) -> Sequence[Edge]:
         order = self._rng.permutation(len(self._edges))

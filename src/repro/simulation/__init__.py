@@ -2,6 +2,7 @@
 
 from .engine import (
     ALL_ALGORITHMS,
+    BACKEND_KINDS,
     CONTINUOUS_KINDS,
     DIFFUSION_BASELINES,
     FLOW_IMITATION_ALGORITHMS,
@@ -42,6 +43,7 @@ __all__ = [
     "run_sweep",
     "reporting",
     "ALL_ALGORITHMS",
+    "BACKEND_KINDS",
     "CONTINUOUS_KINDS",
     "DIFFUSION_BASELINES",
     "FLOW_IMITATION_ALGORITHMS",

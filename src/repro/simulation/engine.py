@@ -19,20 +19,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backend import BACKEND_KINDS, get_backend, resolve_backend_name
 from ..continuous.base import BALANCE_TOLERANCE, ContinuousProcess
 from ..continuous.dimension_exchange import DimensionExchange
 from ..continuous.fos import FirstOrderDiffusion
 from ..continuous.sos import SecondOrderDiffusion
-from ..core.algorithm1 import DeterministicFlowImitation
-from ..core.algorithm2 import RandomizedFlowImitation
-from ..core.flow_imitation import FlowImitationBalancer, TaskSelectionPolicy
+from ..core.flow_imitation import FlowCoupledBalancer, TaskSelectionPolicy
 from ..discrete.base import DiscreteBalancer
-from ..discrete.baselines.diffusion import (
-    ExcessTokenDiffusion,
-    QuasirandomDiffusion,
-    RandomizedRoundingDiffusion,
-    RoundDownDiffusion,
-)
 from ..discrete.baselines.matching import RandomizedRoundingMatching, RoundDownMatching
 from ..exceptions import ConvergenceError, ExperimentError
 from ..network.graph import Network
@@ -51,6 +44,7 @@ __all__ = [
     "DIFFUSION_BASELINES",
     "MATCHING_BASELINES",
     "ALL_ALGORITHMS",
+    "BACKEND_KINDS",
     "make_schedule",
     "make_continuous",
     "make_balancer",
@@ -118,30 +112,38 @@ def determine_balancing_time(
     return process.run_until_balanced(tolerance=tolerance, max_rounds=max_rounds)
 
 
-def _build_assignment(network: Network, initial_load: Sequence[float]) -> TaskAssignment:
-    loads = np.asarray(list(initial_load), dtype=float)
+def _integer_token_loads(initial_load: Sequence[float]) -> np.ndarray:
+    loads = np.asarray(initial_load, dtype=float)
     if not np.allclose(loads, np.round(loads)):
         raise ExperimentError(
             "integer token loads are required; pass a TaskAssignment for weighted tasks"
         )
-    return TaskAssignment.from_unit_loads(network, np.round(loads).astype(int))
+    return np.round(loads).astype(np.int64)
 
 
 def _build_flow_imitation(
     algorithm: str,
     network: Network,
-    assignment: TaskAssignment,
+    initial_load: Optional[Sequence[float]],
+    assignment: Optional[TaskAssignment],
     continuous_kind: str,
     schedule: Optional[MatchingSchedule],
     seed: Optional[int],
     selection_policy: str,
-) -> FlowImitationBalancer:
-    continuous = make_continuous(continuous_kind, network, assignment.loads(),
+    backend: str,
+) -> FlowCoupledBalancer:
+    if assignment is None:
+        counts = _integer_token_loads(initial_load)
+        reference_load = counts.astype(float)
+    else:
+        counts = None
+        reference_load = assignment.loads()
+    continuous = make_continuous(continuous_kind, network, reference_load,
                                  schedule=schedule, seed=seed)
-    if algorithm == "algorithm1":
-        return DeterministicFlowImitation(continuous, assignment,
-                                          selection_policy=selection_policy)
-    return RandomizedFlowImitation(continuous, assignment, seed=seed)
+    return get_backend(backend, assignment=assignment).build_flow_imitation(
+        algorithm, continuous, initial_load=counts, assignment=assignment,
+        seed=seed, selection_policy=selection_policy,
+    )
 
 
 def _build_baseline(
@@ -151,20 +153,18 @@ def _build_baseline(
     continuous_kind: str,
     schedule: Optional[MatchingSchedule],
     seed: Optional[int],
+    backend: str,
 ) -> DiscreteBalancer:
-    loads = np.round(np.asarray(list(initial_load), dtype=float)).astype(int)
+    loads = np.round(np.asarray(initial_load, dtype=float)).astype(int)
     if algorithm in DIFFUSION_BASELINES:
         if continuous_kind not in ("fos", "sos"):
             raise ExperimentError(
                 f"{algorithm!r} is a diffusion baseline; use continuous_kind 'fos'"
             )
-        if algorithm == "round-down":
-            return RoundDownDiffusion(network, loads)
-        if algorithm == "quasirandom":
-            return QuasirandomDiffusion(network, loads)
-        if algorithm == "randomized-rounding":
-            return RandomizedRoundingDiffusion(network, loads, seed=seed)
-        return ExcessTokenDiffusion(network, loads, seed=seed)
+        cls = get_backend(backend).diffusion_class(algorithm)
+        if algorithm in ("round-down", "quasirandom"):
+            return cls(network, loads)
+        return cls(network, loads, seed=seed)
     if algorithm in MATCHING_BASELINES:
         if continuous_kind not in _MATCHING_KINDS:
             raise ExperimentError(
@@ -172,6 +172,7 @@ def _build_baseline(
             )
         if schedule is None:
             schedule = make_schedule(continuous_kind, network, seed=seed)
+        # Matching baselines are columnar already; both backends share them.
         if algorithm == "matching-round-down":
             return RoundDownMatching(network, loads, schedule)
         return RandomizedRoundingMatching(network, loads, schedule, seed=seed)
@@ -189,6 +190,7 @@ def make_balancer(
     schedule: Optional[MatchingSchedule] = None,
     seed: Optional[int] = None,
     selection_policy: str = TaskSelectionPolicy.FIFO,
+    backend: str = "auto",
 ) -> DiscreteBalancer:
     """Construct (and couple) a discrete balancer of the requested kind.
 
@@ -198,6 +200,12 @@ def make_balancer(
     topology.  Exactly one of ``initial_load`` / ``assignment`` must be given;
     task assignments (weighted tasks) are only supported by the flow-imitation
     algorithms.
+
+    ``backend`` selects the load-state representation (see
+    :mod:`repro.backend`): ``"auto"`` (default) uses the vectorised array
+    backend for integer token loads and falls back to the object backend for
+    task assignments; the backends produce identical trajectories for any
+    given seed, so the choice is purely about speed.
     """
     if algorithm not in ALL_ALGORITHMS:
         raise ExperimentError(
@@ -206,17 +214,16 @@ def make_balancer(
     if (initial_load is None) == (assignment is None):
         raise ExperimentError("provide exactly one of initial_load or assignment")
     if algorithm in FLOW_IMITATION_ALGORITHMS:
-        if assignment is None:
-            assignment = _build_assignment(network, initial_load)
-        return _build_flow_imitation(algorithm, network, assignment,
-                                     continuous_kind, schedule, seed, selection_policy)
+        return _build_flow_imitation(algorithm, network, initial_load, assignment,
+                                     continuous_kind, schedule, seed,
+                                     selection_policy, backend)
     if assignment is not None:
         raise ExperimentError(
             "task assignments (weighted tasks) are only supported by the "
             "flow-imitation algorithms"
         )
     return _build_baseline(algorithm, network, initial_load,
-                           continuous_kind, schedule, seed)
+                           continuous_kind, schedule, seed, backend)
 
 
 def run_algorithm(
@@ -232,6 +239,7 @@ def run_algorithm(
     record_trace: bool = False,
     max_rounds: int = 200_000,
     selection_policy: str = TaskSelectionPolicy.FIFO,
+    backend: str = "auto",
 ) -> RunResult:
     """Run a single discrete balancing algorithm and summarize the outcome.
 
@@ -252,6 +260,10 @@ def run_algorithm(
     record_trace:
         When ``True``, the per-round max-min discrepancy trace is stored in
         the result.
+    backend:
+        Load-state backend (see :mod:`repro.backend`); ``"auto"`` picks the
+        vectorised array backend for token loads and the object backend for
+        task assignments.
     """
     if algorithm not in ALL_ALGORITHMS:
         raise ExperimentError(
@@ -271,22 +283,18 @@ def run_algorithm(
         schedule = make_schedule(continuous_kind, network, seed=seed)
 
     if assignment is None:
-        assignment_obj = _build_assignment(network, initial_load) if is_flow_imitation else None
-        reference_load = np.asarray(list(initial_load), dtype=float)
+        reference_load = np.asarray(initial_load, dtype=float)
     else:
-        assignment_obj = assignment
         reference_load = assignment.loads()
-
     original_weight = float(reference_load.sum())
-    w_max = assignment_obj.max_task_weight() if assignment_obj is not None else 1.0
-    w_max = max(w_max, 1.0)
 
     if is_flow_imitation:
         balancer: DiscreteBalancer = make_balancer(
-            algorithm, network, assignment=assignment_obj,
+            algorithm, network, initial_load=initial_load, assignment=assignment,
             continuous_kind=continuous_kind, schedule=schedule, seed=seed,
-            selection_policy=selection_policy,
+            selection_policy=selection_policy, backend=backend,
         )
+        w_max = balancer.w_max  # type: ignore[union-attr]
     else:
         if rounds is None:
             rounds = determine_balancing_time(
@@ -295,7 +303,8 @@ def run_algorithm(
             )
         balancer = make_balancer(algorithm, network, initial_load=reference_load,
                                  continuous_kind=continuous_kind,
-                                 schedule=schedule, seed=seed)
+                                 schedule=schedule, seed=seed, backend=backend)
+        w_max = 1.0
 
     trace: Optional[List[float]] = [] if record_trace else None
 
@@ -314,7 +323,7 @@ def run_algorithm(
         # Flow imitation with an adaptive horizon: run until the internal
         # continuous process reaches its balancing time T.
         flow_balancer = balancer  # type: ignore[assignment]
-        assert isinstance(flow_balancer, FlowImitationBalancer)
+        assert isinstance(flow_balancer, FlowCoupledBalancer)
         while not flow_balancer.continuous.is_balanced(tolerance):
             if executed >= max_rounds:
                 raise ConvergenceError(
@@ -340,7 +349,7 @@ def run_algorithm(
         trace_max_min=trace,
     )
 
-    if isinstance(balancer, FlowImitationBalancer):
+    if isinstance(balancer, FlowCoupledBalancer):
         no_dummy_loads = balancer.loads(include_dummies=False)
         result.final_max_min_no_dummies = max_min_discrepancy(no_dummy_loads, network)
         result.final_max_avg_no_dummies = max_avg_discrepancy(
@@ -363,6 +372,7 @@ def compare_algorithms(
     rounds: Optional[int] = None,
     record_trace: bool = False,
     max_rounds: int = 200_000,
+    backend: str = "auto",
 ) -> List[RunResult]:
     """Run several algorithms on the same instance for the same number of rounds.
 
@@ -395,6 +405,7 @@ def compare_algorithms(
                 seed=run_seed,
                 record_trace=record_trace,
                 max_rounds=max_rounds,
+                backend=backend,
             )
         )
     return results

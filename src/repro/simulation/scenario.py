@@ -27,7 +27,7 @@ from ..exceptions import ExperimentError
 from ..network import topologies
 from ..network.graph import Network
 from ..tasks import generators
-from .engine import ALL_ALGORITHMS, CONTINUOUS_KINDS, run_algorithm
+from .engine import ALL_ALGORITHMS, BACKEND_KINDS, CONTINUOUS_KINDS, run_algorithm
 from .results import RunResult
 
 __all__ = [
@@ -87,6 +87,9 @@ def _validate_common(scenario) -> None:
         raise ExperimentError(
             f"unknown speed profile {scenario.speed_profile!r}; "
             f"valid: {sorted(_SPEED_PROFILES)}")
+    if scenario.backend not in BACKEND_KINDS:
+        raise ExperimentError(
+            f"unknown backend {scenario.backend!r}; valid: {BACKEND_KINDS}")
     if scenario.num_nodes < 2:
         raise ExperimentError("a scenario needs at least two nodes")
     if scenario.tokens_per_node < 0:
@@ -164,6 +167,9 @@ class Scenario:
         randomness.
     record_trace:
         Whether to record the per-round discrepancy trace.
+    backend:
+        Load-state backend ("auto", "object", "array"); see
+        :mod:`repro.backend`.
     """
 
     name: str
@@ -178,6 +184,7 @@ class Scenario:
     rounds: Optional[int] = None
     seed: int = 0
     record_trace: bool = False
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         _validate_common(self)
@@ -237,6 +244,7 @@ def run_scenario(scenario: Scenario) -> RunResult:
         rounds=scenario.rounds,
         seed=scenario.seed,
         record_trace=scenario.record_trace,
+        backend=scenario.backend,
     )
 
 
@@ -266,6 +274,7 @@ class DynamicScenario:
     events: str = "burst"
     rounds: int = 240
     seed: int = 0
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         from ..dynamic.events import EVENT_PROFILES
@@ -322,4 +331,5 @@ def run_dynamic_scenario(scenario: DynamicScenario) -> RunResult:
         rounds=scenario.rounds,
         continuous_kind=scenario.continuous_kind,
         seed=scenario.seed,
+        backend=scenario.backend,
     )

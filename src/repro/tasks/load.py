@@ -26,6 +26,7 @@ from ..network.graph import Network
 
 __all__ = [
     "as_load_vector",
+    "as_token_counts",
     "balanced_allocation",
     "makespans",
     "max_min_discrepancy",
@@ -38,8 +39,13 @@ __all__ = [
 
 
 def as_load_vector(loads: Sequence[float], network: Network) -> np.ndarray:
-    """Validate and convert ``loads`` into a float numpy array of length ``n``."""
-    array = np.asarray(list(loads), dtype=float)
+    """Validate and convert ``loads`` into a float numpy array of length ``n``.
+
+    Accepts any sequence (ndarrays pass through without a Python-list
+    round-trip; an already-float ndarray is not copied by ``asarray``, so
+    hot paths can call this every round for free).
+    """
+    array = np.asarray(loads, dtype=float)
     if array.shape != (network.num_nodes,):
         raise TaskError(
             f"load vector must have length {network.num_nodes}, got shape {array.shape}"
@@ -47,6 +53,25 @@ def as_load_vector(loads: Sequence[float], network: Network) -> np.ndarray:
     if not np.all(np.isfinite(array)):
         raise TaskError("load vector must contain only finite values")
     return array
+
+
+def as_token_counts(loads: Sequence[float], network: Network,
+                    error: type = TaskError) -> np.ndarray:
+    """Validate ``loads`` as non-negative integer token counts (``int64``).
+
+    The shared validate-and-convert step of every token-only process;
+    ``error`` lets callers surface their own exception family.
+    """
+    array = np.asarray(loads, dtype=float)
+    if array.shape != (network.num_nodes,):
+        raise error(
+            f"load vector must have length {network.num_nodes}, got shape {array.shape}"
+        )
+    if np.any(array < 0):
+        raise error("token loads must be non-negative")
+    if not np.allclose(array, np.round(array)):
+        raise error("integer token loads are required")
+    return np.round(array).astype(np.int64)
 
 
 def balanced_allocation(total_weight: float, network: Network) -> np.ndarray:

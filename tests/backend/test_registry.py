@@ -1,0 +1,142 @@
+"""Backend registry: resolution rules, fallbacks and API threading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayBackend,
+    ArrayDeterministicFlowImitation,
+    ArrayRandomizedFlowImitation,
+    ObjectBackend,
+    TokenCountState,
+    get_backend,
+    resolve_backend_name,
+)
+from repro.core.algorithm1 import DeterministicFlowImitation
+from repro.core.algorithm2 import RandomizedFlowImitation
+from repro.core.flow_imitation import FlowCoupledBalancer
+from repro.exceptions import ExperimentError, TaskError
+from repro.network import topologies
+from repro.simulation.engine import make_balancer, run_algorithm
+from repro.simulation.scenario import DynamicScenario, Scenario
+from repro.tasks.assignment import TaskAssignment
+from repro.tasks.generators import point_load
+from repro.tasks.task import Task
+
+
+class TestResolution:
+    def test_auto_prefers_array_for_token_loads(self):
+        assert resolve_backend_name("auto") == "array"
+        assert resolve_backend_name("array") == "array"
+        assert resolve_backend_name("object") == "object"
+
+    def test_assignment_falls_back_to_object(self):
+        network = topologies.cycle(4)
+        assignment = TaskAssignment.from_unit_loads(network, [2, 2, 2, 2])
+        assert resolve_backend_name("auto", assignment=assignment) == "object"
+        assert resolve_backend_name("array", assignment=assignment) == "object"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_backend_name("columnar")
+        with pytest.raises(ExperimentError):
+            make_balancer("algorithm1", topologies.cycle(4),
+                          initial_load=[1, 1, 1, 1], backend="columnar")
+
+    def test_get_backend_instances(self):
+        assert isinstance(get_backend("object"), ObjectBackend)
+        assert isinstance(get_backend("array"), ArrayBackend)
+        assert isinstance(get_backend("auto"), ArrayBackend)
+
+
+class TestMakeBalancerThreading:
+    def test_array_backend_builds_array_classes(self):
+        network = topologies.cycle(6)
+        load = point_load(network, 12)
+        assert isinstance(
+            make_balancer("algorithm1", network, initial_load=load, backend="array"),
+            ArrayDeterministicFlowImitation)
+        assert isinstance(
+            make_balancer("algorithm2", network, initial_load=load, backend="array"),
+            ArrayRandomizedFlowImitation)
+
+    def test_object_backend_builds_object_classes(self):
+        network = topologies.cycle(6)
+        load = point_load(network, 12)
+        assert isinstance(
+            make_balancer("algorithm1", network, initial_load=load, backend="object"),
+            DeterministicFlowImitation)
+        assert isinstance(
+            make_balancer("algorithm2", network, initial_load=load, backend="object"),
+            RandomizedFlowImitation)
+
+    def test_weighted_assignment_falls_back_to_object(self):
+        """backend="array" with weighted tasks must silently use objects."""
+        network = topologies.cycle(6)
+        assignment = TaskAssignment(network)
+        assignment.add(0, Task(task_id=0, weight=3.0))
+        assignment.add(1, Task(task_id=1, weight=1.0))
+        balancer = make_balancer("algorithm1", network, assignment=assignment,
+                                 backend="array")
+        assert isinstance(balancer, DeterministicFlowImitation)
+        assert balancer.w_max == 3.0
+
+    def test_both_backends_are_flow_coupled(self):
+        network = topologies.cycle(6)
+        load = point_load(network, 12)
+        for backend in ("object", "array"):
+            balancer = make_balancer("algorithm1", network, initial_load=load,
+                                     backend=backend)
+            assert isinstance(balancer, FlowCoupledBalancer)
+
+    def test_run_algorithm_rejects_fractional_loads_on_both_backends(self):
+        network = topologies.cycle(4)
+        for backend in ("object", "array"):
+            with pytest.raises(ExperimentError):
+                run_algorithm("algorithm1", network, initial_load=[1.5, 0, 0, 0],
+                              backend=backend)
+
+
+class TestScenarioThreading:
+    def test_scenario_roundtrips_backend_field(self):
+        scenario = Scenario(name="s", algorithm="algorithm1", backend="array")
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_dynamic_scenario_validates_backend(self):
+        with pytest.raises(ExperimentError):
+            DynamicScenario(name="s", algorithm="algorithm1", backend="frobnicate")
+
+
+class TestTokenCountState:
+    def test_fifo_pop_splits_runs(self):
+        state = TokenCountState(np.array([5, 0]))
+        state.materialize_queues()
+        runs, missing = state.pop_front(0, 3)
+        assert runs == [[3, False]] and missing == 0
+        state.push(1, runs)
+        state.push_dummies(1, 2)
+        assert state.counts.tolist() == [2, 5]
+        assert state.dummy_counts.tolist() == [0, 2]
+        assert state.dummy_total == 2
+
+    def test_pop_reports_shortfall(self):
+        state = TokenCountState(np.array([2]))
+        state.materialize_queues()
+        runs, missing = state.pop_front(0, 5)
+        assert sum(count for count, _ in runs) == 2
+        assert missing == 3
+
+    def test_queue_rebuild_forbidden_with_dummies(self):
+        state = TokenCountState(np.array([1, 1]))
+        state.materialize_queues()
+        state.push_dummies(0, 1)
+        with pytest.raises(TaskError):
+            state.drop_queues()
+        assert state.remove_dummies() == 1
+        assert state.counts.tolist() == [1, 1]
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(TaskError):
+            TokenCountState(np.array([1, -1]))
