@@ -8,10 +8,16 @@ backend pays O(n) and O(m log m).  Both produce bit-identical discrepancy
 trajectories — the speedup is pure representation.
 
 The measured ladder (W in {10^4, 10^5, 10^6}) is written to
-``BENCH_backend.json`` at the repository root as a perf record.  Run
-directly for the CI smoke check::
+``BENCH_backend.json`` at the repository root as a perf record.  The
+*weighted* suite runs the same bursty stream on weighted tasks (integer
+weights 1..4, columnar weight buckets vs one task object per work item) plus
+an excess-token row (scalar counter-RNG reference vs the fully vectorised
+kernel on a 4096-node torus) and records ``BENCH_weighted.json``.  Run
+directly for the CI smoke checks::
 
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py --sizes 10000 --min-speedup 2
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py --suite weighted \
+        --weighted-sizes 10000 --min-speedup 2 --no-record
 """
 
 from __future__ import annotations
@@ -31,13 +37,19 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.dynamic.events import BurstyArrivals  # noqa: E402
 from repro.dynamic.stream import run_stream  # noqa: E402
 from repro.network import topologies  # noqa: E402
+from repro.simulation.engine import run_algorithm  # noqa: E402
 from repro.simulation.experiments import format_table  # noqa: E402
 from repro.tasks.generators import uniform_random_load  # noqa: E402
+from repro.tasks.weighted import weighted_loads_from_task_counts  # noqa: E402
 
 SIZES = (10**4, 10**5, 10**6)
+WEIGHTED_SIZES = (10**4, 10**5)
+MAX_TASK_WEIGHT = 4
+EXCESS_NODES = 4096  # 64x64 torus for the vectorised excess-token kernel row
 ROUNDS = 12
 SEED = 11
 RECORD_PATH = REPO_ROOT / "BENCH_backend.json"
+WEIGHTED_RECORD_PATH = REPO_ROOT / "BENCH_weighted.json"
 
 
 def run_one(total_tokens: int, backend: str):
@@ -68,6 +80,64 @@ def run_ladder(sizes=SIZES):
     return rows
 
 
+def run_weighted_one(total_weight: int, backend: str):
+    """One weighted dynamic stream (algorithm1, integer weights 1..4)."""
+    network = topologies.torus(8, dims=2)
+    # Uniform task placement whose expected total weight is ``total_weight``.
+    num_tasks = int(total_weight / ((1 + MAX_TASK_WEIGHT) / 2))
+    task_counts = uniform_random_load(network, num_tasks, seed=SEED)
+    weighted = weighted_loads_from_task_counts(task_counts, MAX_TASK_WEIGHT,
+                                               seed=SEED)
+    generator = BurstyArrivals(total_weight // 10, period=4, first_round=2,
+                               seed=SEED)
+    start = time.perf_counter()
+    result = run_stream("algorithm1", network, weighted, generator,
+                        rounds=ROUNDS, seed=SEED, backend=backend)
+    return time.perf_counter() - start, result
+
+
+def run_excess_one(backend: str):
+    """One static counter-RNG excess-token run on a 4096-node torus."""
+    network = topologies.torus(64, dims=2)
+    load = uniform_random_load(network, 32 * network.num_nodes, seed=SEED)
+    start = time.perf_counter()
+    result = run_algorithm("excess-tokens", network, initial_load=load,
+                           rounds=ROUNDS, seed=SEED, backend=backend,
+                           rng_mode="counter", record_trace=True)
+    return time.perf_counter() - start, result
+
+
+def run_weighted_ladder(sizes=WEIGHTED_SIZES, include_excess=True):
+    rows = []
+    for total_weight in sizes:
+        object_seconds, object_result = run_weighted_one(total_weight, "object")
+        array_seconds, array_result = run_weighted_one(total_weight, "array")
+        rows.append({
+            "workload": f"weighted-stream w_max={MAX_TASK_WEIGHT}",
+            "W": total_weight,
+            "rounds": ROUNDS,
+            "recouplings": int(object_result.extra["recouplings"]),
+            "object_seconds": round(object_seconds, 4),
+            "array_seconds": round(array_seconds, 4),
+            "speedup": round(object_seconds / array_seconds, 1),
+            "trajectories_identical": object_result.trace_max_min == array_result.trace_max_min,
+        })
+    if include_excess:
+        scalar_seconds, scalar_result = run_excess_one("object")
+        kernel_seconds, kernel_result = run_excess_one("array")
+        rows.append({
+            "workload": f"excess-tokens counter-rng n={EXCESS_NODES}",
+            "W": int(scalar_result.total_weight),
+            "rounds": ROUNDS,
+            "recouplings": 0,
+            "object_seconds": round(scalar_seconds, 4),
+            "array_seconds": round(kernel_seconds, 4),
+            "speedup": round(scalar_seconds / kernel_seconds, 1),
+            "trajectories_identical": scalar_result.trace_max_min == kernel_result.trace_max_min,
+        })
+    return rows
+
+
 def write_record(rows) -> pathlib.Path:
     payload = {
         "benchmark": "backend_speedup",
@@ -78,6 +148,20 @@ def write_record(rows) -> pathlib.Path:
     }
     RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return RECORD_PATH
+
+
+def write_weighted_record(rows) -> pathlib.Path:
+    payload = {
+        "benchmark": "weighted_backend_speedup",
+        "description": ("object vs columnar weighted backend on a bursty 64-node "
+                        "weighted stream, plus the counter-RNG excess-token "
+                        "kernel vs its scalar reference"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "rows": rows,
+    }
+    WEIGHTED_RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return WEIGHTED_RECORD_PATH
 
 
 def check(rows, min_speedup: float) -> None:
@@ -102,20 +186,50 @@ def test_backend_speedup(benchmark):
     assert rows[-1]["W"] < 10**6 or rows[-1]["speedup"] >= 10.0
 
 
+def test_weighted_backend_speedup(benchmark):
+    from conftest import print_table, run_once
+
+    rows = run_once(benchmark, run_weighted_ladder)
+    print_table("Object vs columnar weighted backend (8x8 torus, algorithm1, "
+                "12 rounds) + counter-RNG excess-token kernel", format_table(rows))
+    record = write_weighted_record(rows)
+    print(f"perf record written to {record}")
+    # The tentpole claim: >= 10x on the 10^5-weight weighted stream.
+    check(rows, min_speedup=2.0)
+    for row in rows:
+        if row["workload"].startswith("weighted-stream") and row["W"] >= 10**5:
+            assert row["speedup"] >= 10.0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", default="unit", choices=["unit", "weighted", "all"],
+                        help="which ladder(s) to run")
     parser.add_argument("--sizes", nargs="+", type=int, default=list(SIZES),
-                        help="token counts W to benchmark")
+                        help="unit-token counts W to benchmark")
+    parser.add_argument("--weighted-sizes", nargs="+", type=int,
+                        default=list(WEIGHTED_SIZES),
+                        help="weighted-stream total weights W to benchmark")
+    parser.add_argument("--skip-excess", action="store_true",
+                        help="skip the (slow) 4096-node excess-token row")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="fail unless the array backend is this much faster")
     parser.add_argument("--no-record", action="store_true",
-                        help="skip writing BENCH_backend.json")
+                        help="skip writing the BENCH_*.json records")
     args = parser.parse_args(argv)
-    rows = run_ladder(args.sizes)
-    print(format_table(rows))
-    if not args.no_record:
-        print(f"perf record written to {write_record(rows)}")
-    check(rows, args.min_speedup)
+    if args.suite in ("unit", "all"):
+        rows = run_ladder(args.sizes)
+        print(format_table(rows))
+        if not args.no_record:
+            print(f"perf record written to {write_record(rows)}")
+        check(rows, args.min_speedup)
+    if args.suite in ("weighted", "all"):
+        rows = run_weighted_ladder(args.weighted_sizes,
+                                   include_excess=not args.skip_excess)
+        print(format_table(rows))
+        if not args.no_record:
+            print(f"perf record written to {write_weighted_record(rows)}")
+        check(rows, args.min_speedup)
     return 0
 
 

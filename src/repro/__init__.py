@@ -10,9 +10,13 @@ from .backend import (
     BACKEND_KINDS,
     ArrayBackend,
     ArrayDeterministicFlowImitation,
+    ArrayExcessTokenDiffusion,
     ArrayRandomizedFlowImitation,
+    ArrayWeightedDeterministicFlowImitation,
+    BackendChoice,
     ObjectBackend,
     get_backend,
+    resolve_backend,
     resolve_backend_name,
 )
 from .core import (
@@ -62,10 +66,12 @@ from .tasks import (
     Task,
     TaskAssignment,
     TaskFactory,
+    WeightedLoads,
     generators,
     max_avg_discrepancy,
     max_min_discrepancy,
     summarize_loads,
+    weighted_loads_from_task_counts,
 )
 
 __version__ = "1.0.0"
@@ -79,11 +85,15 @@ __all__ = [
     "TaskSelectionPolicy",
     # load-state backends
     "BACKEND_KINDS",
+    "BackendChoice",
     "ObjectBackend",
     "ArrayBackend",
     "ArrayDeterministicFlowImitation",
     "ArrayRandomizedFlowImitation",
+    "ArrayWeightedDeterministicFlowImitation",
+    "ArrayExcessTokenDiffusion",
     "get_backend",
+    "resolve_backend",
     "resolve_backend_name",
     "theorem3_discrepancy_bound",
     "theorem8_max_avg_bound",
@@ -104,6 +114,8 @@ __all__ = [
     "Task",
     "TaskFactory",
     "TaskAssignment",
+    "WeightedLoads",
+    "weighted_loads_from_task_counts",
     "generators",
     "max_min_discrepancy",
     "max_avg_discrepancy",

@@ -8,12 +8,15 @@ streaming engine and the CLI.
 from .base import (
     BACKEND_KINDS,
     ArrayBackend,
+    BackendChoice,
     LoadBackend,
     ObjectBackend,
     get_backend,
+    resolve_backend,
     resolve_backend_name,
 )
 from .baselines import (
+    ArrayExcessTokenDiffusion,
     ArrayQuasirandomDiffusion,
     ArrayRandomizedRoundingDiffusion,
     ArrayRoundDownDiffusion,
@@ -25,20 +28,26 @@ from .flow import (
     ArrayRandomizedFlowImitation,
 )
 from .state import TokenCountState
+from .weighted import ArrayWeightedDeterministicFlowImitation, WeightedRunState
 
 __all__ = [
     "BACKEND_KINDS",
+    "BackendChoice",
     "LoadBackend",
     "ObjectBackend",
     "ArrayBackend",
     "get_backend",
+    "resolve_backend",
     "resolve_backend_name",
     "ArrayFlowImitation",
     "ArrayDeterministicFlowImitation",
     "ArrayRandomizedFlowImitation",
+    "ArrayWeightedDeterministicFlowImitation",
     "ArrayRoundDownDiffusion",
     "ArrayRoundDownSecondOrder",
     "ArrayQuasirandomDiffusion",
     "ArrayRandomizedRoundingDiffusion",
+    "ArrayExcessTokenDiffusion",
     "TokenCountState",
+    "WeightedRunState",
 ]

@@ -3,18 +3,25 @@
 A *backend* decides how the discrete workload of a balancing process is
 represented:
 
-* ``"object"`` — one Python :class:`~repro.tasks.task.Task` per token, held
-  in a :class:`~repro.tasks.assignment.TaskAssignment`.  The original path,
-  and the only one that supports weighted tasks and task-identity analyses
-  (locality, selection policies).
-* ``"array"`` — a single numpy ``int64`` count vector for unit-weight
-  tokens (:mod:`repro.backend.flow`).  O(m) per round instead of O(W),
-  which is what makes million-token dynamic streams feasible.
-* ``"auto"`` — the array backend whenever the workload allows it (an
-  integer token load vector), the object backend otherwise (an explicit
-  ``TaskAssignment``, i.e. weighted tasks or callers that need task
-  identity).  This is the default everywhere: the backends are
-  bit-equivalent, so ``auto`` is purely a performance choice.
+* ``"object"`` — one Python :class:`~repro.tasks.task.Task` per work item,
+  held in a :class:`~repro.tasks.assignment.TaskAssignment`.  The original
+  path, and the only one that supports non-integer task weights and
+  task-identity analyses (locality, origin tracking).
+* ``"array"`` — columnar numpy state: a single ``int64`` count vector for
+  unit-weight tokens (:mod:`repro.backend.flow`) and per-node sorted weight
+  buckets with run-length queues for integer-weighted tasks
+  (:mod:`repro.backend.weighted`).  O(m + transfers) per round instead of
+  O(W), which is what makes million-token streams feasible.
+* ``"auto"`` — the array backend whenever the workload allows it: integer
+  token load vectors, :class:`~repro.tasks.weighted.WeightedLoads`, and
+  ``TaskAssignment``s whose tasks all carry integer weights.  The object
+  backend remains the fallback for non-integer weights and for assignments
+  that already contain dummy tasks.  This is the default everywhere: the
+  backends are bit-equivalent, so ``auto`` is purely a performance choice.
+
+:func:`resolve_backend` reports not just the chosen backend but *why* — the
+reason lands in ``RunResult.extra["backend_reason"]`` so silent fallbacks are
+observable in benchmarks and CI.
 
 Backends are deliberately thin: they only choose *classes*.  The simulation
 engine keeps ownership of substrate construction, schedules and seeds so
@@ -25,6 +32,7 @@ coupled system — and therefore the same trajectory — on every backend.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Optional, Sequence, Type
 
 from ..continuous.base import ContinuousProcess
@@ -38,21 +46,26 @@ from ..discrete.baselines.diffusion import (
     RandomizedRoundingDiffusion,
     RoundDownDiffusion,
 )
-from ..exceptions import ExperimentError
+from ..exceptions import ExperimentError, ProcessError
 from ..tasks.assignment import TaskAssignment
+from ..tasks.weighted import WeightedLoads, task_integer_weight
 from .baselines import (
+    ArrayExcessTokenDiffusion,
     ArrayQuasirandomDiffusion,
     ArrayRandomizedRoundingDiffusion,
     ArrayRoundDownDiffusion,
 )
 from .flow import ArrayDeterministicFlowImitation, ArrayRandomizedFlowImitation
+from .weighted import ArrayWeightedDeterministicFlowImitation
 
 __all__ = [
     "BACKEND_KINDS",
+    "BackendChoice",
     "LoadBackend",
     "ObjectBackend",
     "ArrayBackend",
     "get_backend",
+    "resolve_backend",
     "resolve_backend_name",
 ]
 
@@ -60,21 +73,67 @@ __all__ = [
 BACKEND_KINDS = ("auto", "object", "array")
 
 
-def resolve_backend_name(backend: str, assignment: Optional[TaskAssignment] = None) -> str:
-    """Resolve a requested backend to a concrete one (``"object"``/``"array"``).
+@dataclass(frozen=True)
+class BackendChoice:
+    """A resolved backend plus the reason it was selected (or fallen back to)."""
 
-    An explicit :class:`TaskAssignment` always selects the object backend —
-    it may hold weighted tasks, and its task identities are part of the
-    caller-visible contract — so ``"array"`` and ``"auto"`` silently fall
-    back to ``"object"`` for it.
+    name: str
+    reason: str
+
+
+def _assignment_fallback_reason(assignment: TaskAssignment,
+                                algorithm: Optional[str]) -> Optional[str]:
+    """Why an assignment cannot take the columnar path (``None`` if it can)."""
+    if assignment.total_dummy_weight() > 0:
+        return "assignment already contains dummy tasks"
+    for node in assignment.network.nodes:
+        for task in assignment.tasks_at(node):
+            if task_integer_weight(task) is None:
+                return f"non-integer task weight {task.weight}"
+    if algorithm == "algorithm2" and assignment.max_task_weight() > 1:
+        # Let the object implementation raise its canonical weighted-task error.
+        return "algorithm2 requires unit tokens"
+    return None
+
+
+def resolve_backend(
+    backend: str,
+    assignment: Optional[TaskAssignment] = None,
+    weighted: Optional[WeightedLoads] = None,
+    algorithm: Optional[str] = None,
+) -> BackendChoice:
+    """Resolve a requested backend to a concrete one, with the reason why.
+
+    ``"auto"`` (and an explicit ``"array"``) takes the columnar path for
+    integer token vectors, :class:`WeightedLoads` and integer-weight task
+    assignments; it falls back to the object backend only when the workload
+    genuinely needs task objects (non-integer weights, pre-existing dummy
+    tasks).  The reason string makes that decision observable.
     """
     if backend not in BACKEND_KINDS:
         raise ExperimentError(
             f"unknown backend {backend!r}; valid backends: {BACKEND_KINDS}"
         )
-    if backend == "object" or assignment is not None:
-        return "object"
-    return "array"
+    if backend == "object":
+        return BackendChoice("object", "requested explicitly")
+    if assignment is not None:
+        fallback = _assignment_fallback_reason(assignment, algorithm)
+        if fallback is not None:
+            return BackendChoice("object", fallback)
+        if assignment.max_task_weight() > 1:
+            return BackendChoice("array", "columnar weighted buckets (integer weights)")
+        return BackendChoice("array", "unit-token counts (assignment of tokens)")
+    if weighted is not None:
+        if weighted.max_weight() > 1:
+            return BackendChoice("array", "columnar weighted buckets")
+        return BackendChoice("array", "unit-token counts")
+    return BackendChoice("array", "integer token counts")
+
+
+def resolve_backend_name(backend: str, assignment: Optional[TaskAssignment] = None,
+                         algorithm: Optional[str] = None) -> str:
+    """Resolve a requested backend to a concrete name (``"object"``/``"array"``)."""
+    return resolve_backend(backend, assignment=assignment, algorithm=algorithm).name
 
 
 class LoadBackend(ABC):
@@ -89,18 +148,20 @@ class LoadBackend(ABC):
         continuous: ContinuousProcess,
         initial_load: Optional[Sequence[int]] = None,
         assignment: Optional[TaskAssignment] = None,
+        weighted: Optional[WeightedLoads] = None,
         seed: Optional[int] = None,
         selection_policy: str = TaskSelectionPolicy.FIFO,
     ) -> FlowCoupledBalancer:
         """Couple Algorithm 1 or 2 to ``continuous`` on this backend."""
 
     @abstractmethod
-    def diffusion_class(self, algorithm: str) -> Type[IntegerLoadBalancer]:
+    def diffusion_class(self, algorithm: str,
+                        rng_mode: str = "sequential") -> Type[IntegerLoadBalancer]:
         """Return the implementation class of a diffusion baseline."""
 
 
 class ObjectBackend(LoadBackend):
-    """The object-per-token path: ``TaskAssignment`` + task-moving balancers."""
+    """The object-per-task path: ``TaskAssignment`` + task-moving balancers."""
 
     name = "object"
 
@@ -110,11 +171,16 @@ class ObjectBackend(LoadBackend):
         continuous: ContinuousProcess,
         initial_load: Optional[Sequence[int]] = None,
         assignment: Optional[TaskAssignment] = None,
+        weighted: Optional[WeightedLoads] = None,
         seed: Optional[int] = None,
         selection_policy: str = TaskSelectionPolicy.FIFO,
     ) -> FlowCoupledBalancer:
         if assignment is None:
-            assignment = TaskAssignment.from_unit_loads(continuous.network, initial_load)
+            if weighted is not None:
+                assignment = weighted.to_assignment(continuous.network)
+            else:
+                assignment = TaskAssignment.from_unit_loads(continuous.network,
+                                                            initial_load)
         if algorithm == "algorithm1":
             return DeterministicFlowImitation(continuous, assignment,
                                               selection_policy=selection_policy)
@@ -127,12 +193,13 @@ class ObjectBackend(LoadBackend):
         "excess-tokens": ExcessTokenDiffusion,
     }
 
-    def diffusion_class(self, algorithm: str) -> Type[IntegerLoadBalancer]:
+    def diffusion_class(self, algorithm: str,
+                        rng_mode: str = "sequential") -> Type[IntegerLoadBalancer]:
         return self._DIFFUSION[algorithm]
 
 
 class ArrayBackend(LoadBackend):
-    """The columnar path: numpy count vectors and vectorised rounding."""
+    """The columnar path: numpy count vectors, weight buckets, vectorised rounding."""
 
     name = "array"
 
@@ -142,17 +209,47 @@ class ArrayBackend(LoadBackend):
         continuous: ContinuousProcess,
         initial_load: Optional[Sequence[int]] = None,
         assignment: Optional[TaskAssignment] = None,
+        weighted: Optional[WeightedLoads] = None,
         seed: Optional[int] = None,
         selection_policy: str = TaskSelectionPolicy.FIFO,
     ) -> FlowCoupledBalancer:
         if assignment is not None:
-            raise ExperimentError(
-                "the array backend stores token counts only; task assignments "
-                "(weighted tasks) require the object backend"
-            )
+            if assignment.network is not continuous.network:
+                raise ProcessError(
+                    "the task assignment and the continuous process must share the same network"
+                )
+            if assignment.total_dummy_weight() > 0:
+                # resolve_backend routes these to the object backend; direct
+                # callers get a clear error instead of dummies silently
+                # becoming real tokens via assignment.loads().
+                raise ExperimentError(
+                    "assignments that already contain dummy tasks require the "
+                    "object backend"
+                )
+            # The columnar path keeps the assignment's queue order; all-unit
+            # assignments reduce to token counts (order is unobservable).
+            if assignment.max_task_weight() > 1:
+                if algorithm == "algorithm1":
+                    return ArrayWeightedDeterministicFlowImitation(
+                        continuous, assignment, selection_policy=selection_policy)
+                raise ExperimentError(
+                    "Algorithm 2 balances identical unit-weight tokens only; "
+                    "weighted assignments require algorithm1"
+                )
+            initial_load = assignment.loads().astype(int)
+        elif weighted is not None:
+            if weighted.max_weight() > 1:
+                if algorithm == "algorithm1":
+                    return ArrayWeightedDeterministicFlowImitation(
+                        continuous, weighted, selection_policy=selection_policy)
+                raise ExperimentError(
+                    "Algorithm 2 balances identical unit-weight tokens only; "
+                    "weighted workloads require algorithm1"
+                )
+            initial_load = weighted.load_vector()
         if algorithm == "algorithm1":
             # The selection policy is irrelevant for indistinguishable unit
-            # tokens, so the array variant does not take one.
+            # tokens, so the unit-token array variant does not take one.
             return ArrayDeterministicFlowImitation(continuous, initial_load)
         return ArrayRandomizedFlowImitation(continuous, initial_load, seed=seed)
 
@@ -160,18 +257,25 @@ class ArrayBackend(LoadBackend):
         "round-down": ArrayRoundDownDiffusion,
         "quasirandom": ArrayQuasirandomDiffusion,
         "randomized-rounding": ArrayRandomizedRoundingDiffusion,
-        # Excess-token forwarding draws order-sensitive per-node randomness;
-        # the shared implementation is already columnar (see backend.baselines).
+        # Sequential excess-token forwarding draws order-sensitive per-node
+        # randomness, so the shared scalar implementation is kept; the
+        # counter rng mode is order-free and takes the vectorised kernel.
         "excess-tokens": ExcessTokenDiffusion,
     }
 
-    def diffusion_class(self, algorithm: str) -> Type[IntegerLoadBalancer]:
+    def diffusion_class(self, algorithm: str,
+                        rng_mode: str = "sequential") -> Type[IntegerLoadBalancer]:
+        if algorithm == "excess-tokens" and rng_mode == "counter":
+            return ArrayExcessTokenDiffusion
         return self._DIFFUSION[algorithm]
 
 
 _BACKENDS = {"object": ObjectBackend(), "array": ArrayBackend()}
 
 
-def get_backend(name: str, assignment: Optional[TaskAssignment] = None) -> LoadBackend:
+def get_backend(name: str, assignment: Optional[TaskAssignment] = None,
+                weighted: Optional[WeightedLoads] = None,
+                algorithm: Optional[str] = None) -> LoadBackend:
     """Return the backend instance for ``name`` (resolving ``"auto"``)."""
-    return _BACKENDS[resolve_backend_name(name, assignment=assignment)]
+    return _BACKENDS[resolve_backend(name, assignment=assignment,
+                                     weighted=weighted, algorithm=algorithm).name]

@@ -8,12 +8,16 @@ moves — with scatter-adds.  The results are bit-identical: the same integer
 amounts move over the same edges, and the negative-load flag is evaluated on
 the same post-round vector.
 
-:class:`~repro.discrete.baselines.diffusion.ExcessTokenDiffusion` and the
-matching baselines are *not* specialised here: excess-token forwarding draws
-per-node random choices whose order a vectorised rewrite could not reproduce,
-and the matching baselines touch at most ``n/2`` edges per round anyway.
-Both are already O(n·d) per round with no per-token state, so the array
-backend simply reuses the shared implementations for them.
+:class:`~repro.discrete.baselines.diffusion.ExcessTokenDiffusion` in its
+default *sequential* rng mode is not specialised here: its per-node random
+choices are consumed from one shared generator in node order, which a
+vectorised rewrite could not reproduce.  In the **counter** rng mode
+(``rng_mode="counter"``, Philox keyed on ``(seed, round)`` with per-node
+score rows) the draws are order-free, and
+:class:`ArrayExcessTokenDiffusion` batches the whole round — directed
+floors, excess counts and the random candidate selection — into a handful of
+array operations, bit-identical to the scalar counter-mode reference.  The
+matching baselines touch at most ``n/2`` edges per round and stay shared.
 """
 
 from __future__ import annotations
@@ -21,17 +25,20 @@ from __future__ import annotations
 import numpy as np
 
 from ..discrete.baselines.diffusion import (
+    ExcessTokenDiffusion,
     QuasirandomDiffusion,
     RandomizedRoundingDiffusion,
     RoundDownDiffusion,
     RoundDownSecondOrder,
 )
+from ..exceptions import ProcessError
 
 __all__ = [
     "ArrayRoundDownDiffusion",
     "ArrayRoundDownSecondOrder",
     "ArrayQuasirandomDiffusion",
     "ArrayRandomizedRoundingDiffusion",
+    "ArrayExcessTokenDiffusion",
 ]
 
 
@@ -60,3 +67,61 @@ class ArrayQuasirandomDiffusion(_VectorizedNetMoves, QuasirandomDiffusion):
 
 class ArrayRandomizedRoundingDiffusion(_VectorizedNetMoves, RandomizedRoundingDiffusion):
     """Randomized-rounding diffusion with vectorised move application."""
+
+
+class ArrayExcessTokenDiffusion(ExcessTokenDiffusion):
+    """Fully vectorised excess-token forwarding (counter rng mode only).
+
+    The scalar counter-mode reference (:class:`ExcessTokenDiffusion` with
+    ``rng_mode="counter"``) already computes the directed floors and per-node
+    excess through the shared vectorised ``_counter_flow_plan``; this kernel
+    additionally batches the random candidate selection — the ``excess``
+    smallest entries of each node's per-round Philox score row — with one
+    stable argsort over the whole score block, and applies every transfer
+    with scatter-adds.  The per-round cost is O(n·d log d) array work with no
+    Python loop over nodes; trajectories are bit-identical to the scalar
+    reference by construction (asserted in ``tests/discrete/test_counter_rng.py``).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("rng_mode", "counter")
+        super().__init__(*args, **kwargs)
+        if self.rng_mode != "counter":
+            raise ProcessError(
+                "the vectorised excess-token kernel requires rng_mode='counter'; "
+                "sequential draws are order-sensitive and cannot be batched"
+            )
+
+    def _execute_round(self) -> None:
+        floors, excess = self._counter_flow_plan()
+        degrees = self.network.degrees
+        num_candidates = degrees + 1  # every node may also keep a token
+        counts = np.minimum(excess, num_candidates)
+
+        max_candidates = int(num_candidates.max())
+        columns = np.arange(max_candidates)[np.newaxis, :]
+        valid = columns < num_candidates[:, np.newaxis]
+        if self._strategy == "random":
+            scores = self._counter_scores(self._round)
+            scores = np.where(valid, scores, np.inf)
+            order = np.argsort(scores, axis=1, kind="stable")
+            ranks = np.empty_like(order)
+            np.put_along_axis(ranks, order,
+                              np.broadcast_to(columns, order.shape).copy(), axis=1)
+            chosen = ranks < counts[:, np.newaxis]
+        else:  # round-robin: slots offset..offset+count-1 modulo the candidate count
+            relative = (columns - self._round_robin_offsets[:, np.newaxis]) \
+                % num_candidates[:, np.newaxis]
+            chosen = valid & (relative < counts[:, np.newaxis])
+            self._round_robin_offsets = (self._round_robin_offsets + counts) \
+                % num_candidates
+
+        # Column j < degree(i) is node i's j-th neighbour; column degree(i)
+        # is the node itself (a token "sent to itself" is simply kept).
+        neighbor_mask = columns < degrees[:, np.newaxis]
+        extra = (chosen & neighbor_mask)[neighbor_mask].astype(np.int64)
+        sent = floors + extra
+        np.subtract.at(self._loads, self._dir_src, sent)
+        np.add.at(self._loads, self._dir_dst, sent)
+        if np.any(self._loads < 0):
+            self._went_negative = True

@@ -98,12 +98,25 @@ class ArrayFlowImitation(FlowCoupledBalancer):
         """Return the per-node number of dummy tokens (as floats)."""
         return self._state.dummy_counts.astype(float)
 
+    def real_weight_buckets(self):
+        """Per-node ``{weight: count}`` of the real tokens (all weight 1)."""
+        real = self._state.counts - self._state.dummy_counts
+        return [{1: int(count)} if count else {} for count in real.tolist()]
+
     def remove_dummies(self) -> float:
         """Eliminate all dummy tokens (the final step of the balancing process)."""
         return float(self._state.remove_dummies())
 
-    def _reset_workload(self, counts: np.ndarray) -> None:
-        self._state = TokenCountState(counts)
+    def _reset_workload(self, workload) -> None:
+        from ..tasks.weighted import WeightedLoads
+
+        if isinstance(workload, WeightedLoads):
+            if workload.max_weight() > 1:
+                raise ProcessError(
+                    "the unit-token array backend cannot hold weighted tasks; "
+                    "use the columnar weighted backend")
+            workload = workload.load_vector()
+        self._state = TokenCountState(workload)
 
     # ------------------------------------------------------------------ #
     # the round

@@ -22,7 +22,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .network import topologies
-from .simulation.engine import ALL_ALGORITHMS, BACKEND_KINDS, compare_algorithms
+from .simulation.engine import ALL_ALGORITHMS, BACKEND_KINDS, RNG_MODES, compare_algorithms
 from .simulation.experiments import (
     DEFAULT_TABLE1_ALGORITHMS,
     DEFAULT_TABLE2_ALGORITHMS,
@@ -61,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="continuous substrate")
     compare.add_argument("--backend", default="auto", choices=list(BACKEND_KINDS),
                          help="load-state backend (array = vectorized fast path)")
+    compare.add_argument("--rng-mode", default="sequential", choices=list(RNG_MODES),
+                         help="excess-token randomness: sequential draws or the "
+                              "order-free counter RNG (vectorizable)")
     compare.add_argument("--seed", type=int, default=7)
 
     table1 = subparsers.add_parser("table1", help="reproduce the Table 1 comparison")
@@ -102,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--rounds", type=int, default=240, help="stream horizon")
     dynamic.add_argument("--backend", default="auto", choices=list(BACKEND_KINDS),
                          help="load-state backend (array = vectorized fast path)")
+    dynamic.add_argument("--max-task-weight", type=int, default=1,
+                         help="start from weighted tasks with integer weights in "
+                              "[1, W] (algorithm1 only; events stream unit tokens)")
+    dynamic.add_argument("--rng-mode", default="sequential", choices=list(RNG_MODES),
+                         help="excess-token randomness: sequential draws or the "
+                              "order-free counter RNG (vectorizable)")
     dynamic.add_argument("--seed", type=int, default=7)
     dynamic.add_argument("--csv", help="optional path to write the summary row as CSV")
 
@@ -136,11 +145,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         load = point_load(network, args.tokens_per_node * network.num_nodes)
         results = compare_algorithms(network, load, args.algorithms,
                                      continuous_kind=args.continuous, seed=args.seed,
-                                     backend=args.backend)
+                                     backend=args.backend, rng_mode=args.rng_mode)
         rows = [result.as_dict() for result in results]
         print(format_table(rows, columns=["algorithm", "network", "n", "max_degree",
                                           "rounds", "max_min", "max_avg",
-                                          "dummy_tokens", "went_negative"]))
+                                          "dummy_tokens", "went_negative",
+                                          "backend"]))
     elif args.command == "table1":
         rows = table1_rows(size=args.size, seed=args.seed)
         print(format_table(rows))
@@ -181,7 +191,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             topology=args.topology, num_nodes=args.nodes,
             tokens_per_node=args.tokens_per_node, continuous_kind=args.continuous,
             events=args.scenario, rounds=args.rounds, seed=args.seed,
-            backend=args.backend,
+            backend=args.backend, max_task_weight=args.max_task_weight,
+            rng_mode=args.rng_mode,
         )
         result = run_dynamic_scenario(scenario)
         band = theorem3_discrepancy_bound(result.max_degree, result.max_task_weight)

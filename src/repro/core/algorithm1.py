@@ -98,9 +98,12 @@ class DeterministicFlowImitation(FlowImitationBalancer):
         """The Theorem 3 bound ``2 d w_max + 2`` for this instance."""
         return theorem3_discrepancy_bound(self.network.max_degree, self.w_max)
 
-    def _reset_workload(self, counts) -> None:
-        super()._reset_workload(counts)
-        self._unit_tokens_only = True  # recouple() only accepts unit-token loads
+    def _reset_workload(self, workload) -> None:
+        from ..tasks.weighted import WeightedLoads
+
+        super()._reset_workload(workload)
+        self._unit_tokens_only = (not isinstance(workload, WeightedLoads)
+                                  or workload.max_weight() <= 1)
 
     # ------------------------------------------------------------------ #
     # per-edge planning

@@ -102,6 +102,15 @@ class RandomizedFlowImitation(FlowImitationBalancer):
     def _reset_rng(self, seed: Optional[int]) -> None:
         self._rng = np.random.default_rng(seed)
 
+    def _reset_workload(self, workload) -> None:
+        from ..tasks.weighted import WeightedLoads
+
+        if isinstance(workload, WeightedLoads) and workload.max_weight() > 1:
+            raise ProcessError(
+                "Algorithm 2 balances identical unit-weight tokens only; "
+                "cannot recouple onto a weighted workload")
+        super()._reset_workload(workload)
+
     def _plan_edge_send(self, source: int, destination: int, residual: float,
                         pool: List[Task]) -> EdgeSendPlan:
         if residual <= 0:

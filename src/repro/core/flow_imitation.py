@@ -32,16 +32,17 @@ round is derived from the residual; object-backend subclasses implement
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..continuous.base import BALANCE_TOLERANCE, ContinuousProcess
 from ..discrete.base import DiscreteBalancer
-from ..exceptions import ConvergenceError, ProcessError
+from ..exceptions import ConvergenceError, ProcessError, TaskError
 from ..tasks.assignment import TaskAssignment
 from ..tasks.load import as_token_counts
 from ..tasks.task import Task, TaskFactory
+from ..tasks.weighted import WeightedLoads
 
 __all__ = [
     "EdgeSendPlan",
@@ -219,9 +220,9 @@ class FlowCoupledBalancer(DiscreteBalancer):
     # O(n) re-coupling
     # ------------------------------------------------------------------ #
 
-    def recouple(self, initial_load: Sequence[float],
+    def recouple(self, initial_load: Union[Sequence[float], WeightedLoads],
                  seed: Optional[int] = None) -> None:
-        """Rewind the coupled pair to round 0 on a new unit-token load vector.
+        """Rewind the coupled pair to round 0 on a new workload.
 
         The continuous substrate is :meth:`~repro.continuous.base.ContinuousProcess.reset`
         in place (its cached spectral data — edge weights, transfer rates,
@@ -233,12 +234,28 @@ class FlowCoupledBalancer(DiscreteBalancer):
         without recomputing topology-derived data: O(n + m) for the array
         backend instead of O(W).
 
-        Only unit-token integer loads are supported (the dynamic streaming
-        engine guarantees this); weighted workloads must be rebuilt from a
-        fresh :class:`TaskAssignment`.
+        ``initial_load`` is either a unit-token integer load vector or a
+        :class:`~repro.tasks.weighted.WeightedLoads` (columnar weight
+        buckets) — the latter is how the dynamic streaming engine re-couples
+        weighted streams in O(n) without materialising task objects.
+        Backends that only store unit tokens reject weighted workloads.
         """
-        counts = as_token_counts(initial_load, self.network, error=ProcessError)
-        self._continuous.reset(counts.astype(float))
+        if isinstance(initial_load, WeightedLoads):
+            if initial_load.num_nodes != self.network.num_nodes:
+                raise ProcessError(
+                    f"workload spans {initial_load.num_nodes} nodes, "
+                    f"network has {self.network.num_nodes}")
+            workload: object = initial_load
+            reference = initial_load.load_vector().astype(float)
+            total = float(initial_load.total_weight())
+            w_max = max(1.0, float(initial_load.max_weight()))
+        else:
+            counts = as_token_counts(initial_load, self.network, error=ProcessError)
+            workload = counts
+            reference = counts.astype(float)
+            total = float(counts.sum())
+            w_max = 1.0
+        self._continuous.reset(reference)
         schedule = getattr(self._continuous, "schedule", None)
         if schedule is not None:
             schedule.reseed(seed)
@@ -247,13 +264,14 @@ class FlowCoupledBalancer(DiscreteBalancer):
         self._dummy_tokens_created = 0
         self._used_infinite_source = False
         self._reports = []
-        self._original_weight = float(counts.sum())
-        self._w_max = 1.0
-        self._reset_workload(counts)
+        self._original_weight = total
+        self._w_max = w_max
+        self._reset_workload(workload)
         self._reset_rng(seed)
 
-    def _reset_workload(self, counts: np.ndarray) -> None:
-        """Rebuild the discrete workload from an integer token-count vector."""
+    def _reset_workload(self, workload) -> None:
+        """Rebuild the discrete workload from an integer token-count vector
+        or a :class:`~repro.tasks.weighted.WeightedLoads`."""
         raise NotImplementedError
 
     def _reset_rng(self, seed: Optional[int]) -> None:
@@ -392,8 +410,22 @@ class FlowImitationBalancer(FlowCoupledBalancer):
         """Eliminate all dummy tasks (the final step of the balancing process)."""
         return self._assignment.remove_dummies()
 
-    def _reset_workload(self, counts: np.ndarray) -> None:
-        self._assignment = TaskAssignment.from_unit_loads(self.network, counts)
+    def real_weight_buckets(self) -> List[Dict[int, int]]:
+        """Per-node ``{weight: count}`` of the real tasks (for streaming sync).
+
+        Only defined for integer-weight workloads (the weighted streaming
+        engine's model); the columnar backend exposes the same method.
+        """
+        try:
+            return WeightedLoads.from_assignment(self._assignment).buckets()
+        except TaskError as exc:
+            raise ProcessError(str(exc)) from exc
+
+    def _reset_workload(self, workload) -> None:
+        if isinstance(workload, WeightedLoads):
+            self._assignment = workload.to_assignment(self.network)
+        else:
+            self._assignment = TaskAssignment.from_unit_loads(self.network, workload)
         self._dummy_factory = TaskFactory(start_id=_DUMMY_ID_OFFSET)
 
     # ------------------------------------------------------------------ #

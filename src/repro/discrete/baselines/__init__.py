@@ -1,6 +1,7 @@
 """Discrete baselines from the prior literature, used for the comparison tables."""
 
 from .diffusion import (
+    RNG_MODES,
     DiffusionBaseline,
     ExcessTokenDiffusion,
     QuasirandomDiffusion,
@@ -16,6 +17,7 @@ from .matching import (
 from .random_walk import RandomWalkFineBalancer, TwoPhaseRandomWalkBalancer
 
 __all__ = [
+    "RNG_MODES",
     "DiffusionBaseline",
     "RoundDownDiffusion",
     "RoundDownSecondOrder",

@@ -37,6 +37,7 @@ from ...network.spectral import AlphaScheme, compute_alphas
 from ..base import IntegerLoadBalancer
 
 __all__ = [
+    "RNG_MODES",
     "DiffusionBaseline",
     "RoundDownDiffusion",
     "RoundDownSecondOrder",
@@ -44,6 +45,20 @@ __all__ = [
     "RandomizedRoundingDiffusion",
     "ExcessTokenDiffusion",
 ]
+
+#: How order-sensitive per-node randomness is drawn (see :class:`ExcessTokenDiffusion`).
+RNG_MODES = ("sequential", "counter")
+
+_MASK64 = (1 << 64) - 1
+
+#: Philox stream id reserved for the round-robin offset draw (rounds never reach it).
+_OFFSET_STREAM = _MASK64
+
+
+def _philox_generator(key: int, stream: int) -> np.random.Generator:
+    """A counter-based generator keyed on ``(key, stream)`` (Philox4x64)."""
+    words = np.array([key & _MASK64, stream & _MASK64], dtype=np.uint64)
+    return np.random.Generator(np.random.Philox(key=words))
 
 
 class DiffusionBaseline(IntegerLoadBalancer):
@@ -250,6 +265,21 @@ class ExcessTokenDiffusion(DiffusionBaseline):
       (the original scheme of [9]);
     * ``"round-robin"`` — neighbours served in round-robin order starting from
       a random offset that advances every round.
+
+    Per-node randomness comes in two **rng modes**:
+
+    * ``"sequential"`` (default) — one shared ``numpy`` generator consumed in
+      node order, exactly the original scheme.  The draw a node receives
+      depends on how many draws earlier nodes consumed, so the trajectory is
+      tied to the node iteration order and cannot be vectorised.
+    * ``"counter"`` — a *counter-based* (Philox) generator keyed on
+      ``(seed, round)``; node ``i``'s draws are the ``i``-th row of the
+      per-round score block and the ``excess`` candidates with the smallest
+      scores are selected (a uniform random subset, stable-sorted so ties are
+      deterministic).  Every node's draw is a pure function of
+      ``(seed, round, node, candidate-slot)`` — order-free and therefore
+      vectorisable; :class:`repro.backend.baselines.ArrayExcessTokenDiffusion`
+      is the bit-identical columnar kernel.
     """
 
     STRATEGIES = ("random", "round-robin")
@@ -257,26 +287,142 @@ class ExcessTokenDiffusion(DiffusionBaseline):
     def __init__(self, network: Network, initial_load: Sequence[int],
                  alphas: Optional[Dict[Edge, float]] = None,
                  scheme: str = AlphaScheme.MAX_DEGREE_PLUS_ONE,
-                 seed: Optional[int] = None, strategy: str = "random") -> None:
+                 seed: Optional[int] = None, strategy: str = "random",
+                 rng_mode: str = "sequential") -> None:
         super().__init__(network, initial_load, alphas=alphas, scheme=scheme)
         if strategy not in self.STRATEGIES:
             raise ProcessError(
                 f"unknown excess-token strategy {strategy!r}; valid: {self.STRATEGIES}"
             )
+        if rng_mode not in RNG_MODES:
+            raise ProcessError(
+                f"unknown rng mode {rng_mode!r}; valid: {RNG_MODES}"
+            )
         self._strategy = strategy
+        self._rng_mode = rng_mode
+        self._dir_offsets = None  # built lazily: only the counter mode reads them
         self._reset_state(seed)
 
     def _reset_state(self, seed) -> None:
-        self._rng = np.random.default_rng(seed)
-        self._round_robin_offsets = self._rng.integers(
-            0, np.maximum(self.network.degrees, 1))
+        if self._rng_mode == "counter":
+            if seed is None:
+                seed = int(np.random.default_rng().integers(1 << 63))
+            self._counter_key = int(seed)
+            offsets_rng = _philox_generator(self._counter_key, _OFFSET_STREAM)
+            self._round_robin_offsets = offsets_rng.integers(
+                0, np.maximum(self.network.degrees, 1))
+        else:
+            self._rng = np.random.default_rng(seed)
+            self._round_robin_offsets = self._rng.integers(
+                0, np.maximum(self.network.degrees, 1))
 
     @property
     def strategy(self) -> str:
         """The excess-token distribution strategy in use."""
         return self._strategy
 
+    @property
+    def rng_mode(self) -> str:
+        """How per-node randomness is drawn ("sequential" or "counter")."""
+        return self._rng_mode
+
+    # ------------------------------------------------------------------ #
+    # shared round math (counter mode and the columnar kernel)
+    # ------------------------------------------------------------------ #
+
+    def _ensure_directed_arrays(self) -> None:
+        """Build the directed-edge arrays (sorted by source, then neighbour
+        order) shared by the counter-mode reference and the columnar kernel.
+
+        Topology data, built once on first counter-mode use — the default
+        sequential mode never reads them, so it does not pay for them."""
+        if self._dir_offsets is not None:
+            return
+        network = self.network
+        degrees = network.degrees
+        self._dir_offsets = np.concatenate(([0], np.cumsum(degrees))).astype(np.int64)
+        self._dir_src = np.repeat(np.arange(network.num_nodes), degrees)
+        self._dir_dst = np.fromiter(
+            (nbr for node in network.nodes for nbr in network.neighbors(node)),
+            dtype=np.int64, count=int(degrees.sum()))
+        self._dir_alpha = self._alpha_array[
+            [network.edge_index(int(u), int(v))
+             for u, v in zip(self._dir_src, self._dir_dst)]
+        ]
+
+    def _counter_flow_plan(self):
+        """Vectorised directed floors and per-node excess token counts.
+
+        Shared verbatim by the scalar counter-mode reference below and the
+        columnar kernel in :mod:`repro.backend.baselines`, so the two are
+        bit-identical by construction on everything except how the random
+        candidate selection is *computed* (per-node loop vs batched argsort).
+        """
+        self._ensure_directed_arrays()
+        speeds = self.network.speeds
+        loads = self._loads.astype(float)
+        amounts = self._dir_alpha / speeds[self._dir_src] * loads[self._dir_src]
+        floors = np.floor(amounts + 1e-12).astype(np.int64)
+        outgoing = np.add.reduceat(amounts, self._dir_offsets[:-1])
+        kept_floor = np.floor(loads - outgoing + 1e-12).astype(np.int64)
+        total_floor = np.add.reduceat(floors, self._dir_offsets[:-1])
+        excess = np.rint(loads - total_floor - kept_floor).astype(np.int64)
+        excess = np.where(self._loads > 0, np.maximum(excess, 0), 0)
+        return floors, excess
+
+    def _counter_scores(self, round_index: int) -> np.ndarray:
+        """The per-round ``(n, max_degree + 1)`` uniform score block.
+
+        Entry ``(i, j)`` is a pure function of ``(seed, round, i, j)`` — the
+        counter-RNG keying that makes per-node draws order-free.
+        """
+        rng = _philox_generator(self._counter_key, round_index)
+        return rng.random((self.network.num_nodes, self.network.max_degree + 1))
+
+    def _counter_chosen(self, node: int, num_candidates: int, count: int,
+                        scores: np.ndarray) -> Sequence[int]:
+        """Candidate slots ``node`` forwards its excess tokens to (counter mode)."""
+        if self._strategy == "random":
+            order = np.argsort(scores[node, :num_candidates], kind="stable")
+            return order[:count]
+        offset = int(self._round_robin_offsets[node])
+        chosen = [(offset + k) % num_candidates for k in range(count)]
+        self._round_robin_offsets[node] = (offset + count) % num_candidates
+        return chosen
+
     def _execute_round(self) -> None:
+        if self._rng_mode == "counter":
+            self._execute_round_counter()
+        else:
+            self._execute_round_sequential()
+
+    def _execute_round_counter(self) -> None:
+        """Scalar counter-RNG reference: same flows, order-free draws.
+
+        Nodes are still visited in a Python loop, but every draw depends only
+        on ``(seed, round, node)`` — iterating the nodes in any other order
+        yields the same moves, which is what the vectorised kernel exploits.
+        """
+        floors, excess = self._counter_flow_plan()
+        scores = self._counter_scores(self._round) if self._strategy == "random" else None
+        moves: List[Tuple[int, int, int]] = []
+        for node in self.network.nodes:
+            neighbors = self.network.neighbors(node)
+            base = int(self._dir_offsets[node])
+            for j, neighbor in enumerate(neighbors):
+                amount = int(floors[base + j])
+                if amount > 0:
+                    moves.append((node, neighbor, amount))
+            count = min(int(excess[node]), len(neighbors) + 1)
+            if count > 0:
+                for index in self._counter_chosen(node, len(neighbors) + 1,
+                                                  count, scores):
+                    index = int(index)
+                    if index < len(neighbors):
+                        moves.append((node, neighbors[index], 1))
+        self._apply_edge_moves(moves)
+
+    def _execute_round_sequential(self) -> None:
         speeds = self.network.speeds
         loads = self._loads.astype(float)
         moves: List[Tuple[int, int, int]] = []

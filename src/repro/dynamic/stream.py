@@ -26,25 +26,47 @@ Node leaves that would disconnect the network (or shrink it below three
 nodes) are rejected and recorded as such — the engine unconditionally
 preserves connectivity, which every balancing process in this library
 requires.
+
+**Weighted streams.**  The initial workload may be a weighted
+:class:`~repro.tasks.assignment.TaskAssignment` or columnar
+:class:`~repro.tasks.weighted.WeightedLoads` (integer weights, algorithm1
+only).  The engine then tracks per-node *weight buckets* instead of plain
+token counts; arrivals and departures still act on unit-weight tokens (the
+streamed work), while the heavy tasks travel only through balancing and
+node leaves.  Re-coupling hands the balancer ``WeightedLoads`` buckets in
+canonical (ascending-weight) order, so the object and columnar backends stay
+trajectory-identical on weighted streams too — and the columnar fast path
+keeps re-coupling O(n + buckets) with no per-task objects.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 import numpy as np
 
-from ..backend import resolve_backend_name
+from ..backend import resolve_backend
 from ..core.flow_imitation import FlowCoupledBalancer, TaskSelectionPolicy
 from ..exceptions import ExperimentError
 from ..network.graph import Network
 from ..simulation.engine import ALL_ALGORITHMS, CONTINUOUS_KINDS, make_balancer, make_schedule
 from ..simulation.results import RunResult
+from ..tasks.assignment import TaskAssignment
 from ..tasks.load import max_avg_discrepancy, max_min_discrepancy, quadratic_potential
+from ..tasks.weighted import WeightedLoads
 from .events import ARRIVAL, DEPARTURE, JOIN, LEAVE, DynamicEvent, EventGenerator, StreamView
 
 __all__ = ["run_stream", "StreamingEngine"]
+
+
+def _round_robin_counts(start: int, count: int, targets: int) -> List[int]:
+    """How many of positions ``start .. start+count-1`` land on each residue mod ``targets``."""
+    base, remainder = divmod(count, targets)
+    counts = [base] * targets
+    for k in range(remainder):
+        counts[(start + k) % targets] += 1
+    return counts
 
 
 class StreamingEngine:
@@ -59,12 +81,13 @@ class StreamingEngine:
         self,
         algorithm: str,
         network: Network,
-        initial_load: Sequence[float],
+        initial_load: Union[Sequence[float], TaskAssignment, WeightedLoads],
         generator: EventGenerator,
         continuous_kind: str = "fos",
         seed: Optional[int] = None,
         selection_policy: str = TaskSelectionPolicy.FIFO,
         backend: str = "auto",
+        rng_mode: str = "sequential",
     ) -> None:
         if algorithm not in ALL_ALGORITHMS:
             raise ExperimentError(
@@ -73,21 +96,43 @@ class StreamingEngine:
             raise ExperimentError(
                 f"unknown continuous kind {continuous_kind!r}; valid: {CONTINUOUS_KINDS}")
         network.require_connected()
-        loads = np.asarray(list(initial_load), dtype=float)
-        if loads.shape != (network.num_nodes,):
-            raise ExperimentError(
-                f"initial load must have length {network.num_nodes}, got {loads.shape}")
-        if np.any(loads < 0) or not np.allclose(loads, np.round(loads)):
-            raise ExperimentError("dynamic runs require non-negative integer token loads")
+
+        if isinstance(initial_load, TaskAssignment):
+            initial_load = WeightedLoads.from_assignment(initial_load)
+        weighted: Optional[WeightedLoads] = None
+        if isinstance(initial_load, WeightedLoads):
+            if initial_load.num_nodes != network.num_nodes:
+                raise ExperimentError(
+                    f"initial load must cover {network.num_nodes} nodes, "
+                    f"got {initial_load.num_nodes}")
+            if initial_load.max_weight() > 1:
+                weighted = initial_load
+                if algorithm != "algorithm1":
+                    raise ExperimentError(
+                        "weighted dynamic streams require algorithm1 (the only "
+                        "algorithm defined for weighted tasks)")
+            loads = initial_load.load_vector().astype(float)
+        else:
+            loads = np.asarray(list(initial_load), dtype=float)
+            if loads.shape != (network.num_nodes,):
+                raise ExperimentError(
+                    f"initial load must have length {network.num_nodes}, got {loads.shape}")
+            if np.any(loads < 0) or not np.allclose(loads, np.round(loads)):
+                raise ExperimentError("dynamic runs require non-negative integer token loads")
 
         self._algorithm = algorithm
         self._continuous_kind = continuous_kind
         self._generator = generator
         self._seed = seed
         self._selection_policy = selection_policy
-        # Dynamic runs always balance unit tokens, so "auto" resolves to the
-        # vectorised array backend; the backends are trajectory-identical.
-        self._backend = resolve_backend_name(backend)
+        self._rng_mode = rng_mode
+        self._weighted = weighted is not None
+        # Unit-token streams resolve "auto" to the vectorised count-vector
+        # backend; weighted streams to the columnar weight-bucket backend.
+        # Either way the backends are trajectory-identical.
+        choice = resolve_backend(backend, weighted=weighted, algorithm=algorithm)
+        self._backend = choice.name
+        self._backend_reason = choice.reason
         self._base_name = network.name
 
         # Stable-label state: the graph and token counts the events act on.
@@ -98,6 +143,12 @@ class StreamingEngine:
         self._graph.add_edges_from(network.edges)
         self._tokens: Dict[int, int] = {
             node: int(round(loads[node])) for node in network.nodes}
+        # Weighted streams additionally track {weight: count} buckets per
+        # label; ``_tokens`` then holds the total real *weight* per label.
+        self._buckets: Dict[int, Dict[int, int]] = {}
+        if self._weighted:
+            for node in network.nodes:
+                self._buckets[node] = dict(weighted.node_buckets(node))
         self._speeds: Dict[int, float] = {
             node: float(network.speeds[node]) for node in network.nodes}
         self._next_label = network.num_nodes
@@ -165,12 +216,24 @@ class StreamingEngine:
         """Sorted stable labels of the nodes currently in the system."""
         return tuple(sorted(self._graph.nodes()))
 
+    @property
+    def weighted(self) -> bool:
+        """Whether this stream tracks weighted tasks (weight buckets)."""
+        return self._weighted
+
     def tokens_by_label(self) -> Dict[int, int]:
-        """Current real (non-dummy) token count per stable label (copy)."""
+        """Current real (non-dummy) load per stable label (copy).
+
+        On weighted streams the value is the node's total real task weight.
+        """
         return dict(self._tokens)
 
+    def buckets_by_label(self) -> Dict[int, Dict[int, int]]:
+        """Current real ``{weight: count}`` buckets per label (weighted streams)."""
+        return {label: dict(bucket) for label, bucket in self._buckets.items()}
+
     def total_real_load(self) -> int:
-        """Total number of real tokens currently in the system."""
+        """Total real load (token count, or total weight on weighted streams)."""
         return int(sum(self._tokens.values()))
 
     def view(self) -> StreamView:
@@ -197,6 +260,13 @@ class StreamingEngine:
     def _couple_seed(self) -> Optional[int]:
         return None if self._seed is None else self._seed + 7919 * self._recouplings
 
+    def _current_workload(self) -> Union[np.ndarray, WeightedLoads]:
+        """The stable-label state as the balancer workload (canonical order)."""
+        labels = self.labels
+        if self._weighted:
+            return WeightedLoads.from_buckets([self._buckets[label] for label in labels])
+        return np.array([self._tokens[label] for label in labels], dtype=np.int64)
+
     def _couple(self) -> None:
         """(Re)build the network and balancer from the stable-label state."""
         self._harvest_balancer_counters()
@@ -207,16 +277,18 @@ class StreamingEngine:
         # mapping the StreamView contract promises to generators.
         network = Network(self._graph.copy(), speeds=speeds,
                           name=f"{self._base_name}+dynamic")
-        loads = np.array([self._tokens[label] for label in labels], dtype=int)
+        workload = self._current_workload()
 
         couple_seed = self._couple_seed()
         schedule = make_schedule(self._continuous_kind, network, seed=couple_seed)
         self._network = network
         self._balancer = make_balancer(
-            self._algorithm, network, initial_load=loads,
+            self._algorithm, network,
+            initial_load=None if self._weighted else workload,
+            weighted_load=workload if self._weighted else None,
             continuous_kind=self._continuous_kind, schedule=schedule,
             seed=couple_seed, selection_policy=self._selection_policy,
-            backend=self._backend,
+            backend=self._backend, rng_mode=self._rng_mode,
         )
 
     def _recouple_loads(self) -> None:
@@ -228,11 +300,12 @@ class StreamingEngine:
         is bit-identical to a full :meth:`_couple` rebuild, which keeps
         dynamic trajectories independent of how a re-coupling was performed.
         On the array backend this removes every O(W) term from the event
-        path — the unlock for million-token streams.
+        path — the unlock for million-token streams; weighted streams hand
+        the balancer columnar weight buckets, so the fast path stays
+        O(n + buckets) there too.
         """
         self._harvest_balancer_counters()
-        loads = np.array([self._tokens[label] for label in self.labels], dtype=np.int64)
-        self._balancer.recouple(loads, seed=self._couple_seed())
+        self._balancer.recouple(self._current_workload(), seed=self._couple_seed())
         self._fast_recouplings += 1
 
     def _harvest_balancer_counters(self) -> None:
@@ -253,7 +326,15 @@ class StreamingEngine:
         dummy-elimination step).  Baselines that can drive a node negative
         are clamped at zero here; the clamped amount is recorded so the run
         result can report the conservation violation instead of hiding it.
+        Weighted streams pull back the whole per-node weight multiset.
         """
+        if self._weighted:
+            buckets = self._balancer.real_weight_buckets()
+            for index, label in enumerate(self.labels):
+                bucket = buckets[index]
+                self._buckets[label] = bucket
+                self._tokens[label] = sum(w * c for w, c in bucket.items())
+            return
         if isinstance(self._balancer, FlowCoupledBalancer):
             loads = self._balancer.loads(include_dummies=False)
         else:
@@ -280,17 +361,31 @@ class StreamingEngine:
                 record["applied"] = False
             else:
                 self._tokens[event.node] += event.tokens
+                if self._weighted and event.tokens:
+                    bucket = self._buckets[event.node]
+                    bucket[1] = bucket.get(1, 0) + event.tokens
                 self._arrived += event.tokens
             return record["applied"] and event.tokens > 0, record
 
         if event.kind == DEPARTURE:
-            available = self._tokens.get(event.node, 0)
+            # Streamed work arrives and departs as unit tokens; on weighted
+            # streams the heavy tasks are pinned (they only move through
+            # balancing and node leaves), so only unit tokens can depart.
+            if self._weighted:
+                available = self._buckets.get(event.node, {}).get(1, 0)
+            else:
+                available = self._tokens.get(event.node, 0)
             realised = min(event.tokens, available)
             record["tokens"] = realised
             if event.node not in self._tokens:
                 record["applied"] = False
             else:
-                self._tokens[event.node] = available - realised
+                self._tokens[event.node] -= realised
+                if self._weighted and realised:
+                    bucket = self._buckets[event.node]
+                    bucket[1] = available - realised
+                    if not bucket[1]:
+                        del bucket[1]
                 self._departed += realised
             return realised > 0, record
 
@@ -304,6 +399,8 @@ class StreamingEngine:
             self._graph.add_node(label)
             self._graph.add_edges_from((label, target) for target in attach)
             self._tokens[label] = event.tokens
+            if self._weighted:
+                self._buckets[label] = {1: event.tokens} if event.tokens else {}
             self._speeds[label] = 1.0
             self._arrived += event.tokens
             record["node"] = label
@@ -311,7 +408,9 @@ class StreamingEngine:
             return True, record
 
         # LEAVE: reject anything that would disconnect the network or shrink
-        # it below three nodes; surviving tokens migrate to the neighbours.
+        # it below three nodes; surviving tasks migrate to the neighbours in
+        # round-robin order (canonical ascending-weight order on weighted
+        # streams), computed arithmetically so huge loads stay O(buckets).
         if (event.node not in self._tokens
                 or self._graph.number_of_nodes() <= 3):
             record["applied"] = False
@@ -325,8 +424,20 @@ class StreamingEngine:
         orphaned = self._tokens.pop(event.node)
         self._speeds.pop(event.node)
         self._graph = remaining
-        for offset in range(orphaned):
-            self._tokens[neighbors[offset % len(neighbors)]] += 1
+        if self._weighted:
+            position = 0
+            for weight, count in sorted(self._buckets.pop(event.node).items()):
+                shares = _round_robin_counts(position, count, len(neighbors))
+                for index, share in enumerate(shares):
+                    if share:
+                        target = self._buckets[neighbors[index]]
+                        target[weight] = target.get(weight, 0) + share
+                        self._tokens[neighbors[index]] += share * weight
+                position += count
+        else:
+            for index, share in enumerate(
+                    _round_robin_counts(0, orphaned, len(neighbors))):
+                self._tokens[neighbors[index]] += share
         record["tokens"] = orphaned
         return True, record
 
@@ -364,6 +475,8 @@ class StreamingEngine:
         network = self._network
         loads = self._balancer.loads()
         total_real = float(self.total_real_load())
+        w_max = (float(self._balancer.w_max)
+                 if isinstance(self._balancer, FlowCoupledBalancer) else 1.0)
         result = RunResult(
             algorithm=self._algorithm,
             continuous_kind=self._continuous_kind,
@@ -372,7 +485,7 @@ class StreamingEngine:
             max_degree=network.max_degree,
             rounds=self._round,
             total_weight=total_real,
-            max_task_weight=1.0,
+            max_task_weight=w_max,
             final_max_min=max_min_discrepancy(loads, network),
             final_max_avg=max_avg_discrepancy(loads, network, total_weight=total_real),
             trace_max_min=trace_max_min,
@@ -397,6 +510,8 @@ class StreamingEngine:
             "fast_recouplings": float(self._fast_recouplings),
             "rejected_events": float(self._rejected_events),
             "clamped_tokens": float(self._clamped_tokens),
+            "backend": self._backend,
+            "backend_reason": self._backend_reason,
         })
         return result
 
@@ -404,28 +519,34 @@ class StreamingEngine:
 def run_stream(
     algorithm: str,
     network: Network,
-    initial_load: Sequence[float],
+    initial_load: Union[Sequence[float], TaskAssignment, WeightedLoads],
     generator: EventGenerator,
     rounds: int,
     continuous_kind: str = "fos",
     seed: Optional[int] = None,
     selection_policy: str = TaskSelectionPolicy.FIFO,
     backend: str = "auto",
+    rng_mode: str = "sequential",
 ) -> RunResult:
     """Run ``algorithm`` for ``rounds`` rounds under a stream of events.
 
+    ``initial_load`` is an integer token vector, or — for weighted streams
+    (``algorithm1`` only) — a :class:`TaskAssignment` or columnar
+    :class:`~repro.tasks.weighted.WeightedLoads` with integer task weights.
     Returns a :class:`~repro.simulation.results.RunResult` whose
     ``trace_max_min`` / ``trace_total_weight`` traces (index 0 is the initial
     state) and ``event_timeline`` describe the whole dynamic run; the
-    ``extra`` dictionary carries the arrival/departure/re-coupling counters.
-    Apply :mod:`repro.dynamic.metrics` to the result to obtain steady-state
-    discrepancy, per-burst recovery times and drain rates.
+    ``extra`` dictionary carries the arrival/departure/re-coupling counters
+    and the resolved load-state backend.  Apply :mod:`repro.dynamic.metrics`
+    to the result to obtain steady-state discrepancy, per-burst recovery
+    times and drain rates.
     """
     if rounds < 0:
         raise ExperimentError("rounds must be non-negative")
     engine = StreamingEngine(algorithm, network, initial_load, generator,
                              continuous_kind=continuous_kind, seed=seed,
-                             selection_policy=selection_policy, backend=backend)
+                             selection_policy=selection_policy, backend=backend,
+                             rng_mode=rng_mode)
     trace = [engine.current_discrepancy()]
     totals = [float(engine.total_real_load())]
     for _ in range(rounds):

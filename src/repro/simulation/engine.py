@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..backend import BACKEND_KINDS, get_backend, resolve_backend_name
+from ..backend import BACKEND_KINDS, BackendChoice, get_backend, resolve_backend
 from ..continuous.base import BALANCE_TOLERANCE, ContinuousProcess
 from ..continuous.dimension_exchange import DimensionExchange
 from ..continuous.fos import FirstOrderDiffusion
@@ -34,8 +34,10 @@ from ..network.matchings import (
     PeriodicMatchingSchedule,
     RandomMatchingSchedule,
 )
+from ..discrete.baselines.diffusion import RNG_MODES
 from ..tasks.assignment import TaskAssignment
-from ..tasks.load import max_avg_discrepancy, max_min_discrepancy
+from ..tasks.load import as_token_counts, max_avg_discrepancy, max_min_discrepancy
+from ..tasks.weighted import WeightedLoads
 from .results import RunResult
 
 __all__ = [
@@ -45,6 +47,7 @@ __all__ = [
     "MATCHING_BASELINES",
     "ALL_ALGORITHMS",
     "BACKEND_KINDS",
+    "RNG_MODES",
     "make_schedule",
     "make_continuous",
     "make_balancer",
@@ -126,23 +129,28 @@ def _build_flow_imitation(
     network: Network,
     initial_load: Optional[Sequence[float]],
     assignment: Optional[TaskAssignment],
+    weighted_load: Optional[WeightedLoads],
     continuous_kind: str,
     schedule: Optional[MatchingSchedule],
     seed: Optional[int],
     selection_policy: str,
     backend: str,
 ) -> FlowCoupledBalancer:
-    if assignment is None:
+    counts = None
+    if assignment is not None:
+        reference_load = assignment.loads()
+    elif weighted_load is not None:
+        reference_load = weighted_load.load_vector().astype(float)
+    else:
         counts = _integer_token_loads(initial_load)
         reference_load = counts.astype(float)
-    else:
-        counts = None
-        reference_load = assignment.loads()
     continuous = make_continuous(continuous_kind, network, reference_load,
                                  schedule=schedule, seed=seed)
-    return get_backend(backend, assignment=assignment).build_flow_imitation(
+    backend_impl = get_backend(backend, assignment=assignment,
+                               weighted=weighted_load, algorithm=algorithm)
+    return backend_impl.build_flow_imitation(
         algorithm, continuous, initial_load=counts, assignment=assignment,
-        seed=seed, selection_policy=selection_policy,
+        weighted=weighted_load, seed=seed, selection_policy=selection_policy,
     )
 
 
@@ -154,16 +162,21 @@ def _build_baseline(
     schedule: Optional[MatchingSchedule],
     seed: Optional[int],
     backend: str,
+    rng_mode: str = "sequential",
 ) -> DiscreteBalancer:
-    loads = np.round(np.asarray(initial_load, dtype=float)).astype(int)
+    # A clear error beats a silently rounded workload: the baselines balance
+    # whole tokens, so fractional loads are a caller bug.
+    loads = as_token_counts(initial_load, network, error=ExperimentError)
     if algorithm in DIFFUSION_BASELINES:
         if continuous_kind not in ("fos", "sos"):
             raise ExperimentError(
                 f"{algorithm!r} is a diffusion baseline; use continuous_kind 'fos'"
             )
-        cls = get_backend(backend).diffusion_class(algorithm)
+        cls = get_backend(backend).diffusion_class(algorithm, rng_mode=rng_mode)
         if algorithm in ("round-down", "quasirandom"):
             return cls(network, loads)
+        if algorithm == "excess-tokens":
+            return cls(network, loads, seed=seed, rng_mode=rng_mode)
         return cls(network, loads, seed=seed)
     if algorithm in MATCHING_BASELINES:
         if continuous_kind not in _MATCHING_KINDS:
@@ -186,44 +199,58 @@ def make_balancer(
     network: Network,
     initial_load: Optional[Sequence[float]] = None,
     assignment: Optional[TaskAssignment] = None,
+    weighted_load: Optional[WeightedLoads] = None,
     continuous_kind: str = "fos",
     schedule: Optional[MatchingSchedule] = None,
     seed: Optional[int] = None,
     selection_policy: str = TaskSelectionPolicy.FIFO,
     backend: str = "auto",
+    rng_mode: str = "sequential",
 ) -> DiscreteBalancer:
     """Construct (and couple) a discrete balancer of the requested kind.
 
     This is the registry entry point shared by :func:`run_algorithm` and the
     dynamic streaming engine (:mod:`repro.dynamic.stream`), which rebuilds —
     "re-couples" — the balancer whenever events change the workload or the
-    topology.  Exactly one of ``initial_load`` / ``assignment`` must be given;
-    task assignments (weighted tasks) are only supported by the flow-imitation
-    algorithms.
+    topology.  Exactly one of ``initial_load`` / ``assignment`` /
+    ``weighted_load`` must be given; weighted workloads (assignments or
+    :class:`~repro.tasks.weighted.WeightedLoads` buckets) are only supported
+    by the flow-imitation algorithms.
 
     ``backend`` selects the load-state representation (see
     :mod:`repro.backend`): ``"auto"`` (default) uses the vectorised array
-    backend for integer token loads and falls back to the object backend for
-    task assignments; the backends produce identical trajectories for any
-    given seed, so the choice is purely about speed.
+    backend for integer token loads, columnar weight buckets and
+    integer-weight task assignments, falling back to the object backend only
+    for workloads that need task objects (non-integer weights); the backends
+    produce identical trajectories for any given seed, so the choice is
+    purely about speed.  ``rng_mode`` selects how the excess-token baseline
+    draws its per-node randomness ("sequential" or the order-free,
+    vectorisable "counter"); other algorithms ignore it.
     """
     if algorithm not in ALL_ALGORITHMS:
         raise ExperimentError(
             f"unknown algorithm {algorithm!r}; valid algorithms: {ALL_ALGORITHMS}"
         )
-    if (initial_load is None) == (assignment is None):
-        raise ExperimentError("provide exactly one of initial_load or assignment")
+    if rng_mode not in RNG_MODES:
+        raise ExperimentError(
+            f"unknown rng mode {rng_mode!r}; valid rng modes: {RNG_MODES}"
+        )
+    workloads_given = sum(w is not None for w in (initial_load, assignment, weighted_load))
+    if workloads_given != 1:
+        raise ExperimentError(
+            "provide exactly one of initial_load, assignment or weighted_load")
     if algorithm in FLOW_IMITATION_ALGORITHMS:
         return _build_flow_imitation(algorithm, network, initial_load, assignment,
-                                     continuous_kind, schedule, seed,
+                                     weighted_load, continuous_kind, schedule, seed,
                                      selection_policy, backend)
-    if assignment is not None:
+    if assignment is not None or weighted_load is not None:
         raise ExperimentError(
             "task assignments (weighted tasks) are only supported by the "
             "flow-imitation algorithms"
         )
     return _build_baseline(algorithm, network, initial_load,
-                           continuous_kind, schedule, seed, backend)
+                           continuous_kind, schedule, seed, backend,
+                           rng_mode=rng_mode)
 
 
 def run_algorithm(
@@ -231,6 +258,7 @@ def run_algorithm(
     network: Network,
     initial_load: Optional[Sequence[float]] = None,
     assignment: Optional[TaskAssignment] = None,
+    weighted_load: Optional[WeightedLoads] = None,
     continuous_kind: str = "fos",
     rounds: Optional[int] = None,
     tolerance: float = BALANCE_TOLERANCE,
@@ -240,6 +268,7 @@ def run_algorithm(
     max_rounds: int = 200_000,
     selection_policy: str = TaskSelectionPolicy.FIFO,
     backend: str = "auto",
+    rng_mode: str = "sequential",
 ) -> RunResult:
     """Run a single discrete balancing algorithm and summarize the outcome.
 
@@ -247,10 +276,11 @@ def run_algorithm(
     ----------
     algorithm:
         One of :data:`ALL_ALGORITHMS`.
-    initial_load / assignment:
-        Provide exactly one: an integer token load vector, or a
-        :class:`TaskAssignment` (weighted tasks are only supported by
-        ``"algorithm1"``).
+    initial_load / assignment / weighted_load:
+        Provide exactly one: an integer token load vector, a
+        :class:`TaskAssignment`, or columnar
+        :class:`~repro.tasks.weighted.WeightedLoads` buckets (weighted tasks
+        are only supported by ``"algorithm1"``).
     continuous_kind:
         The continuous substrate to imitate / round.
     rounds:
@@ -262,18 +292,24 @@ def run_algorithm(
         the result.
     backend:
         Load-state backend (see :mod:`repro.backend`); ``"auto"`` picks the
-        vectorised array backend for token loads and the object backend for
-        task assignments.
+        vectorised array backend whenever the workload allows it.  The
+        backend actually used — and why — is recorded in
+        ``result.extra["backend"]`` / ``extra["backend_reason"]``.
+    rng_mode:
+        How the excess-token baseline draws per-node randomness
+        ("sequential" or the order-free "counter"); other algorithms ignore it.
     """
     if algorithm not in ALL_ALGORITHMS:
         raise ExperimentError(
             f"unknown algorithm {algorithm!r}; valid algorithms: {ALL_ALGORITHMS}"
         )
-    if (initial_load is None) == (assignment is None):
-        raise ExperimentError("provide exactly one of initial_load or assignment")
+    workloads_given = sum(w is not None for w in (initial_load, assignment, weighted_load))
+    if workloads_given != 1:
+        raise ExperimentError(
+            "provide exactly one of initial_load, assignment or weighted_load")
 
     is_flow_imitation = algorithm in FLOW_IMITATION_ALGORITHMS
-    if assignment is not None and not is_flow_imitation:
+    if (assignment is not None or weighted_load is not None) and not is_flow_imitation:
         raise ExperimentError(
             "task assignments (weighted tasks) are only supported by the "
             "flow-imitation algorithms"
@@ -282,17 +318,24 @@ def run_algorithm(
     if schedule is None and continuous_kind in _MATCHING_KINDS:
         schedule = make_schedule(continuous_kind, network, seed=seed)
 
-    if assignment is None:
-        reference_load = np.asarray(initial_load, dtype=float)
-    else:
+    if assignment is not None:
         reference_load = assignment.loads()
+    elif weighted_load is not None:
+        reference_load = weighted_load.load_vector().astype(float)
+    else:
+        reference_load = np.asarray(initial_load, dtype=float)
     original_weight = float(reference_load.sum())
 
+    choice = resolve_backend(backend, assignment=assignment,
+                             weighted=weighted_load, algorithm=algorithm)
     if is_flow_imitation:
+        # Pass the already-resolved concrete backend so the object path does
+        # not repeat the per-task integer-weight scan of the resolution.
         balancer: DiscreteBalancer = make_balancer(
             algorithm, network, initial_load=initial_load, assignment=assignment,
+            weighted_load=weighted_load,
             continuous_kind=continuous_kind, schedule=schedule, seed=seed,
-            selection_policy=selection_policy, backend=backend,
+            selection_policy=selection_policy, backend=choice.name,
         )
         w_max = balancer.w_max  # type: ignore[union-attr]
     else:
@@ -303,8 +346,20 @@ def run_algorithm(
             )
         balancer = make_balancer(algorithm, network, initial_load=reference_load,
                                  continuous_kind=continuous_kind,
-                                 schedule=schedule, seed=seed, backend=backend)
+                                 schedule=schedule, seed=seed, backend=backend,
+                                 rng_mode=rng_mode)
         w_max = 1.0
+        # The backend choice only selects classes for the diffusion baselines;
+        # report what actually ran, not just what was resolved.
+        if algorithm in MATCHING_BASELINES:
+            choice = BackendChoice(
+                choice.name, "matching baselines share one integer-vector "
+                             "implementation across backends")
+        elif algorithm == "excess-tokens" and rng_mode != "counter" \
+                and choice.name == "array":
+            choice = BackendChoice(
+                "array", "shared scalar excess-token kernel (sequential rng "
+                         "is order-sensitive; use rng_mode='counter' to vectorise)")
 
     trace: Optional[List[float]] = [] if record_trace else None
 
@@ -348,6 +403,8 @@ def run_algorithm(
                                           total_weight=original_weight),
         trace_max_min=trace,
     )
+    result.extra["backend"] = choice.name
+    result.extra["backend_reason"] = choice.reason
 
     if isinstance(balancer, FlowCoupledBalancer):
         no_dummy_loads = balancer.loads(include_dummies=False)
@@ -373,6 +430,7 @@ def compare_algorithms(
     record_trace: bool = False,
     max_rounds: int = 200_000,
     backend: str = "auto",
+    rng_mode: str = "sequential",
 ) -> List[RunResult]:
     """Run several algorithms on the same instance for the same number of rounds.
 
@@ -406,6 +464,7 @@ def compare_algorithms(
                 record_trace=record_trace,
                 max_rounds=max_rounds,
                 backend=backend,
+                rng_mode=rng_mode,
             )
         )
     return results

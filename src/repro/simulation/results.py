@@ -53,7 +53,11 @@ class RunResult:
         dictionary of one applied (or rejected) event, with at least
         ``round``, ``kind``, ``node``, ``tokens`` and ``applied`` keys.
     extra:
-        Free-form additional measurements (e.g. the spectral gap).
+        Free-form additional measurements (e.g. the spectral gap), plus the
+        observability keys every engine run records: ``"backend"`` (the
+        load-state backend ``auto`` actually resolved to) and
+        ``"backend_reason"`` (why — in particular why it fell back to the
+        object path, so silent fallbacks show up in benchmarks and CI).
     """
 
     algorithm: str
@@ -74,7 +78,7 @@ class RunResult:
     trace_max_min: Optional[List[float]] = None
     trace_total_weight: Optional[List[float]] = None
     event_timeline: Optional[List[Dict[str, object]]] = None
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         """Return a flat dictionary view (suitable for CSV rows / dataframes)."""

@@ -27,7 +27,7 @@ from ..exceptions import ExperimentError
 from ..network import topologies
 from ..network.graph import Network
 from ..tasks import generators
-from .engine import ALL_ALGORITHMS, BACKEND_KINDS, CONTINUOUS_KINDS, run_algorithm
+from .engine import ALL_ALGORITHMS, BACKEND_KINDS, CONTINUOUS_KINDS, RNG_MODES, run_algorithm
 from .results import RunResult
 
 __all__ = [
@@ -90,6 +90,11 @@ def _validate_common(scenario) -> None:
     if scenario.backend not in BACKEND_KINDS:
         raise ExperimentError(
             f"unknown backend {scenario.backend!r}; valid: {BACKEND_KINDS}")
+    if scenario.rng_mode not in RNG_MODES:
+        raise ExperimentError(
+            f"unknown rng mode {scenario.rng_mode!r}; valid: {RNG_MODES}")
+    if scenario.max_task_weight < 1:
+        raise ExperimentError("max_task_weight must be at least 1")
     if scenario.num_nodes < 2:
         raise ExperimentError("a scenario needs at least two nodes")
     if scenario.tokens_per_node < 0:
@@ -134,6 +139,13 @@ def _build_network(topology: str, num_nodes: int, speed_profile: str,
     return network.with_speeds(speeds)
 
 
+def _build_weighted_load(task_counts, max_task_weight: int, seed: int):
+    """Columnar weighted workload: the vector counts tasks, weights are drawn."""
+    from ..tasks.weighted import weighted_loads_from_task_counts
+
+    return weighted_loads_from_task_counts(task_counts, max_task_weight, seed=seed)
+
+
 @dataclass
 class Scenario:
     """A complete, serialisable description of one balancing experiment.
@@ -170,6 +182,14 @@ class Scenario:
     backend:
         Load-state backend ("auto", "object", "array"); see
         :mod:`repro.backend`.
+    max_task_weight:
+        When greater than 1 the workload vector counts *tasks* per node and
+        every task draws an integer weight uniformly from
+        ``[1, max_task_weight]`` (algorithm1 only) — the weighted-task
+        setting of the paper's Theorem 3.
+    rng_mode:
+        How the excess-token baseline draws per-node randomness
+        ("sequential" or the order-free, vectorisable "counter").
     """
 
     name: str
@@ -185,6 +205,8 @@ class Scenario:
     seed: int = 0
     record_trace: bool = False
     backend: str = "auto"
+    max_task_weight: int = 1
+    rng_mode: str = "sequential"
 
     def __post_init__(self) -> None:
         _validate_common(self)
@@ -226,6 +248,11 @@ class Scenario:
             load = load + generators.balanced_load(network, self.base_load)
         return load
 
+    def build_weighted_load(self, network: Network):
+        """Instantiate the columnar weighted workload (``max_task_weight > 1``)."""
+        return _build_weighted_load(self.build_load(network), self.max_task_weight,
+                                    self.seed)
+
 
 def load_scenario(path: Union[str, pathlib.Path]) -> Scenario:
     """Load a scenario from a JSON file."""
@@ -235,16 +262,20 @@ def load_scenario(path: Union[str, pathlib.Path]) -> Scenario:
 def run_scenario(scenario: Scenario) -> RunResult:
     """Materialise and execute a scenario, returning the run result."""
     network = scenario.build_network()
-    load = scenario.build_load(network)
+    if scenario.max_task_weight > 1:
+        workload = {"weighted_load": scenario.build_weighted_load(network)}
+    else:
+        workload = {"initial_load": scenario.build_load(network)}
     return run_algorithm(
         scenario.algorithm,
         network,
-        initial_load=load,
         continuous_kind=scenario.continuous_kind,
         rounds=scenario.rounds,
         seed=scenario.seed,
         record_trace=scenario.record_trace,
         backend=scenario.backend,
+        rng_mode=scenario.rng_mode,
+        **workload,
     )
 
 
@@ -260,7 +291,10 @@ class DynamicScenario:
     The static fields mirror :class:`Scenario`; ``events`` names one of the
     event profiles of :data:`repro.dynamic.events.EVENT_PROFILES` and
     ``rounds`` is the fixed horizon of the stream (a dynamic run never
-    "balances and stops" — it is observed for a fixed window).
+    "balances and stops" — it is observed for a fixed window).  With
+    ``max_task_weight > 1`` the stream starts from a weighted workload
+    (``tokens_per_node`` then counts *tasks*; algorithm1 only) while events
+    keep streaming unit tokens.
     """
 
     name: str
@@ -275,6 +309,8 @@ class DynamicScenario:
     rounds: int = 240
     seed: int = 0
     backend: str = "auto"
+    max_task_weight: int = 1
+    rng_mode: str = "sequential"
 
     def __post_init__(self) -> None:
         from ..dynamic.events import EVENT_PROFILES
@@ -308,6 +344,11 @@ class DynamicScenario:
         """Instantiate the initial integer workload vector."""
         return _WORKLOADS[self.workload](network, self.tokens_per_node, self.seed)
 
+    def build_weighted_load(self, network: Network):
+        """Instantiate the columnar weighted workload (``max_task_weight > 1``)."""
+        return _build_weighted_load(self.build_load(network), self.max_task_weight,
+                                    self.seed)
+
 
 def load_dynamic_scenario(path: Union[str, pathlib.Path]) -> DynamicScenario:
     """Load a dynamic scenario from a JSON file."""
@@ -320,7 +361,10 @@ def run_dynamic_scenario(scenario: DynamicScenario) -> RunResult:
     from ..dynamic.stream import run_stream
 
     network = scenario.build_network()
-    load = scenario.build_load(network)
+    if scenario.max_task_weight > 1:
+        load = scenario.build_weighted_load(network)
+    else:
+        load = scenario.build_load(network)
     generator = make_event_generator(scenario.events, network,
                                      scenario.tokens_per_node, seed=scenario.seed)
     return run_stream(
@@ -332,4 +376,5 @@ def run_dynamic_scenario(scenario: DynamicScenario) -> RunResult:
         continuous_kind=scenario.continuous_kind,
         seed=scenario.seed,
         backend=scenario.backend,
+        rng_mode=scenario.rng_mode,
     )

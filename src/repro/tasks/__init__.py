@@ -13,12 +13,15 @@ from .load import (
     summarize_loads,
 )
 from .task import Task, TaskFactory
+from .weighted import WeightedLoads, weighted_loads_from_task_counts
 from . import generators
 
 __all__ = [
     "Task",
     "TaskFactory",
     "TaskAssignment",
+    "WeightedLoads",
+    "weighted_loads_from_task_counts",
     "LoadSummary",
     "as_load_vector",
     "balanced_allocation",

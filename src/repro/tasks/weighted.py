@@ -1,0 +1,229 @@
+"""Columnar weighted workloads: per-node sorted weight buckets (CSR).
+
+A :class:`WeightedLoads` is the columnar counterpart of a weighted
+:class:`~repro.tasks.assignment.TaskAssignment`: instead of one Python
+``Task`` object per work item it stores, per node, the *sorted distinct
+weights* present and how many tasks carry each weight.  The three arrays
+form a classic CSR layout:
+
+* ``weights`` — concatenation of every node's distinct task weights
+  (``int64``, strictly increasing within a node);
+* ``counts`` — how many tasks of the corresponding weight the node holds;
+* ``offsets`` — length ``n + 1``; node ``i`` owns the slice
+  ``offsets[i]:offsets[i + 1]`` of ``weights``/``counts``.
+
+Only **integer** weights are representable — which is exactly the paper's
+model (``w_i >= 1``) — and tasks of equal weight are interchangeable for
+every load-dynamics question, so the representation is lossless for
+balancing purposes.  Task *identity* (origin, locality analyses) is the one
+thing it drops; callers that need identity keep using ``TaskAssignment``.
+
+The array backend (:mod:`repro.backend.weighted`) consumes ``WeightedLoads``
+directly; the object backend materialises it into a ``TaskAssignment`` via
+:meth:`WeightedLoads.to_assignment` using the canonical (ascending-weight)
+task order, which is what keeps the two backends trajectory-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TaskError
+from .assignment import TaskAssignment
+from .task import TaskFactory
+
+__all__ = ["WeightedLoads", "task_integer_weight", "weighted_loads_from_task_counts"]
+
+
+def task_integer_weight(task) -> Optional[int]:
+    """The task's weight as an ``int``, or ``None`` if it is not an integer.
+
+    The single definition of "columnar-representable weight" shared by the
+    backend resolution rules and every assignment-to-buckets conversion, so
+    the accept/reject decision cannot diverge between call sites.
+    """
+    weight = task.weight
+    if weight != int(weight):
+        return None
+    return int(weight)
+
+
+class WeightedLoads:
+    """Immutable columnar weighted workload (per-node sorted weight buckets).
+
+    Parameters
+    ----------
+    weights / counts / offsets:
+        The CSR arrays described in the module docstring.  ``weights`` must
+        be strictly increasing within each node's slice and every weight and
+        count must be a positive integer.
+    """
+
+    def __init__(self, weights: Sequence[int], counts: Sequence[int],
+                 offsets: Sequence[int]) -> None:
+        self.weights = np.asarray(weights, dtype=np.int64)
+        self.counts = np.asarray(counts, dtype=np.int64)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        if self.offsets.ndim != 1 or self.offsets.size < 1:
+            raise TaskError("offsets must be a one-dimensional array of length n + 1")
+        if self.weights.shape != self.counts.shape or self.weights.ndim != 1:
+            raise TaskError("weights and counts must be parallel one-dimensional arrays")
+        if self.offsets[0] != 0 or self.offsets[-1] != self.weights.size:
+            raise TaskError("offsets must start at 0 and end at len(weights)")
+        if np.any(np.diff(self.offsets) < 0):
+            raise TaskError("offsets must be non-decreasing")
+        if self.weights.size:
+            if np.any(self.weights < 1):
+                raise TaskError("task weights must be positive integers")
+            if np.any(self.counts < 1):
+                raise TaskError("bucket counts must be positive")
+            inner = np.diff(self.weights)
+            boundary = np.zeros(max(self.weights.size - 1, 0), dtype=bool)
+            crossings = self.offsets[1:-1]  # slots where a new node's slice starts
+            crossings = crossings[(crossings >= 1) & (crossings <= boundary.size)]
+            boundary[crossings - 1] = True
+            if np.any(inner[~boundary] <= 0):
+                raise TaskError("weights must be strictly increasing within each node")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_buckets(cls, buckets: Sequence[Mapping[int, int]]) -> "WeightedLoads":
+        """Build from one ``{weight: count}`` mapping per node."""
+        weights: List[int] = []
+        counts: List[int] = []
+        offsets = [0]
+        for node_buckets in buckets:
+            for weight in sorted(node_buckets):
+                count = int(node_buckets[weight])
+                if count < 0:
+                    raise TaskError("bucket counts must be non-negative")
+                if count:
+                    weights.append(int(weight))
+                    counts.append(count)
+            offsets.append(len(weights))
+        return cls(weights, counts, offsets)
+
+    @classmethod
+    def from_unit_counts(cls, token_counts: Sequence[int]) -> "WeightedLoads":
+        """Wrap an integer unit-token load vector (all weights 1)."""
+        token_counts = np.asarray(token_counts, dtype=np.int64)
+        return cls.from_buckets([{1: int(c)} if c else {} for c in token_counts])
+
+    @classmethod
+    def from_assignment(cls, assignment: TaskAssignment) -> "WeightedLoads":
+        """Snapshot a task assignment's real (non-dummy) tasks as weight buckets.
+
+        Raises :class:`TaskError` if any task carries a non-integer weight —
+        such workloads cannot be represented columnarly.
+        """
+        buckets: List[Dict[int, int]] = []
+        for node in assignment.network.nodes:
+            node_bucket: Dict[int, int] = {}
+            for task in assignment.tasks_at(node):
+                if task.is_dummy:
+                    continue
+                weight = task_integer_weight(task)
+                if weight is None:
+                    raise TaskError(
+                        f"task {task.task_id} has non-integer weight {task.weight}; "
+                        "columnar weighted loads require integer weights")
+                node_bucket[weight] = node_bucket.get(weight, 0) + 1
+            buckets.append(node_bucket)
+        return cls.from_buckets(buckets)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes the workload spans."""
+        return self.offsets.size - 1
+
+    def num_tasks(self) -> int:
+        """Total number of tasks."""
+        return int(self.counts.sum())
+
+    def total_weight(self) -> int:
+        """Total weight of the workload."""
+        return int((self.weights * self.counts).sum())
+
+    def max_weight(self) -> int:
+        """Maximum task weight present (0 when the workload is empty)."""
+        return int(self.weights.max()) if self.weights.size else 0
+
+    def load_vector(self) -> np.ndarray:
+        """Per-node total weight as an ``int64`` vector."""
+        loads = np.zeros(self.num_nodes, dtype=np.int64)
+        node_of_bucket = np.repeat(np.arange(self.num_nodes), np.diff(self.offsets))
+        np.add.at(loads, node_of_bucket, self.weights * self.counts)
+        return loads
+
+    def node_buckets(self, node: int) -> List[Tuple[int, int]]:
+        """The ``(weight, count)`` buckets of one node (ascending weight)."""
+        lo, hi = int(self.offsets[node]), int(self.offsets[node + 1])
+        return [(int(w), int(c)) for w, c in zip(self.weights[lo:hi], self.counts[lo:hi])]
+
+    def buckets(self) -> List[Dict[int, int]]:
+        """All per-node ``{weight: count}`` mappings (copy)."""
+        return [dict(self.node_buckets(node)) for node in range(self.num_nodes)]
+
+    # ------------------------------------------------------------------ #
+    # materialisation (object backend)
+    # ------------------------------------------------------------------ #
+
+    def to_assignment(self, network, factory: Optional[TaskFactory] = None) -> TaskAssignment:
+        """Materialise one :class:`Task` per work item, in canonical order.
+
+        Tasks are created per node in ascending weight order — the canonical
+        queue order both backends use when (re)building from columnar state,
+        which is what makes their trajectories comparable bit for bit.
+        """
+        if network.num_nodes != self.num_nodes:
+            raise TaskError(
+                f"workload spans {self.num_nodes} nodes, network has {network.num_nodes}")
+        factory = factory or TaskFactory()
+        assignment = TaskAssignment(network)
+        for node in range(self.num_nodes):
+            for weight, count in self.node_buckets(node):
+                for task in factory.create_many(count, weight=float(weight), origin=node):
+                    assignment.add(node, task)
+        return assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"WeightedLoads(n={self.num_nodes}, tasks={self.num_tasks()}, "
+                f"W={self.total_weight()}, w_max={self.max_weight()})")
+
+
+def weighted_loads_from_task_counts(
+    task_counts: Sequence[int],
+    max_weight: int,
+    seed: Optional[int] = None,
+) -> WeightedLoads:
+    """Columnar weighted workload: ``task_counts[i]`` tasks on node ``i``.
+
+    Each task's integer weight is drawn uniformly from ``[1, max_weight]``
+    with a seeded generator, so the same ``(task_counts, max_weight, seed)``
+    triple always produces the same workload — the weighted analogue of the
+    integer-vector workload generators in :mod:`repro.tasks.generators`.
+    """
+    if max_weight < 1:
+        raise TaskError("max_weight must be at least 1")
+    task_counts = np.asarray(task_counts, dtype=np.int64)
+    if np.any(task_counts < 0):
+        raise TaskError("task counts must be non-negative")
+    total = int(task_counts.sum())
+    rng = np.random.default_rng(seed)
+    draws = rng.integers(1, max_weight + 1, size=total)
+    per_node_weight_counts = np.zeros((task_counts.size, max_weight + 1), dtype=np.int64)
+    nodes = np.repeat(np.arange(task_counts.size), task_counts)
+    np.add.at(per_node_weight_counts, (nodes, draws), 1)
+    return WeightedLoads.from_buckets([
+        {w: int(row[w]) for w in range(1, max_weight + 1) if row[w]}
+        for row in per_node_weight_counts
+    ])

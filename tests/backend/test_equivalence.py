@@ -177,5 +177,10 @@ class TestDynamicEquivalence:
         assert object_result.trace_max_min == array_result.trace_max_min
         assert object_result.trace_total_weight == array_result.trace_total_weight
         assert object_result.event_timeline == array_result.event_timeline
+        # The resolved backend is (intentionally) recorded and differs.
+        assert object_result.extra.pop("backend") == "object"
+        assert array_result.extra.pop("backend") == "array"
+        object_result.extra.pop("backend_reason")
+        array_result.extra.pop("backend_reason")
         assert object_result.extra == array_result.extra
         assert object_result.dummy_tokens == array_result.dummy_tokens

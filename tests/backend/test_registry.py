@@ -32,11 +32,29 @@ class TestResolution:
         assert resolve_backend_name("array") == "array"
         assert resolve_backend_name("object") == "object"
 
-    def test_assignment_falls_back_to_object(self):
+    def test_integer_weight_assignments_take_the_columnar_path(self):
         network = topologies.cycle(4)
         assignment = TaskAssignment.from_unit_loads(network, [2, 2, 2, 2])
+        assert resolve_backend_name("auto", assignment=assignment) == "array"
+        assert resolve_backend_name("array", assignment=assignment) == "array"
+        assert resolve_backend_name("object", assignment=assignment) == "object"
+
+    def test_non_integer_weights_fall_back_to_object(self):
+        from repro.backend import resolve_backend
+
+        network = topologies.cycle(4)
+        assignment = TaskAssignment(network)
+        assignment.add(0, Task(task_id=0, weight=2.5))
+        choice = resolve_backend("auto", assignment=assignment)
+        assert choice.name == "object"
+        assert "non-integer" in choice.reason
+
+    def test_dummy_carrying_assignments_fall_back_to_object(self):
+        network = topologies.cycle(4)
+        assignment = TaskAssignment(network)
+        assignment.add(0, Task(task_id=0, weight=1.0))
+        assignment.add(1, Task(task_id=1, weight=1.0, is_dummy=True))
         assert resolve_backend_name("auto", assignment=assignment) == "object"
-        assert resolve_backend_name("array", assignment=assignment) == "object"
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ExperimentError):
@@ -72,16 +90,30 @@ class TestMakeBalancerThreading:
             make_balancer("algorithm2", network, initial_load=load, backend="object"),
             RandomizedFlowImitation)
 
-    def test_weighted_assignment_falls_back_to_object(self):
-        """backend="array" with weighted tasks must silently use objects."""
+    def test_integer_weighted_assignment_builds_columnar_balancer(self):
+        """Integer weights no longer fall back: "auto"/"array" go columnar."""
+        from repro.backend import ArrayWeightedDeterministicFlowImitation
+
         network = topologies.cycle(6)
         assignment = TaskAssignment(network)
         assignment.add(0, Task(task_id=0, weight=3.0))
         assignment.add(1, Task(task_id=1, weight=1.0))
+        for backend in ("auto", "array"):
+            balancer = make_balancer("algorithm1", network, assignment=assignment,
+                                     backend=backend)
+            assert isinstance(balancer, ArrayWeightedDeterministicFlowImitation)
+            assert balancer.w_max == 3.0
+
+    def test_fractional_weight_assignment_falls_back_to_object(self):
+        """Non-integer weights must silently keep using task objects."""
+        network = topologies.cycle(6)
+        assignment = TaskAssignment(network)
+        assignment.add(0, Task(task_id=0, weight=2.5))
+        assignment.add(1, Task(task_id=1, weight=1.0))
         balancer = make_balancer("algorithm1", network, assignment=assignment,
                                  backend="array")
         assert isinstance(balancer, DeterministicFlowImitation)
-        assert balancer.w_max == 3.0
+        assert balancer.w_max == 2.5
 
     def test_both_backends_are_flow_coupled(self):
         network = topologies.cycle(6)

@@ -1,0 +1,295 @@
+"""Weighted columnar backend: bit-identical to the object backend.
+
+The columnar weighted state (sorted weight buckets + run-length queues) is a
+pure re-representation of a weighted ``TaskAssignment``: same Algorithm 1,
+same greedy while-loop, same dummy semantics.  These tests demand *exact*
+equality — per-round load vectors, cumulative flows, dummy distributions —
+across topologies, selection policies and substrates, plus the weighted
+streaming paths (fast O(n) re-coupling included).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import ArrayWeightedDeterministicFlowImitation
+from repro.backend.weighted import WeightedRunState, _take_count
+from repro.continuous.fos import FirstOrderDiffusion
+from repro.continuous.sos import SecondOrderDiffusion
+from repro.core.algorithm1 import DeterministicFlowImitation
+from repro.core.flow_imitation import TaskSelectionPolicy
+from repro.exceptions import ExperimentError, TaskError
+from repro.network import topologies
+from repro.simulation.engine import make_balancer, make_schedule, run_algorithm
+from repro.tasks.generators import weighted_assignment
+from repro.tasks.weighted import WeightedLoads, weighted_loads_from_task_counts
+
+TOPOLOGIES = {
+    "ring": lambda: topologies.cycle(12),
+    "torus": lambda: topologies.torus(4, dims=2),
+    "hypercube": lambda: topologies.hypercube(3),
+}
+
+
+def paired_assignments(network, seed, num_tasks=None, max_weight=4, placement="uniform"):
+    """Two identical weighted assignments (the object run mutates its copy)."""
+    num_tasks = num_tasks or 16 * network.num_nodes
+    build = lambda: weighted_assignment(network, num_tasks=num_tasks,
+                                        max_weight=max_weight,
+                                        placement=placement, seed=seed)
+    return build(), build()
+
+
+def assert_roundwise_equal(object_balancer, array_balancer, rounds):
+    for round_index in range(rounds):
+        object_balancer.advance()
+        array_balancer.advance()
+        assert np.array_equal(object_balancer.loads(), array_balancer.loads()), (
+            f"loads diverged at round {round_index}")
+        assert np.array_equal(
+            object_balancer.loads(include_dummies=False),
+            array_balancer.loads(include_dummies=False),
+        ), f"real loads diverged at round {round_index}"
+        assert np.array_equal(object_balancer.discrete_cumulative_flows(),
+                              array_balancer.discrete_cumulative_flows())
+    assert object_balancer.dummy_tokens_created == array_balancer.dummy_tokens_created
+    assert object_balancer.used_infinite_source == array_balancer.used_infinite_source
+
+
+class TestWeightedFlowImitationEquivalence:
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("policy", sorted(TaskSelectionPolicy.ALL))
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_per_round_loads_match(self, topology, policy, seed):
+        network = TOPOLOGIES[topology]()
+        object_assignment, array_assignment = paired_assignments(network, seed)
+        object_balancer = make_balancer("algorithm1", network,
+                                        assignment=object_assignment,
+                                        selection_policy=policy, backend="object")
+        array_balancer = make_balancer("algorithm1", network,
+                                       assignment=array_assignment,
+                                       selection_policy=policy, backend="array")
+        assert isinstance(array_balancer, ArrayWeightedDeterministicFlowImitation)
+        assert array_balancer.w_max == object_balancer.w_max
+        assert_roundwise_equal(object_balancer, array_balancer, rounds=40)
+
+    def test_dummy_distribution_matches_on_overshooting_sos(self):
+        """A large SOS beta forces the infinite source; the per-node real/dummy
+        split must match node by node (exercises the weighted run queues)."""
+        network = topologies.random_regular(30, 5, seed=4)
+        object_assignment, array_assignment = paired_assignments(
+            network, 1, num_tasks=600, max_weight=3, placement="point")
+        object_balancer = DeterministicFlowImitation(
+            SecondOrderDiffusion(network, object_assignment.loads(), beta=1.9),
+            object_assignment)
+        array_balancer = ArrayWeightedDeterministicFlowImitation(
+            SecondOrderDiffusion(network, array_assignment.loads(), beta=1.9),
+            array_assignment)
+        assert_roundwise_equal(object_balancer, array_balancer, rounds=60)
+        assert object_balancer.dummy_tokens_created > 0, "instance must exercise dummies"
+        assert np.array_equal(object_balancer.assignment.dummy_loads(),
+                              array_balancer.dummy_loads())
+        assert object_balancer.remove_dummies() == array_balancer.remove_dummies()
+        assert np.array_equal(object_balancer.loads(), array_balancer.loads())
+
+    def test_full_run_through_engine_matches(self):
+        network = topologies.torus(4, dims=2)
+        results = {}
+        for backend in ("object", "array"):
+            assignment = weighted_assignment(network, num_tasks=300, max_weight=5,
+                                             placement="uniform", seed=9)
+            results[backend] = run_algorithm("algorithm1", network,
+                                             assignment=assignment, seed=9,
+                                             record_trace=True, backend=backend)
+        assert results["object"].trace_max_min == results["array"].trace_max_min
+        assert results["object"].final_max_min == results["array"].final_max_min
+        assert (results["object"].final_max_avg_no_dummies
+                == results["array"].final_max_avg_no_dummies)
+        assert results["object"].dummy_tokens == results["array"].dummy_tokens
+        assert results["object"].extra["backend"] == "object"
+        assert results["array"].extra["backend"] == "array"
+
+    def test_auto_takes_columnar_path_and_records_it(self):
+        network = topologies.torus(4, dims=2)
+        assignment = weighted_assignment(network, num_tasks=200, max_weight=4,
+                                         placement="uniform", seed=3)
+        result = run_algorithm("algorithm1", network, assignment=assignment, seed=3)
+        assert result.extra["backend"] == "array"
+        assert "weighted" in result.extra["backend_reason"]
+
+    def test_weighted_loads_workload_matches_object_materialisation(self):
+        network = topologies.hypercube(3)
+        weighted = weighted_loads_from_task_counts([10] * network.num_nodes,
+                                                   max_weight=4, seed=5)
+        results = {
+            backend: run_algorithm("algorithm1", network, weighted_load=weighted,
+                                   seed=5, record_trace=True, backend=backend)
+            for backend in ("object", "array")
+        }
+        assert results["object"].trace_max_min == results["array"].trace_max_min
+        assert results["object"].total_weight == float(weighted.total_weight())
+
+    def test_algorithm2_rejects_weighted_workloads(self):
+        network = topologies.cycle(6)
+        weighted = weighted_loads_from_task_counts([4] * 6, max_weight=3, seed=1)
+        with pytest.raises(ExperimentError):
+            make_balancer("algorithm2", network, weighted_load=weighted,
+                          backend="array")
+
+
+class TestWeightedRecoupling:
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    @pytest.mark.parametrize("kind", ["fos", "random-matching"])
+    def test_weighted_recouple_equals_fresh_build(self, backend, kind):
+        network = topologies.torus(4, dims=2)
+        first = weighted_loads_from_task_counts([6] * network.num_nodes, 4, seed=0)
+        second = weighted_loads_from_task_counts([9] * network.num_nodes, 3, seed=1)
+
+        schedule = make_schedule(kind, network, seed=5)
+        recoupled = make_balancer("algorithm1", network, weighted_load=first,
+                                  continuous_kind=kind, schedule=schedule,
+                                  seed=5, backend=backend)
+        recoupled.run(10)
+        recoupled.recouple(second, seed=77)
+        assert recoupled.w_max == max(1.0, float(second.max_weight()))
+        assert recoupled.original_weight == float(second.total_weight())
+
+        fresh_schedule = make_schedule(kind, network, seed=77)
+        fresh = make_balancer("algorithm1", network, weighted_load=second,
+                              continuous_kind=kind, schedule=fresh_schedule,
+                              seed=77, backend=backend)
+        for _ in range(15):
+            recoupled.advance()
+            fresh.advance()
+            assert np.array_equal(recoupled.loads(), fresh.loads())
+
+    def test_unit_array_backend_rejects_weighted_recouple(self):
+        from repro.exceptions import ProcessError
+
+        network = topologies.cycle(6)
+        balancer = make_balancer("algorithm1", network, initial_load=[4] * 6,
+                                 backend="array")
+        weighted = weighted_loads_from_task_counts([2] * 6, max_weight=3, seed=2)
+        with pytest.raises(ProcessError):
+            balancer.recouple(weighted)
+
+
+class TestWeightedStreams:
+    @pytest.mark.parametrize("profile", ["burst", "poisson", "churn"])
+    def test_stream_trajectories_match(self, profile):
+        from repro.dynamic.events import make_event_generator
+        from repro.dynamic.stream import run_stream
+
+        def one(backend):
+            network = topologies.torus(4, dims=2)
+            weighted = weighted_loads_from_task_counts(
+                [6] * network.num_nodes, max_weight=4, seed=17)
+            generator = make_event_generator(profile, network, 6, seed=17)
+            return run_stream("algorithm1", network, weighted, generator,
+                              rounds=50, seed=17, backend=backend)
+
+        object_result, array_result = one("object"), one("array")
+        assert object_result.trace_max_min == array_result.trace_max_min
+        assert object_result.trace_total_weight == array_result.trace_total_weight
+        assert object_result.event_timeline == array_result.event_timeline
+        assert object_result.dummy_tokens == array_result.dummy_tokens
+        assert object_result.extra["backend"] == "object"
+        assert array_result.extra["backend"] == "array"
+        assert array_result.extra["recouplings"] == object_result.extra["recouplings"]
+
+    def test_weighted_stream_takes_fast_recoupling_path(self):
+        from repro.dynamic.events import ARRIVAL, DynamicEvent, ScheduledEvents
+        from repro.dynamic.stream import StreamingEngine
+
+        network = topologies.torus(4, dims=2)
+        weighted = weighted_loads_from_task_counts([5] * network.num_nodes, 3, seed=2)
+        generator = ScheduledEvents({
+            3: [DynamicEvent(ARRIVAL, node=0, tokens=10)],
+            7: [DynamicEvent(ARRIVAL, node=2, tokens=5)],
+        })
+        engine = StreamingEngine("algorithm1", network, weighted, generator, seed=2)
+        assert engine.weighted and engine.backend == "array"
+        total_before = engine.total_real_load()
+        for _ in range(10):
+            engine.step()
+        assert engine.recouplings == 2
+        assert engine.fast_recouplings == 2
+        assert engine.total_real_load() == total_before + 15
+
+    def test_weighted_stream_requires_algorithm1(self):
+        from repro.dynamic.events import ScheduledEvents
+        from repro.dynamic.stream import StreamingEngine
+
+        network = topologies.cycle(6)
+        weighted = weighted_loads_from_task_counts([3] * 6, max_weight=2, seed=0)
+        with pytest.raises(ExperimentError):
+            StreamingEngine("algorithm2", network, weighted, ScheduledEvents({}))
+
+
+class TestWeightedLoadsRepresentation:
+    def test_roundtrip_through_assignment(self):
+        network = topologies.cycle(5)
+        weighted = weighted_loads_from_task_counts([3, 0, 2, 5, 1], 4, seed=8)
+        assignment = weighted.to_assignment(network)
+        back = WeightedLoads.from_assignment(assignment)
+        assert back.buckets() == weighted.buckets()
+        assert np.array_equal(back.load_vector(), weighted.load_vector())
+        assert back.max_weight() == weighted.max_weight()
+        assert back.num_tasks() == weighted.num_tasks()
+
+    def test_rejects_non_integer_weights(self):
+        from repro.tasks.assignment import TaskAssignment
+        from repro.tasks.task import Task
+
+        network = topologies.cycle(4)
+        assignment = TaskAssignment(network)
+        assignment.add(0, Task(task_id=0, weight=1.5))
+        with pytest.raises(TaskError):
+            WeightedLoads.from_assignment(assignment)
+
+    def test_validates_csr_structure(self):
+        with pytest.raises(TaskError):
+            WeightedLoads([2, 1], [1, 1], [0, 2])  # weights not increasing
+        with pytest.raises(TaskError):
+            WeightedLoads([1], [0], [0, 1])  # empty bucket
+        with pytest.raises(TaskError):
+            WeightedLoads([1], [1], [1, 1])  # offsets must start at 0
+
+    def test_take_count_matches_scalar_while_loop(self):
+        """The closed-form batch must equal the one-task-at-a-time loop."""
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            residual = float(rng.uniform(0, 40))
+            w_max = float(rng.integers(1, 6))
+            weight = float(rng.integers(1, 6))
+            cap = int(rng.integers(0, 12))
+            committed = float(rng.integers(0, 10))
+            threshold = w_max + 1e-9
+            expected = 0
+            scalar_committed = committed
+            while expected < cap and residual - scalar_committed > threshold:
+                expected += 1
+                scalar_committed += weight
+            assert _take_count(residual, committed, weight, cap, threshold) == expected
+
+
+class TestWeightedRunState:
+    def test_fifo_takes_preserve_queue_order(self):
+        state = WeightedRunState.from_weighted_loads(
+            WeightedLoads.from_buckets([{1: 2, 3: 1}, {}]))
+        takes = state.plan_takes(0, residual=10.0, threshold=3.0 + 1e-9,
+                                 policy=TaskSelectionPolicy.FIFO)
+        # Canonical order is ascending weight: two 1s first, then the 3.
+        assert takes == [[2, 1, False], [1, 3, False]]
+        state.deliver(1, takes)
+        assert state.loads.tolist() == [0, 5]
+
+    def test_remove_dummies_drops_only_dummies(self):
+        state = WeightedRunState.from_weighted_loads(
+            WeightedLoads.from_buckets([{2: 3}]))
+        state.deliver_dummies(0, 4)
+        assert state.loads.tolist() == [10]
+        assert state.remove_dummies() == 4
+        assert state.loads.tolist() == [6]
+        assert state.dummy_counts.tolist() == [0]
