@@ -12,12 +12,21 @@ The measured ladder (W in {10^4, 10^5, 10^6}) is written to
 *weighted* suite runs the same bursty stream on weighted tasks (integer
 weights 1..4, columnar weight buckets vs one task object per work item) plus
 an excess-token row (scalar counter-RNG reference vs the fully vectorised
-kernel on a 4096-node torus) and records ``BENCH_weighted.json``.  Run
-directly for the CI smoke checks::
+kernel on a 4096-node torus) and records ``BENCH_weighted.json``.
+
+The *randomized* suite measures the **round kernels** themselves (setup
+excluded, per-round seconds): the edge-keyed counter-RNG kernels of
+Algorithm 2 and randomized-rounding diffusion (scalar counter-mode reference
+vs vectorised array kernel on a 4096-node torus), plus the weighted round
+kernel in its single-weight-class fast path and grouped-per-sender general
+form — the measured reduction of the weighted per-round Python term.  It
+records ``BENCH_randomized.json``.  Run directly for the CI smoke checks::
 
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py --sizes 10000 --min-speedup 2
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py --suite weighted \
         --weighted-sizes 10000 --min-speedup 2 --no-record
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py --suite randomized \
+        --randomized-side 16 --min-speedup 2 --no-record
 """
 
 from __future__ import annotations
@@ -37,19 +46,25 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.dynamic.events import BurstyArrivals  # noqa: E402
 from repro.dynamic.stream import run_stream  # noqa: E402
 from repro.network import topologies  # noqa: E402
-from repro.simulation.engine import run_algorithm  # noqa: E402
+from repro.simulation.engine import make_balancer, run_algorithm  # noqa: E402
 from repro.simulation.experiments import format_table  # noqa: E402
 from repro.tasks.generators import uniform_random_load  # noqa: E402
-from repro.tasks.weighted import weighted_loads_from_task_counts  # noqa: E402
+from repro.tasks.weighted import (  # noqa: E402
+    WeightedLoads,
+    weighted_loads_from_task_counts,
+)
 
 SIZES = (10**4, 10**5, 10**6)
 WEIGHTED_SIZES = (10**4, 10**5)
 MAX_TASK_WEIGHT = 4
 EXCESS_NODES = 4096  # 64x64 torus for the vectorised excess-token kernel row
 ROUNDS = 12
+RANDOMIZED_SIDE = 64  # 64x64 torus = the 4096-node randomized-kernel instance
+RANDOMIZED_ROUNDS = 20
 SEED = 11
 RECORD_PATH = REPO_ROOT / "BENCH_backend.json"
 WEIGHTED_RECORD_PATH = REPO_ROOT / "BENCH_weighted.json"
+RANDOMIZED_RECORD_PATH = REPO_ROOT / "BENCH_randomized.json"
 
 
 def run_one(total_tokens: int, backend: str):
@@ -138,6 +153,68 @@ def run_weighted_ladder(sizes=WEIGHTED_SIZES, include_excess=True):
     return rows
 
 
+def _timed_rounds(balancer, rounds: int) -> float:
+    """Per-round seconds of the balancer's round kernel (setup excluded)."""
+    start = time.perf_counter()
+    for _ in range(rounds):
+        balancer.advance()
+    return (time.perf_counter() - start) / rounds
+
+
+def run_randomized_ladder(side=RANDOMIZED_SIDE, rounds=RANDOMIZED_ROUNDS):
+    """Round-kernel ladder: scalar counter references vs the array kernels.
+
+    Each row times ``rounds`` calls of ``advance()`` on freshly coupled
+    balancers (construction excluded), so the numbers isolate the per-round
+    term the kernels are about: the O(W) object round vs the O(m) array round
+    for Algorithm 2, the per-edge move loop vs scatter-adds for
+    randomized-rounding, and the weighted per-round Python term vs the
+    single-class scatter-add fast path / grouped-per-sender general path.
+    """
+    network = topologies.torus(side, dims=2)
+    n = network.num_nodes
+    load = uniform_random_load(network, 32 * n, seed=SEED)
+    task_counts = uniform_random_load(network, 8 * n, seed=SEED)
+    single_class = WeightedLoads.from_buckets(
+        [{5: int(count)} if count else {} for count in task_counts])
+    mixed = weighted_loads_from_task_counts(task_counts, MAX_TASK_WEIGHT,
+                                            seed=SEED)
+    specs = [
+        ("algorithm2 counter-rng", "algorithm2",
+         {"initial_load": load, "rng_mode": "counter"}),
+        ("randomized-rounding counter-rng", "randomized-rounding",
+         {"initial_load": load, "rng_mode": "counter"}),
+        ("weighted round kernel (single class w=5)", "algorithm1",
+         {"weighted_load": single_class}),
+        (f"weighted round kernel (mixed w<={MAX_TASK_WEIGHT})", "algorithm1",
+         {"weighted_load": mixed}),
+    ]
+    rows = []
+    for label, algorithm, spec in specs:
+        per_round = {}
+        finals = {}
+        for backend in ("object", "array"):
+            balancer = make_balancer(
+                algorithm, network,
+                initial_load=spec.get("initial_load"),
+                weighted_load=spec.get("weighted_load"),
+                seed=SEED, backend=backend,
+                rng_mode=spec.get("rng_mode", "sequential"))
+            per_round[backend] = _timed_rounds(balancer, rounds)
+            finals[backend] = balancer.loads()
+        rows.append({
+            "kernel": label,
+            "n": n,
+            "rounds": rounds,
+            "object_round_seconds": round(per_round["object"], 6),
+            "array_round_seconds": round(per_round["array"], 6),
+            "speedup": round(per_round["object"] / per_round["array"], 1),
+            "trajectories_identical": bool(
+                np.array_equal(finals["object"], finals["array"])),
+        })
+    return rows
+
+
 def write_record(rows) -> pathlib.Path:
     payload = {
         "benchmark": "backend_speedup",
@@ -164,12 +241,29 @@ def write_weighted_record(rows) -> pathlib.Path:
     return WEIGHTED_RECORD_PATH
 
 
+def write_randomized_record(rows) -> pathlib.Path:
+    payload = {
+        "benchmark": "randomized_kernel_speedup",
+        "description": ("per-round kernel times: scalar counter-RNG references "
+                        "vs the vectorised array kernels (algorithm2 and "
+                        "randomized-rounding on a torus) plus the weighted "
+                        "round kernel (single-class fast path and "
+                        "grouped-per-sender general path)"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "rows": rows,
+    }
+    RANDOMIZED_RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return RANDOMIZED_RECORD_PATH
+
+
 def check(rows, min_speedup: float) -> None:
     for row in rows:
+        label = row.get("kernel", f"W={row.get('W')}")
         assert row["trajectories_identical"], (
-            f"W={row['W']}: backends produced different discrepancy trajectories")
+            f"{label}: backends produced different discrepancy trajectories")
         assert row["speedup"] >= min_speedup, (
-            f"W={row['W']}: array backend only {row['speedup']}x faster "
+            f"{label}: array backend only {row['speedup']}x faster "
             f"(required {min_speedup}x)")
 
 
@@ -201,9 +295,26 @@ def test_weighted_backend_speedup(benchmark):
             assert row["speedup"] >= 10.0
 
 
+def test_randomized_kernel_speedup(benchmark):
+    from conftest import print_table, run_once
+
+    rows = run_once(benchmark, run_randomized_ladder)
+    print_table("Scalar counter-RNG references vs vectorised kernels "
+                "(64x64 torus, per-round seconds)", format_table(rows))
+    record = write_randomized_record(rows)
+    print(f"perf record written to {record}")
+    # The tentpole claim: >= 5x for the randomized kernels on 4096 nodes and
+    # a measured reduction of the weighted per-round Python term.
+    check(rows, min_speedup=2.0)
+    for row in rows:
+        if "counter-rng" in row["kernel"]:
+            assert row["speedup"] >= 5.0, row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", default="unit", choices=["unit", "weighted", "all"],
+    parser.add_argument("--suite", default="unit",
+                        choices=["unit", "weighted", "randomized", "all"],
                         help="which ladder(s) to run")
     parser.add_argument("--sizes", nargs="+", type=int, default=list(SIZES),
                         help="unit-token counts W to benchmark")
@@ -212,6 +323,9 @@ def main(argv=None) -> int:
                         help="weighted-stream total weights W to benchmark")
     parser.add_argument("--skip-excess", action="store_true",
                         help="skip the (slow) 4096-node excess-token row")
+    parser.add_argument("--randomized-side", type=int, default=RANDOMIZED_SIDE,
+                        help="torus side for the randomized-kernel ladder "
+                             "(side^2 nodes)")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="fail unless the array backend is this much faster")
     parser.add_argument("--no-record", action="store_true",
@@ -229,6 +343,12 @@ def main(argv=None) -> int:
         print(format_table(rows))
         if not args.no_record:
             print(f"perf record written to {write_weighted_record(rows)}")
+        check(rows, args.min_speedup)
+    if args.suite in ("randomized", "all"):
+        rows = run_randomized_ladder(args.randomized_side)
+        print(format_table(rows))
+        if not args.no_record:
+            print(f"perf record written to {write_randomized_record(rows)}")
         check(rows, args.min_speedup)
     return 0
 

@@ -12,6 +12,7 @@ from .backend import (
     ArrayDeterministicFlowImitation,
     ArrayExcessTokenDiffusion,
     ArrayRandomizedFlowImitation,
+    ArrayRandomizedRoundingDiffusion,
     ArrayWeightedDeterministicFlowImitation,
     BackendChoice,
     ObjectBackend,
@@ -19,6 +20,7 @@ from .backend import (
     resolve_backend,
     resolve_backend_name,
 )
+from .counter_rng import RNG_MODES
 from .core import (
     DeterministicFlowImitation,
     FlowCoupledBalancer,
@@ -92,6 +94,8 @@ __all__ = [
     "ArrayRandomizedFlowImitation",
     "ArrayWeightedDeterministicFlowImitation",
     "ArrayExcessTokenDiffusion",
+    "ArrayRandomizedRoundingDiffusion",
+    "RNG_MODES",
     "get_backend",
     "resolve_backend",
     "resolve_backend_name",

@@ -96,11 +96,30 @@ def _assignment_fallback_reason(assignment: TaskAssignment,
     return None
 
 
+def _with_rng_mode_reason(choice: BackendChoice, algorithm: Optional[str],
+                          rng_mode: Optional[str]) -> BackendChoice:
+    """Refine an array choice's reason with what the rng mode unlocks."""
+    if choice.name != "array" or rng_mode is None:
+        return choice
+    if algorithm == "excess-tokens":
+        if rng_mode == "counter":
+            return BackendChoice(
+                "array", "vectorised excess-token kernel (order-free counter rng)")
+        return BackendChoice(
+            "array", "shared scalar excess-token kernel (sequential rng "
+                     "is order-sensitive; use rng_mode='counter' to vectorise)")
+    if rng_mode == "counter" and algorithm in ("algorithm2", "randomized-rounding"):
+        return BackendChoice(choice.name,
+                             f"{choice.reason}, edge-keyed counter rng")
+    return choice
+
+
 def resolve_backend(
     backend: str,
     assignment: Optional[TaskAssignment] = None,
     weighted: Optional[WeightedLoads] = None,
     algorithm: Optional[str] = None,
+    rng_mode: Optional[str] = None,
 ) -> BackendChoice:
     """Resolve a requested backend to a concrete one, with the reason why.
 
@@ -108,7 +127,12 @@ def resolve_backend(
     integer token vectors, :class:`WeightedLoads` and integer-weight task
     assignments; it falls back to the object backend only when the workload
     genuinely needs task objects (non-integer weights, pre-existing dummy
-    tasks).  The reason string makes that decision observable.
+    tasks).  ``rng_mode`` does not change which backend is picked — the
+    randomized algorithms are vectorisable either way — but it is part of the
+    recorded reason: with ``rng_mode="counter"`` the array path additionally
+    carries the order-free edge-keyed draws (and, for the excess-token
+    baseline, the fully batched kernel).  The reason string makes the whole
+    decision observable.
     """
     if backend not in BACKEND_KINDS:
         raise ExperimentError(
@@ -121,13 +145,17 @@ def resolve_backend(
         if fallback is not None:
             return BackendChoice("object", fallback)
         if assignment.max_task_weight() > 1:
-            return BackendChoice("array", "columnar weighted buckets (integer weights)")
-        return BackendChoice("array", "unit-token counts (assignment of tokens)")
-    if weighted is not None:
+            choice = BackendChoice("array", "columnar weighted buckets (integer weights)")
+        else:
+            choice = BackendChoice("array", "unit-token counts (assignment of tokens)")
+    elif weighted is not None:
         if weighted.max_weight() > 1:
-            return BackendChoice("array", "columnar weighted buckets")
-        return BackendChoice("array", "unit-token counts")
-    return BackendChoice("array", "integer token counts")
+            choice = BackendChoice("array", "columnar weighted buckets")
+        else:
+            choice = BackendChoice("array", "unit-token counts")
+    else:
+        choice = BackendChoice("array", "integer token counts")
+    return _with_rng_mode_reason(choice, algorithm, rng_mode)
 
 
 def resolve_backend_name(backend: str, assignment: Optional[TaskAssignment] = None,
@@ -151,6 +179,7 @@ class LoadBackend(ABC):
         weighted: Optional[WeightedLoads] = None,
         seed: Optional[int] = None,
         selection_policy: str = TaskSelectionPolicy.FIFO,
+        rng_mode: str = "sequential",
     ) -> FlowCoupledBalancer:
         """Couple Algorithm 1 or 2 to ``continuous`` on this backend."""
 
@@ -174,6 +203,7 @@ class ObjectBackend(LoadBackend):
         weighted: Optional[WeightedLoads] = None,
         seed: Optional[int] = None,
         selection_policy: str = TaskSelectionPolicy.FIFO,
+        rng_mode: str = "sequential",
     ) -> FlowCoupledBalancer:
         if assignment is None:
             if weighted is not None:
@@ -184,7 +214,8 @@ class ObjectBackend(LoadBackend):
         if algorithm == "algorithm1":
             return DeterministicFlowImitation(continuous, assignment,
                                               selection_policy=selection_policy)
-        return RandomizedFlowImitation(continuous, assignment, seed=seed)
+        return RandomizedFlowImitation(continuous, assignment, seed=seed,
+                                       rng_mode=rng_mode)
 
     _DIFFUSION = {
         "round-down": RoundDownDiffusion,
@@ -212,6 +243,7 @@ class ArrayBackend(LoadBackend):
         weighted: Optional[WeightedLoads] = None,
         seed: Optional[int] = None,
         selection_policy: str = TaskSelectionPolicy.FIFO,
+        rng_mode: str = "sequential",
     ) -> FlowCoupledBalancer:
         if assignment is not None:
             if assignment.network is not continuous.network:
@@ -251,7 +283,8 @@ class ArrayBackend(LoadBackend):
             # The selection policy is irrelevant for indistinguishable unit
             # tokens, so the unit-token array variant does not take one.
             return ArrayDeterministicFlowImitation(continuous, initial_load)
-        return ArrayRandomizedFlowImitation(continuous, initial_load, seed=seed)
+        return ArrayRandomizedFlowImitation(continuous, initial_load, seed=seed,
+                                            rng_mode=rng_mode)
 
     _DIFFUSION = {
         "round-down": ArrayRoundDownDiffusion,

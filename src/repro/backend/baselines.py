@@ -66,7 +66,15 @@ class ArrayQuasirandomDiffusion(_VectorizedNetMoves, QuasirandomDiffusion):
 
 
 class ArrayRandomizedRoundingDiffusion(_VectorizedNetMoves, RandomizedRoundingDiffusion):
-    """Randomized-rounding diffusion with vectorised move application."""
+    """Randomized-rounding diffusion with vectorised move application.
+
+    Works in both rng modes: the rounding maths and the per-round draw block
+    are shared verbatim with the scalar class, so the kernel is bit-identical
+    to it under either mode; ``rng_mode="counter"`` additionally makes each
+    edge's draw a pure function of ``(seed, round, edge)`` (see
+    :mod:`repro.counter_rng`), so the trajectory is replayable independently
+    of edge iteration order.
+    """
 
 
 class ArrayExcessTokenDiffusion(ExcessTokenDiffusion):

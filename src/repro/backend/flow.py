@@ -16,7 +16,11 @@ an accident, and the ordering details below exist to preserve it:
   order in which :meth:`FlowImitationBalancer._execute_round` visits its
   per-sender request lists — so Algorithm 2 consumes the *same* random draws
   in the *same* order from the same seeded generator (numpy's ``Generator``
-  produces identical streams for scalar and vectorised uniform draws);
+  produces identical streams for scalar and vectorised uniform draws); in
+  ``rng_mode="counter"`` the ordering no longer matters for the draws at all
+  (each edge owns its entry of the per-round Philox score block, see
+  :mod:`repro.counter_rng`) but is kept so the FIFO real/dummy split still
+  matches;
 * a sender's tokens are committed to its edges first-come-first-served
   against the start-of-round state, so the real/dummy split of every
   transfer matches the object backend's FIFO pools (see
@@ -39,6 +43,7 @@ from ..continuous.base import ContinuousProcess
 from ..core.algorithm1 import theorem3_discrepancy_bound
 from ..core.algorithm2 import theorem8_max_avg_bound
 from ..core.flow_imitation import FlowCoupledBalancer, RoundReport
+from ..counter_rng import edge_scores, normalize_counter_seed, validate_rng_mode
 from ..exceptions import ProcessError
 from ..tasks.load import as_token_counts
 from .state import TokenCountState
@@ -143,7 +148,7 @@ class ArrayFlowImitation(FlowCoupledBalancer):
         receivers = receivers[order]
         magnitude = np.abs(res[order])
 
-        amounts = self._edge_amounts(magnitude)
+        amounts = self._edge_amounts(magnitude, active)
         mask = amounts > 0
         transfers = int(np.count_nonzero(mask))
         if transfers == 0:
@@ -211,8 +216,13 @@ class ArrayFlowImitation(FlowCoupledBalancer):
                 dummies += missing
         return dummies
 
-    def _edge_amounts(self, magnitude: np.ndarray) -> np.ndarray:
-        """Derive the integer send amount of every active edge (ordered)."""
+    def _edge_amounts(self, magnitude: np.ndarray, edges: np.ndarray) -> np.ndarray:
+        """Derive the integer send amount of every active edge.
+
+        ``magnitude`` holds the residual magnitudes in planning order and
+        ``edges`` the matching original edge indices (what counter-mode
+        randomness is keyed on).
+        """
         raise NotImplementedError
 
 
@@ -223,21 +233,38 @@ class ArrayDeterministicFlowImitation(ArrayFlowImitation):
         """The Theorem 3 bound ``2 d w_max + 2`` for this instance."""
         return theorem3_discrepancy_bound(self.network.max_degree, self.w_max)
 
-    def _edge_amounts(self, magnitude: np.ndarray) -> np.ndarray:
+    def _edge_amounts(self, magnitude: np.ndarray, edges: np.ndarray) -> np.ndarray:
         return np.floor(magnitude + 1e-9).astype(np.int64)
 
 
 class ArrayRandomizedFlowImitation(ArrayFlowImitation):
-    """Algorithm 2 on the array backend: randomized rounding of the residual."""
+    """Algorithm 2 on the array backend: randomized rounding of the residual.
+
+    In the default ``"sequential"`` rng mode the round's draws come from one
+    shared generator consumed in planning order — one batched call produces
+    the same stream the object backend consumes edge by edge.  In the
+    ``"counter"`` mode (:mod:`repro.counter_rng`) each active edge fancy-
+    indexes its entry of the per-round Philox score block, bit-identical to
+    the scalar counter-mode reference
+    (:class:`~repro.core.algorithm2.RandomizedFlowImitation`) by
+    construction: both read ``edge_scores(seed, round)[edge]``.
+    """
 
     def __init__(
         self,
         continuous: ContinuousProcess,
         initial_load: Sequence[int],
         seed: Optional[int] = None,
+        rng_mode: str = "sequential",
     ) -> None:
         super().__init__(continuous, initial_load)
-        self._rng = np.random.default_rng(seed)
+        self._rng_mode = validate_rng_mode(rng_mode)
+        self._reset_rng(seed)
+
+    @property
+    def rng_mode(self) -> str:
+        """How per-edge rounding randomness is drawn ("sequential" or "counter")."""
+        return self._rng_mode
 
     def discrepancy_bound(self, constant: float = 1.0) -> float:
         """The Theorem 8(1) shape ``d/4 + c sqrt(d log n)`` for this instance."""
@@ -245,10 +272,18 @@ class ArrayRandomizedFlowImitation(ArrayFlowImitation):
                                       self.network.num_nodes, constant)
 
     def _reset_rng(self, seed: Optional[int]) -> None:
-        self._rng = np.random.default_rng(seed)
+        if self._rng_mode == "counter":
+            self._counter_key = normalize_counter_seed(seed)
+        else:
+            self._rng = np.random.default_rng(seed)
 
-    def _edge_amounts(self, magnitude: np.ndarray) -> np.ndarray:
+    def _edge_amounts(self, magnitude: np.ndarray, edges: np.ndarray) -> np.ndarray:
         base = np.floor(magnitude)
         fraction = magnitude - base
-        round_up = self._rng.random(magnitude.size) < fraction
+        if self._rng_mode == "counter":
+            draws = edge_scores(self._counter_key, self._round,
+                                self.network.num_edges)[edges]
+        else:
+            draws = self._rng.random(magnitude.size)
+        round_up = draws < fraction
         return (base + round_up).astype(np.int64)

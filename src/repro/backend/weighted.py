@@ -12,27 +12,47 @@ derived from the CSR weight buckets of
 :class:`ArrayWeightedDeterministicFlowImitation` runs the paper's Algorithm 1
 on this state.  Per round it computes the per-edge residual flows and orders
 the requests exactly like the object backend (senders ascending, receivers
-ascending within a sender), then replays the pseudocode's greedy while-loop
-*per run instead of per task*: from the current candidate run of weight ``w``
-it takes
+ascending within a sender), then executes one of two kernels:
 
-    ``k = |{ i >= 0 : residual - (committed + i * w) > w_max + 1e-9 }|``
+* **Single-weight-class fast path** — while every task in the system shares
+  one weight ``w`` and no dummy exists, queue order is unobservable (all
+  tasks are interchangeable), so the round collapses to the unit-token
+  scatter-add kernel scaled by ``w``: the per-edge send count is
+  ``floor(residual)`` for unit tokens and the closed form of the pseudocode's
+  greedy while-loop (:func:`_take_counts_vector`) for ``w > 1``, and — as
+  long as every sender covers its plans with its own tasks — the transfers
+  reduce to two scatter-adds on the load vector.  No Python loop over edges
+  remains; the run queues stay implicit (a single run per node) and are only
+  materialised again on demand.
 
-tasks at once (capped by the run length), evaluating the float comparison at
-the boundaries so the count is exactly what the object backend's one-task-at-
-a-time loop would produce.  Because the paper's task weights are integers,
-every weight, committed sum and load value is exactly representable in
-float64, and the two backends agree bit for bit on loads, cumulative flows
-and dummy distributions (enforced by ``tests/backend/test_weighted_equivalence.py``).
+* **Grouped-per-sender general path** — once weight classes mix or dummies
+  exist, queue order matters and the plans are replayed per *run* instead of
+  per task: the active edges are grouped by sender and each group is planned
+  in one :meth:`WeightedRunState.plan_sender` call that walks the sender's
+  queue with the exact closed form
 
-The per-round cost is O(m + runs touched) — independent of the number of
+      ``k = |{ i >= 0 : residual - (committed + i * w) > w_max + 1e-9 }|``
+
+  (:func:`_take_count`), evaluating the float comparison at the boundaries so
+  the count is exactly what the object backend's one-task-at-a-time loop
+  would produce.  Deliveries are applied in plan order (the FIFO contract)
+  while the cumulative-flow and report bookkeeping is batched with numpy.
+
+Because the paper's task weights are integers, every weight, committed sum
+and load value is exactly representable in float64, and the two backends
+agree bit for bit on loads, cumulative flows and dummy distributions
+(enforced by ``tests/backend/test_weighted_equivalence.py``).
+
+The per-round cost is O(m) array work on the fast path and
+O(m + runs touched) on the general path — independent of the number of
 tasks ``W`` — versus the object backend's O(W) queue snapshots and per-task
 moves, which is what makes 10^5-task weighted dynamic streams feasible.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+import math
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -74,23 +94,75 @@ def _take_count(residual: float, committed: float, weight: float,
     return k
 
 
+def _take_counts_vector(residual: np.ndarray, weight: float,
+                        threshold: float) -> np.ndarray:
+    """Uncapped :func:`_take_count` (``committed = 0``) for a residual vector.
+
+    The arithmetic estimate and both boundary fix-up loops evaluate the same
+    float64 comparisons as the scalar closed form, element-wise, so the
+    vectorised counts are bit-identical to calling :func:`_take_count` per
+    edge.  The fix-up loops run until no element needs adjusting (one pass in
+    all but pathological rounding cases).
+    """
+    counts = np.zeros(residual.size, dtype=np.int64)
+    active = residual > threshold
+    if not np.any(active):
+        return counts
+    taking = residual[active]
+    k = ((taking - threshold) / weight).astype(np.int64) + 1
+    np.maximum(k, 1, out=k)
+    while True:
+        over = (k > 1) & ~(taking - (k - 1) * weight > threshold)
+        if not np.any(over):
+            break
+        k[over] -= 1
+    while True:
+        under = taking - k * weight > threshold
+        if not np.any(under):
+            break
+        k[under] += 1
+    counts[active] = k
+    return counts
+
+
 class WeightedRunState:
     """Per-node weighted task multisets with object-backend-faithful FIFO order.
 
     Every node holds a list of runs ``[count, weight, is_dummy]`` in queue
     order; tasks of equal weight and dummy status are interchangeable, so the
     run queue is exactly the object backend's task deque up to identity.
+
+    While all tasks share a single weight class and no dummy exists, the
+    queues may be dropped entirely (``single_class`` mode): each node's queue
+    is then the implicit single run ``[load // w, w, False]``, rebuilt on
+    demand — which is what lets the fast-path round skip queue maintenance
+    altogether.  The maximum run weight and the per-node real weight buckets
+    are cached instead of being re-derived by scanning all queues per call.
     """
 
     def __init__(self, queues: List[List[Run]], num_nodes: int) -> None:
-        self._queues = queues
+        self._queues: Optional[List[List[Run]]] = queues
         self.loads = np.zeros(num_nodes, dtype=np.int64)
         self.dummy_counts = np.zeros(num_nodes, dtype=np.int64)
+        max_weight = 0
+        classes: set = set()
+        any_dummy = False
         for node, queue in enumerate(queues):
             for count, weight, is_dummy in queue:
                 self.loads[node] += count * weight
                 if is_dummy:
                     self.dummy_counts[node] += count
+                    any_dummy = True
+                else:
+                    classes.add(weight)
+                if weight > max_weight:
+                    max_weight = weight
+        self._max_weight = max_weight
+        if any_dummy or len(classes) > 1:
+            self._single_class: Optional[int] = None
+        else:
+            self._single_class = next(iter(classes)) if classes else 1
+        self._buckets_cache: Optional[List[Dict[int, int]]] = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -125,6 +197,24 @@ class WeightedRunState:
         return cls(queues, assignment.network.num_nodes)
 
     # ------------------------------------------------------------------ #
+    # cache/queue lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _touch(self) -> None:
+        """Invalidate derived caches after any mutation of the task state."""
+        self._buckets_cache = None
+
+    def _ensure_queues(self) -> List[List[Run]]:
+        """Materialise the run queues from the implicit single-class state."""
+        if self._queues is None:
+            w = self._single_class
+            self._queues = [
+                [[int(load) // w, w, False]] if load else []
+                for load in self.loads.tolist()
+            ]
+        return self._queues
+
+    # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
 
@@ -134,24 +224,85 @@ class WeightedRunState:
             return self.loads.astype(float)
         return (self.loads - self.dummy_counts).astype(float)
 
+    @property
+    def max_run_weight(self) -> int:
+        """Maximum task weight currently present (0 when empty), cached.
+
+        Maintained incrementally: balancing moves tasks but never creates
+        weights (dummies are unit weight), so the cache only needs updating
+        on deliveries and after dummy elimination.
+        """
+        return self._max_weight
+
     def max_weight(self) -> int:
         """Maximum task weight currently present (0 when empty)."""
-        return max((run[1] for queue in self._queues for run in queue), default=0)
+        return self._max_weight
+
+    @property
+    def single_class(self) -> Optional[int]:
+        """The one weight class every task shares (``None`` once classes mix
+        or any dummy exists; ``1`` for an empty workload)."""
+        return self._single_class
 
     def real_buckets(self) -> List[Dict[int, int]]:
-        """Per-node ``{weight: count}`` of the real (non-dummy) tasks."""
-        buckets: List[Dict[int, int]] = []
-        for queue in self._queues:
-            bucket: Dict[int, int] = {}
-            for count, weight, is_dummy in queue:
-                if not is_dummy:
-                    bucket[weight] = bucket.get(weight, 0) + count
-            buckets.append(bucket)
-        return buckets
+        """Per-node ``{weight: count}`` of the real (non-dummy) tasks.
+
+        In single-class mode the buckets are pure arithmetic on the load
+        vector; otherwise the queue scan is cached until the next mutation.
+        """
+        if self._buckets_cache is None:
+            if self._queues is None:
+                w = self._single_class
+                self._buckets_cache = [
+                    {w: int(load) // w} if load else {}
+                    for load in self.loads.tolist()
+                ]
+            else:
+                buckets: List[Dict[int, int]] = []
+                for queue in self._queues:
+                    bucket: Dict[int, int] = {}
+                    for count, weight, is_dummy in queue:
+                        if not is_dummy:
+                            bucket[weight] = bucket.get(weight, 0) + count
+                    buckets.append(bucket)
+                self._buckets_cache = buckets
+        return [dict(bucket) for bucket in self._buckets_cache]
 
     # ------------------------------------------------------------------ #
     # planning (mutates the source queue, as the plans own the tasks)
     # ------------------------------------------------------------------ #
+
+    def plan_sender(self, node: int, positions: Iterable[int],
+                    magnitudes: List[float], threshold: float, policy: str,
+                    unit_tokens: bool) -> List[Tuple[int, List[Run], int, int, int]]:
+        """Plan every edge of one sender against its queue, in request order.
+
+        ``positions`` indexes this sender's contiguous slice of the round's
+        (sender-sorted) request arrays; ``magnitudes[pos]`` is the residual of
+        the request at ``pos``.  Returns one
+        ``(pos, takes, dummies, total_weight, tasks_moved)`` tuple per
+        non-empty plan.  Grouping the per-edge planning by sender keeps the
+        queue lookup and policy dispatch out of the per-edge hot loop.
+        """
+        plans: List[Tuple[int, List[Run], int, int, int]] = []
+        for pos in positions:
+            amount = magnitudes[pos]
+            if unit_tokens:
+                send = int(math.floor(amount + 1e-9))
+                if send <= 0:
+                    continue
+                takes = self.take_front(node, send)
+                moved = sum(run[0] for run in takes)
+                dummies = send - moved
+                total = send  # every task (and dummy) has unit weight
+            else:
+                takes = self.plan_takes(node, amount, threshold, policy)
+                dummies = self.planned_dummies(amount, threshold)
+                moved = sum(run[0] for run in takes)
+                total = sum(run[0] * run[1] for run in takes) + dummies
+            if moved or dummies:
+                plans.append((pos, takes, dummies, total, moved))
+        return plans
 
     def plan_takes(self, node: int, residual: float, threshold: float,
                    policy: str) -> List[Run]:
@@ -164,7 +315,7 @@ class WeightedRunState:
         included — the caller batches them separately via :func:`_take_count`
         on the final committed value (see :meth:`planned_dummies`).
         """
-        queue = self._queues[node]
+        queue = self._ensure_queues()[node]
         takes: List[Run] = []
         committed = 0.0
         while queue and residual - committed > threshold:
@@ -192,7 +343,7 @@ class WeightedRunState:
 
     def take_front(self, node: int, amount: int) -> List[Run]:
         """Unit-token FIFO path: pop up to ``amount`` tasks from the head."""
-        queue = self._queues[node]
+        queue = self._ensure_queues()[node]
         takes: List[Run] = []
         need = amount
         while need and queue:
@@ -218,6 +369,7 @@ class WeightedRunState:
                 queue[index - 1][0] += queue.pop(index)[0]
         else:
             run[0] -= k
+        self._touch()
 
     # ------------------------------------------------------------------ #
     # delivery
@@ -225,7 +377,7 @@ class WeightedRunState:
 
     def deliver(self, node: int, takes: List[Run]) -> None:
         """Append taken runs to the tail of ``node``'s queue (order preserved)."""
-        queue = self._queues[node]
+        queue = self._ensure_queues()[node]
         for count, weight, is_dummy in takes:
             if queue and queue[-1][1] == weight and queue[-1][2] == is_dummy:
                 queue[-1][0] += count
@@ -234,24 +386,58 @@ class WeightedRunState:
             self.loads[node] += count * weight
             if is_dummy:
                 self.dummy_counts[node] += count
+                self._single_class = None
+            elif self._single_class is not None and weight != self._single_class:
+                self._single_class = None
+            if weight > self._max_weight:
+                self._max_weight = weight
+        self._touch()
 
     def deliver_dummies(self, node: int, count: int) -> None:
         """Create ``count`` fresh unit-weight dummies at the tail of the queue."""
         if count:
             self.deliver(node, [[count, 1, True]])
 
+    def apply_single_class_moves(self, outgoing_tasks: np.ndarray,
+                                 incoming_tasks: np.ndarray) -> None:
+        """Fast-path round application: scatter-added task counts, no queues.
+
+        Only legal in single-class mode when every sender covers its outgoing
+        tasks (the caller checks both): then every queue is a single all-real
+        run whose length follows from the load, so the queues are dropped and
+        rebuilt lazily instead of being maintained.
+        """
+        w = self._single_class
+        self.loads += (incoming_tasks - outgoing_tasks) * w
+        self._queues = None
+        self._touch()
+
     # ------------------------------------------------------------------ #
     # dummy elimination
     # ------------------------------------------------------------------ #
 
     def remove_dummies(self) -> int:
-        """Drop every dummy task (the paper's final clean-up step)."""
+        """Drop every dummy task (the paper's final clean-up step).
+
+        A no-op on clean queues: only the queues of nodes that actually hold
+        dummies are compacted, the rest are left untouched.
+        """
         removed = int(self.dummy_counts.sum())
         if removed:
-            for node, queue in enumerate(self._queues):
-                self._queues[node] = [run for run in queue if not run[2]]
+            queues = self._ensure_queues()
+            for node in np.flatnonzero(self.dummy_counts).tolist():
+                queues[node] = [run for run in queues[node] if not run[2]]
             self.loads -= self.dummy_counts
             self.dummy_counts[:] = 0
+            self._touch()
+            # Dummies are unit weight, so only an all-unit maximum (or the
+            # single-class invariant) can change; recompute in that rare case.
+            if self._max_weight <= 1:
+                self._max_weight = max(
+                    (run[1] for queue in queues for run in queue), default=0)
+            classes = {run[1] for queue in queues for run in queue}
+            self._single_class = (next(iter(classes)) if len(classes) == 1
+                                  else 1 if not classes else None)
         return removed
 
 
@@ -377,43 +563,99 @@ class ArrayWeightedDeterministicFlowImitation(FlowCoupledBalancer):
         order = np.lexsort((receivers, senders))
         active = active[order]
         forward = forward[order]
-        senders = senders[order].tolist()
-        receivers = receivers[order].tolist()
-        magnitudes = np.abs(res[order]).tolist()
+        senders = senders[order]
+        receivers = receivers[order]
+        magnitude = np.abs(res[order])
 
+        if not self._single_class_round(active, forward, senders, receivers,
+                                        magnitude):
+            self._general_round(active, forward, senders, receivers, magnitude)
+
+    def _single_class_round(self, active: np.ndarray, forward: np.ndarray,
+                            senders: np.ndarray, receivers: np.ndarray,
+                            magnitude: np.ndarray) -> bool:
+        """The fully vectorised round for a single global weight class.
+
+        With one weight class and no dummies, every per-edge plan is a pure
+        function of the residual (floor for unit tokens, the closed-form
+        greedy count otherwise) and queue order is unobservable; if every
+        sender also covers its plans with its own tasks, the transfers reduce
+        to two scatter-adds.  Returns ``False`` — leaving the state untouched
+        — when these conditions do not hold, so the queue-faithful general
+        path can replay the round instead.
+        """
+        state = self._state
+        w = state.single_class
+        if w is None:
+            return False
+        if self._unit_tokens_only:
+            amounts = np.floor(magnitude + 1e-9).astype(np.int64)
+        else:
+            amounts = _take_counts_vector(magnitude, float(w), self._w_max + 1e-9)
+        mask = amounts > 0
+        transfers = int(np.count_nonzero(mask))
+        if transfers == 0:
+            self._reports.append(RoundReport(self._round, 0, 0, 0.0, 0))
+            return True
+        amounts = amounts[mask]
+        n = self.network.num_nodes
+        outgoing = np.zeros(n, dtype=np.int64)
+        np.add.at(outgoing, senders[mask], amounts)
+        if np.any(outgoing * w > state.loads):
+            return False  # some sender would need the infinite source
+        incoming = np.zeros(n, dtype=np.int64)
+        np.add.at(incoming, receivers[mask], amounts)
+        state.apply_single_class_moves(outgoing, incoming)
+
+        moved_weight = amounts * w
+        signed = np.where(forward[mask], moved_weight, -moved_weight).astype(float)
+        self._discrete_cumulative[active[mask]] += signed
+        self._reports.append(
+            RoundReport(
+                round_index=self._round,
+                transfers=transfers,
+                tasks_moved=int(amounts.sum()),
+                weight_moved=float(moved_weight.sum()),
+                dummy_tokens_created=0,
+            )
+        )
+        return True
+
+    def _general_round(self, active: np.ndarray, forward: np.ndarray,
+                       senders: np.ndarray, receivers: np.ndarray,
+                       magnitude: np.ndarray) -> None:
+        """The queue-faithful path: per-sender grouped planning, FIFO deliveries."""
+        senders_list = senders.tolist()
+        receivers_list = receivers.tolist()
+        magnitudes = magnitude.tolist()
         threshold = self._w_max + 1e-9
         state = self._state
-        plans = []  # (pos, takes, dummies, total_weight, tasks_moved); receiver is receivers[pos]
-        for pos, (sender, amount) in enumerate(zip(senders, magnitudes)):
-            if self._unit_tokens_only:
-                send = int(np.floor(amount + 1e-9))
-                if send <= 0:
-                    continue
-                takes = state.take_front(sender, send)
-                moved = sum(run[0] for run in takes)
-                dummies = send - moved
-                total = send  # every task (and dummy) has unit weight
-            else:
-                takes = state.plan_takes(sender, amount, threshold, self._policy)
-                dummies = state.planned_dummies(amount, threshold)
-                moved = sum(run[0] for run in takes)
-                total = sum(run[0] * run[1] for run in takes) + dummies
-            if moved or dummies:
-                plans.append((pos, takes, dummies, total, moved))
 
-        transfers = 0
+        starts = np.r_[0, np.flatnonzero(np.diff(senders)) + 1, senders.size]
+        plans: List[Tuple[int, List[Run], int, int, int]] = []
+        for group in range(starts.size - 1):
+            begin = int(starts[group])
+            plans.extend(state.plan_sender(
+                senders_list[begin], range(begin, int(starts[group + 1])),
+                magnitudes, threshold, self._policy, self._unit_tokens_only))
+
+        if not plans:
+            self._reports.append(RoundReport(self._round, 0, 0, 0.0, 0))
+            return
         tasks_moved = 0
-        total_sent = 0
         dummies_this_round = 0
-        for pos, takes, dummies, total, moved in plans:
-            state.deliver(receivers[pos], takes)
-            state.deliver_dummies(receivers[pos], dummies)
-            signed = float(total) if forward[pos] else -float(total)
-            self._discrete_cumulative[active[pos]] += signed
-            transfers += 1
+        for pos, takes, dummies, _total, moved in plans:
+            state.deliver(receivers_list[pos], takes)
+            state.deliver_dummies(receivers_list[pos], dummies)
             tasks_moved += moved
-            total_sent += total
             dummies_this_round += dummies
+
+        positions = np.fromiter((plan[0] for plan in plans), dtype=np.int64,
+                                count=len(plans))
+        totals = np.fromiter((plan[3] for plan in plans), dtype=np.int64,
+                             count=len(plans))
+        signed = np.where(forward[positions], totals, -totals).astype(float)
+        self._discrete_cumulative[active[positions]] += signed
 
         if dummies_this_round:
             self._used_infinite_source = True
@@ -421,9 +663,9 @@ class ArrayWeightedDeterministicFlowImitation(FlowCoupledBalancer):
         self._reports.append(
             RoundReport(
                 round_index=self._round,
-                transfers=transfers,
+                transfers=len(plans),
                 tasks_moved=tasks_moved,
-                weight_moved=float(total_sent),
+                weight_moved=float(totals.sum()),
                 dummy_tokens_created=dummies_this_round,
             )
         )

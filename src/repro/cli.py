@@ -62,8 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--backend", default="auto", choices=list(BACKEND_KINDS),
                          help="load-state backend (array = vectorized fast path)")
     compare.add_argument("--rng-mode", default="sequential", choices=list(RNG_MODES),
-                         help="excess-token randomness: sequential draws or the "
-                              "order-free counter RNG (vectorizable)")
+                         help="randomized-draw mode (algorithm2, randomized-rounding, "
+                              "excess-tokens): sequential draws or the "
+                              "order-free edge/node-keyed counter RNG")
     compare.add_argument("--seed", type=int, default=7)
 
     table1 = subparsers.add_parser("table1", help="reproduce the Table 1 comparison")
@@ -109,8 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="start from weighted tasks with integer weights in "
                               "[1, W] (algorithm1 only; events stream unit tokens)")
     dynamic.add_argument("--rng-mode", default="sequential", choices=list(RNG_MODES),
-                         help="excess-token randomness: sequential draws or the "
-                              "order-free counter RNG (vectorizable)")
+                         help="randomized-draw mode (algorithm2, randomized-rounding, "
+                              "excess-tokens): sequential draws or the "
+                              "order-free edge/node-keyed counter RNG")
     dynamic.add_argument("--seed", type=int, default=7)
     dynamic.add_argument("--csv", help="optional path to write the summary row as CSV")
 

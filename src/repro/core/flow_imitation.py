@@ -352,12 +352,14 @@ class FlowImitationBalancer(FlowCoupledBalancer):
                 requests.setdefault(v, []).append((u, edge_idx, float(-value)))
 
         plans: List[Tuple[int, EdgeSendPlan]] = []
-        for node in sorted(requests):
-            pool = list(self._assignment.tasks_at(node))
-            for neighbor, edge_idx, amount in sorted(requests[node]):
-                plan = self._plan_edge_send(node, neighbor, amount, pool)
-                if plan.tasks or plan.dummy_tokens:
-                    plans.append((edge_idx, plan))
+        pools: Dict[int, List[Task]] = {}
+        for node, neighbor, edge_idx, amount in self._iter_requests(requests):
+            pool = pools.get(node)
+            if pool is None:
+                pool = pools[node] = list(self._assignment.tasks_at(node))
+            plan = self._plan_edge_send(node, neighbor, amount, pool)
+            if plan.tasks or plan.dummy_tokens:
+                plans.append((edge_idx, plan))
 
         transfers = 0
         tasks_moved = 0
@@ -391,6 +393,18 @@ class FlowImitationBalancer(FlowCoupledBalancer):
                 dummy_tokens_created=dummies_this_round,
             )
         )
+
+    def _iter_requests(self, requests: Dict[int, List[Tuple[int, int, float]]]):
+        """Yield this round's send requests as ``(node, neighbor, edge_idx, amount)``.
+
+        The canonical planning order — senders ascending, receivers ascending
+        within a sender — which the array backend replicates with one lexsort.
+        Overridable so permutation tests can prove that counter-mode
+        (``rng_mode="counter"``) load trajectories do not depend on it.
+        """
+        for node in sorted(requests):
+            for neighbor, edge_idx, amount in sorted(requests[node]):
+                yield node, neighbor, edge_idx, amount
 
     def _plan_edge_send(self, source: int, destination: int, residual: float,
                         pool: List[Task]) -> EdgeSendPlan:

@@ -1,0 +1,88 @@
+"""Counter-based (Philox) randomness shared by every ``rng_mode="counter"`` process.
+
+The default ``"sequential"`` rng mode draws from one shared ``numpy``
+generator whose stream advances with every draw, so the value an edge or a
+node receives depends on how many draws were consumed before it — the
+trajectory is tied to the iteration order and cannot be batched.  The
+``"counter"`` mode replaces the shared stream with a *counter-based*
+generator (Philox4x64) keyed on ``(seed, round)``: the draw of entity ``k``
+in round ``t`` is entry ``k`` of the per-round score block, a pure function
+of ``(seed, round, k)``.  Draws are therefore **order-free** — iterating the
+entities in any order, or computing all of them at once in a vectorised
+kernel, yields bit-identical values — which is what makes the array kernels
+in :mod:`repro.backend` possible and what keeps trajectories replayable
+across sharded or asynchronous drivers.
+
+Three keying schemes share this module:
+
+* **per-node** rows — :class:`~repro.discrete.baselines.diffusion.ExcessTokenDiffusion`
+  scores the candidates of node ``i`` with row ``i`` of an
+  ``(n, max_degree + 1)`` block;
+* **per-edge** entries — Algorithm 2
+  (:class:`~repro.core.algorithm2.RandomizedFlowImitation`) and
+  :class:`~repro.discrete.baselines.diffusion.RandomizedRoundingDiffusion`
+  round edge ``e`` with entry ``e`` of a length-``m`` block
+  (:func:`edge_scores`);
+* a reserved stream (:data:`OFFSET_STREAM`) for one-off draws such as the
+  round-robin starting offsets (round indices never reach it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "RNG_MODES",
+    "OFFSET_STREAM",
+    "validate_rng_mode",
+    "philox_generator",
+    "normalize_counter_seed",
+    "edge_scores",
+]
+
+#: Valid values of every ``rng_mode=`` parameter.
+RNG_MODES = ("sequential", "counter")
+
+
+def validate_rng_mode(rng_mode: str, error: type = None) -> str:
+    """Return ``rng_mode`` or raise ``error`` (default: ``ProcessError``).
+
+    The single validation shared by every process and the engine, so the
+    accepted modes cannot diverge between entry points.
+    """
+    if rng_mode not in RNG_MODES:
+        if error is None:
+            from .exceptions import ProcessError as error
+        raise error(f"unknown rng mode {rng_mode!r}; valid: {RNG_MODES}")
+    return rng_mode
+
+_MASK64 = (1 << 64) - 1
+
+#: Philox stream id reserved for one-off draws (rounds never reach it).
+OFFSET_STREAM = _MASK64
+
+
+def philox_generator(key: int, stream: int) -> np.random.Generator:
+    """A counter-based generator keyed on ``(key, stream)`` (Philox4x64)."""
+    words = np.array([key & _MASK64, stream & _MASK64], dtype=np.uint64)
+    return np.random.Generator(np.random.Philox(key=words))
+
+
+def normalize_counter_seed(seed: Optional[int]) -> int:
+    """The integer Philox key for ``seed`` (a fresh random key for ``None``)."""
+    if seed is None:
+        return int(np.random.default_rng().integers(1 << 63))
+    return int(seed)
+
+
+def edge_scores(key: int, round_index: int, num_edges: int) -> np.ndarray:
+    """The per-round uniform score of every edge.
+
+    Entry ``e`` is a pure function of ``(key, round_index, e)`` — the
+    edge-keyed counter-RNG contract: scalar references that look entries up
+    one edge at a time (in any order) and vectorised kernels that fancy-index
+    the whole block consume bit-identical values.
+    """
+    return philox_generator(key, round_index).random(num_edges)

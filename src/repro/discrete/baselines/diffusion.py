@@ -31,6 +31,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...counter_rng import (
+    OFFSET_STREAM as _OFFSET_STREAM,
+    RNG_MODES,
+    edge_scores,
+    normalize_counter_seed,
+    philox_generator as _philox_generator,
+    validate_rng_mode,
+)
 from ...exceptions import ProcessError
 from ...network.graph import Edge, Network
 from ...network.spectral import AlphaScheme, compute_alphas
@@ -45,20 +53,6 @@ __all__ = [
     "RandomizedRoundingDiffusion",
     "ExcessTokenDiffusion",
 ]
-
-#: How order-sensitive per-node randomness is drawn (see :class:`ExcessTokenDiffusion`).
-RNG_MODES = ("sequential", "counter")
-
-_MASK64 = (1 << 64) - 1
-
-#: Philox stream id reserved for the round-robin offset draw (rounds never reach it).
-_OFFSET_STREAM = _MASK64
-
-
-def _philox_generator(key: int, stream: int) -> np.random.Generator:
-    """A counter-based generator keyed on ``(key, stream)`` (Philox4x64)."""
-    words = np.array([key & _MASK64, stream & _MASK64], dtype=np.uint64)
-    return np.random.Generator(np.random.Philox(key=words))
 
 
 class DiffusionBaseline(IntegerLoadBalancer):
@@ -226,24 +220,55 @@ class RandomizedRoundingDiffusion(DiffusionBaseline):
     The net continuous amount of every edge is rounded up with probability
     equal to its fractional part, so the expected discrete flow matches the
     continuous flow.  Rounding up on too many edges can create negative load.
+
+    The rounding randomness comes in two **rng modes** (see
+    :mod:`repro.counter_rng`):
+
+    * ``"sequential"`` (default) — one shared ``numpy`` generator whose
+      stream advances by ``m`` draws per round; the draw an edge receives is
+      tied to its position in that stream.
+    * ``"counter"`` — Philox keyed on ``(seed, round)``: edge ``e``'s draw is
+      entry ``e`` of the per-round score block, a pure function of
+      ``(seed, round, edge)``.  Rounding the edges in any order — or all at
+      once — consumes identical values, so trajectories are replayable
+      independently of edge iteration order.  The array-backend variant
+      (:class:`repro.backend.baselines.ArrayRandomizedRoundingDiffusion`)
+      shares this round verbatim and only replaces the per-edge move loop
+      with scatter-adds, so the two are bit-identical in both modes.
     """
 
     def __init__(self, network: Network, initial_load: Sequence[int],
                  alphas: Optional[Dict[Edge, float]] = None,
                  scheme: str = AlphaScheme.MAX_DEGREE_PLUS_ONE,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 rng_mode: str = "sequential") -> None:
         super().__init__(network, initial_load, alphas=alphas, scheme=scheme)
-        self._rng = np.random.default_rng(seed)
+        self._rng_mode = validate_rng_mode(rng_mode)
+        self._reset_state(seed)
 
     def _reset_state(self, seed) -> None:
-        self._rng = np.random.default_rng(seed)
+        if self._rng_mode == "counter":
+            self._counter_key = normalize_counter_seed(seed)
+        else:
+            self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng_mode(self) -> str:
+        """How per-edge rounding randomness is drawn ("sequential" or "counter")."""
+        return self._rng_mode
+
+    def _rounding_draws(self) -> np.ndarray:
+        """This round's per-edge uniform draws (edge-keyed in counter mode)."""
+        if self._rng_mode == "counter":
+            return edge_scores(self._counter_key, self._round, self.network.num_edges)
+        return self._rng.random(self.network.num_edges)
 
     def _execute_round(self) -> None:
         net = self._net_continuous_flows()
         magnitude = np.abs(net)
         base = np.floor(magnitude)
         fraction = magnitude - base
-        round_up = self._rng.random(len(net)) < fraction
+        round_up = self._rounding_draws() < fraction
         sent_magnitude = base + round_up.astype(float)
         sent = np.sign(net) * sent_magnitude
         self._apply_net_moves(sent.astype(int))
@@ -294,20 +319,14 @@ class ExcessTokenDiffusion(DiffusionBaseline):
             raise ProcessError(
                 f"unknown excess-token strategy {strategy!r}; valid: {self.STRATEGIES}"
             )
-        if rng_mode not in RNG_MODES:
-            raise ProcessError(
-                f"unknown rng mode {rng_mode!r}; valid: {RNG_MODES}"
-            )
         self._strategy = strategy
-        self._rng_mode = rng_mode
+        self._rng_mode = validate_rng_mode(rng_mode)
         self._dir_offsets = None  # built lazily: only the counter mode reads them
         self._reset_state(seed)
 
     def _reset_state(self, seed) -> None:
         if self._rng_mode == "counter":
-            if seed is None:
-                seed = int(np.random.default_rng().integers(1 << 63))
-            self._counter_key = int(seed)
+            self._counter_key = normalize_counter_seed(seed)
             offsets_rng = _philox_generator(self._counter_key, _OFFSET_STREAM)
             self._round_robin_offsets = offsets_rng.integers(
                 0, np.maximum(self.network.degrees, 1))

@@ -130,7 +130,8 @@ class StreamingEngine:
         # Unit-token streams resolve "auto" to the vectorised count-vector
         # backend; weighted streams to the columnar weight-bucket backend.
         # Either way the backends are trajectory-identical.
-        choice = resolve_backend(backend, weighted=weighted, algorithm=algorithm)
+        choice = resolve_backend(backend, weighted=weighted, algorithm=algorithm,
+                                 rng_mode=rng_mode)
         self._backend = choice.name
         self._backend_reason = choice.reason
         self._base_name = network.name

@@ -34,7 +34,7 @@ from ..network.matchings import (
     PeriodicMatchingSchedule,
     RandomMatchingSchedule,
 )
-from ..discrete.baselines.diffusion import RNG_MODES
+from ..counter_rng import RNG_MODES, validate_rng_mode
 from ..tasks.assignment import TaskAssignment
 from ..tasks.load import as_token_counts, max_avg_discrepancy, max_min_discrepancy
 from ..tasks.weighted import WeightedLoads
@@ -135,6 +135,7 @@ def _build_flow_imitation(
     seed: Optional[int],
     selection_policy: str,
     backend: str,
+    rng_mode: str,
 ) -> FlowCoupledBalancer:
     counts = None
     if assignment is not None:
@@ -151,6 +152,7 @@ def _build_flow_imitation(
     return backend_impl.build_flow_imitation(
         algorithm, continuous, initial_load=counts, assignment=assignment,
         weighted=weighted_load, seed=seed, selection_policy=selection_policy,
+        rng_mode=rng_mode,
     )
 
 
@@ -175,9 +177,8 @@ def _build_baseline(
         cls = get_backend(backend).diffusion_class(algorithm, rng_mode=rng_mode)
         if algorithm in ("round-down", "quasirandom"):
             return cls(network, loads)
-        if algorithm == "excess-tokens":
-            return cls(network, loads, seed=seed, rng_mode=rng_mode)
-        return cls(network, loads, seed=seed)
+        # The randomized baselines draw order-free counter randomness on demand.
+        return cls(network, loads, seed=seed, rng_mode=rng_mode)
     if algorithm in MATCHING_BASELINES:
         if continuous_kind not in _MATCHING_KINDS:
             raise ExperimentError(
@@ -223,18 +224,18 @@ def make_balancer(
     integer-weight task assignments, falling back to the object backend only
     for workloads that need task objects (non-integer weights); the backends
     produce identical trajectories for any given seed, so the choice is
-    purely about speed.  ``rng_mode`` selects how the excess-token baseline
-    draws its per-node randomness ("sequential" or the order-free,
-    vectorisable "counter"); other algorithms ignore it.
+    purely about speed.  ``rng_mode`` selects how the randomized processes —
+    Algorithm 2, the randomized-rounding diffusion and the excess-token
+    baseline — draw their randomness: "sequential" consumes one shared
+    generator in iteration order, the "counter" mode keys a Philox generator
+    on ``(seed, round, edge-or-node)`` so every draw is order-free (see
+    :mod:`repro.counter_rng`); deterministic algorithms ignore it.
     """
     if algorithm not in ALL_ALGORITHMS:
         raise ExperimentError(
             f"unknown algorithm {algorithm!r}; valid algorithms: {ALL_ALGORITHMS}"
         )
-    if rng_mode not in RNG_MODES:
-        raise ExperimentError(
-            f"unknown rng mode {rng_mode!r}; valid rng modes: {RNG_MODES}"
-        )
+    validate_rng_mode(rng_mode, error=ExperimentError)
     workloads_given = sum(w is not None for w in (initial_load, assignment, weighted_load))
     if workloads_given != 1:
         raise ExperimentError(
@@ -242,7 +243,7 @@ def make_balancer(
     if algorithm in FLOW_IMITATION_ALGORITHMS:
         return _build_flow_imitation(algorithm, network, initial_load, assignment,
                                      weighted_load, continuous_kind, schedule, seed,
-                                     selection_policy, backend)
+                                     selection_policy, backend, rng_mode)
     if assignment is not None or weighted_load is not None:
         raise ExperimentError(
             "task assignments (weighted tasks) are only supported by the "
@@ -296,8 +297,10 @@ def run_algorithm(
         backend actually used — and why — is recorded in
         ``result.extra["backend"]`` / ``extra["backend_reason"]``.
     rng_mode:
-        How the excess-token baseline draws per-node randomness
-        ("sequential" or the order-free "counter"); other algorithms ignore it.
+        How the randomized processes (Algorithm 2, randomized-rounding
+        diffusion, excess tokens) draw their randomness: "sequential", or the
+        order-free edge/node-keyed "counter" mode of
+        :mod:`repro.counter_rng`; deterministic algorithms ignore it.
     """
     if algorithm not in ALL_ALGORITHMS:
         raise ExperimentError(
@@ -327,7 +330,8 @@ def run_algorithm(
     original_weight = float(reference_load.sum())
 
     choice = resolve_backend(backend, assignment=assignment,
-                             weighted=weighted_load, algorithm=algorithm)
+                             weighted=weighted_load, algorithm=algorithm,
+                             rng_mode=rng_mode)
     if is_flow_imitation:
         # Pass the already-resolved concrete backend so the object path does
         # not repeat the per-task integer-weight scan of the resolution.
@@ -336,6 +340,7 @@ def run_algorithm(
             weighted_load=weighted_load,
             continuous_kind=continuous_kind, schedule=schedule, seed=seed,
             selection_policy=selection_policy, backend=choice.name,
+            rng_mode=rng_mode,
         )
         w_max = balancer.w_max  # type: ignore[union-attr]
     else:
@@ -355,11 +360,6 @@ def run_algorithm(
             choice = BackendChoice(
                 choice.name, "matching baselines share one integer-vector "
                              "implementation across backends")
-        elif algorithm == "excess-tokens" and rng_mode != "counter" \
-                and choice.name == "array":
-            choice = BackendChoice(
-                "array", "shared scalar excess-token kernel (sequential rng "
-                         "is order-sensitive; use rng_mode='counter' to vectorise)")
 
     trace: Optional[List[float]] = [] if record_trace else None
 

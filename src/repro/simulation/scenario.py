@@ -188,8 +188,9 @@ class Scenario:
         ``[1, max_task_weight]`` (algorithm1 only) — the weighted-task
         setting of the paper's Theorem 3.
     rng_mode:
-        How the excess-token baseline draws per-node randomness
-        ("sequential" or the order-free, vectorisable "counter").
+        How the randomized processes (algorithm2, randomized-rounding,
+        excess-tokens) draw their randomness: "sequential" or the order-free,
+        vectorisable edge/node-keyed "counter" mode.
     """
 
     name: str

@@ -293,3 +293,175 @@ class TestWeightedRunState:
         assert state.remove_dummies() == 4
         assert state.loads.tolist() == [6]
         assert state.dummy_counts.tolist() == [0]
+
+
+def single_class_loads(network, weight, total_tasks, seed=3, placement="uniform"):
+    """A workload whose tasks all share one weight class."""
+    from repro.tasks.generators import point_load, uniform_random_load
+
+    if placement == "point":
+        counts = point_load(network, total_tasks)
+    else:
+        counts = uniform_random_load(network, total_tasks, seed=seed)
+    return WeightedLoads.from_buckets(
+        [{weight: int(c)} if c else {} for c in counts])
+
+
+def paired_single_class(network, weight, total_tasks, substrate=FirstOrderDiffusion,
+                        policy=TaskSelectionPolicy.FIFO, **substrate_kwargs):
+    weighted = single_class_loads(network, weight, total_tasks)
+    reference = weighted.load_vector().astype(float)
+    object_balancer = DeterministicFlowImitation(
+        substrate(network, reference, **substrate_kwargs),
+        weighted.to_assignment(network), selection_policy=policy)
+    array_balancer = ArrayWeightedDeterministicFlowImitation(
+        substrate(network, reference, **substrate_kwargs), weighted,
+        selection_policy=policy)
+    return object_balancer, array_balancer
+
+
+class TestSingleClassFastPath:
+    """The vectorised single-weight-class round kernel (scatter-adds, no loop)."""
+
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("weight", [1, 2, 5])
+    def test_bit_identical_to_object_backend(self, topology, weight):
+        network = TOPOLOGIES[topology]()
+        object_balancer, array_balancer = paired_single_class(
+            network, weight, 20 * network.num_nodes)
+        assert_roundwise_equal(object_balancer, array_balancer, rounds=40)
+
+    @pytest.mark.parametrize("policy", sorted(TaskSelectionPolicy.ALL))
+    def test_bit_identical_across_policies(self, policy):
+        network = topologies.torus(4, dims=2)
+        object_balancer, array_balancer = paired_single_class(
+            network, 3, 20 * network.num_nodes, policy=policy)
+        assert_roundwise_equal(object_balancer, array_balancer, rounds=40)
+
+    def test_fast_path_actually_engages(self):
+        """After a round with transfers the queues are implicit (dropped)."""
+        network = topologies.torus(4, dims=2)
+        _, array_balancer = paired_single_class(network, 5,
+                                                20 * network.num_nodes)
+        state = array_balancer._state
+        assert state.single_class == 5
+        for _ in range(10):
+            array_balancer.advance()
+        assert state._queues is None, "fast path should keep queues implicit"
+        assert array_balancer.dummy_tokens_created == 0
+
+    def test_dummy_fallback_stays_bit_identical(self):
+        """An overshooting SOS forces dummies: the fast path must hand the
+        round to the queue-faithful path and keep exact equality."""
+        network = topologies.random_regular(30, 5, seed=4)
+        weighted = single_class_loads(network, 2, 300, placement="point")
+        reference = weighted.load_vector().astype(float)
+        object_balancer = DeterministicFlowImitation(
+            SecondOrderDiffusion(network, reference, beta=1.9),
+            weighted.to_assignment(network))
+        array_balancer = ArrayWeightedDeterministicFlowImitation(
+            SecondOrderDiffusion(network, reference, beta=1.9), weighted)
+        assert_roundwise_equal(object_balancer, array_balancer, rounds=60)
+        assert array_balancer.dummy_tokens_created > 0, \
+            "instance must exercise the fallback"
+        assert array_balancer._state.single_class is None
+        # dummy elimination restores the single class (and the fast path)
+        assert object_balancer.remove_dummies() == array_balancer.remove_dummies()
+        assert array_balancer._state.single_class == 2
+
+    def test_mixed_weights_take_the_general_path(self):
+        network = topologies.torus(4, dims=2)
+        weighted = weighted_loads_from_task_counts(
+            [8] * network.num_nodes, max_weight=4, seed=1)
+        balancer = ArrayWeightedDeterministicFlowImitation(
+            FirstOrderDiffusion(network, weighted.load_vector().astype(float)),
+            weighted)
+        assert balancer._state.single_class is None
+        for _ in range(10):
+            balancer.advance()
+        assert balancer._state._queues is not None
+
+
+class TestWeightedStateCaches:
+    """Satellites: cached max weight / bucket arrays, clean-queue compaction."""
+
+    def test_max_run_weight_is_cached_and_maintained(self):
+        state = WeightedRunState.from_weighted_loads(
+            WeightedLoads.from_buckets([{2: 3}, {5: 1}, {}]))
+        assert state.max_run_weight == 5
+        assert state.max_weight() == 5
+        takes = state.take_front(1, 1)
+        state.deliver(0, takes)             # moving the heavy task keeps the max
+        assert state.max_run_weight == 5
+        state.deliver(2, [[1, 7, False]])   # a heavier delivery raises it
+        assert state.max_run_weight == 7
+
+    def test_max_run_weight_recomputed_after_unit_dummy_elimination(self):
+        state = WeightedRunState.from_weighted_loads(
+            WeightedLoads.from_buckets([{1: 2}, {}]))
+        state.deliver_dummies(1, 3)
+        assert state.max_run_weight == 1
+        state.remove_dummies()
+        assert state.max_run_weight == 1
+        empty = WeightedRunState.from_weighted_loads(
+            WeightedLoads.from_buckets([{}, {}]))
+        empty.deliver_dummies(0, 2)
+        assert empty.remove_dummies() == 2
+        assert empty.max_run_weight == 0
+
+    def test_remove_dummies_is_a_no_op_on_clean_queues(self):
+        state = WeightedRunState.from_weighted_loads(
+            WeightedLoads.from_buckets([{2: 3}, {3: 1}, {1: 4}]))
+        queues = state._ensure_queues()
+        untouched = [queues[0], queues[2]]
+        state.deliver_dummies(1, 2)
+        assert state.remove_dummies() == 2
+        # clean queues keep their identity (no rebuild), dirty ones compacted
+        assert state._queues[0] is untouched[0]
+        assert state._queues[2] is untouched[1]
+        assert all(not run[2] for run in state._queues[1])
+
+    def test_real_buckets_cached_until_mutation_and_copies_returned(self):
+        state = WeightedRunState.from_weighted_loads(
+            WeightedLoads.from_buckets([{2: 3, 4: 1}, {1: 2}]))
+        first = state.real_buckets()
+        assert state._buckets_cache is not None
+        first[0][2] = 999                       # mutating the copy is harmless
+        assert state.real_buckets()[0] == {2: 3, 4: 1}
+        state.deliver(1, [[1, 4, False]])       # mutation invalidates the cache
+        assert state._buckets_cache is None
+        assert state.real_buckets()[1] == {1: 2, 4: 1}
+
+    def test_real_buckets_arithmetic_in_compact_mode(self):
+        """Single-class buckets come straight from the load vector — the
+        queues stay implicit even after querying them."""
+        network = topologies.torus(4, dims=2)
+        _, array_balancer = paired_single_class(network, 4,
+                                                20 * network.num_nodes)
+        for _ in range(5):
+            array_balancer.advance()
+        state = array_balancer._state
+        assert state._queues is None
+        buckets = state.real_buckets()
+        assert state._queues is None, "bucket query must not materialise queues"
+        loads = state.load_vector()
+        for node, bucket in enumerate(buckets):
+            assert sum(w * c for w, c in bucket.items()) == loads[node]
+            assert set(bucket) <= {4}
+
+    def test_single_class_streams_match_object_backend(self):
+        """End-to-end: a single-class weighted stream stays trajectory-equal
+        (the stream syncs through the cached/arithmetic buckets each round)."""
+        from repro.dynamic.events import make_event_generator
+        from repro.dynamic.stream import run_stream
+
+        def one(backend):
+            network = topologies.torus(4, dims=2)
+            weighted = single_class_loads(network, 3, 8 * network.num_nodes)
+            generator = make_event_generator("burst", network, 6, seed=17)
+            return run_stream("algorithm1", network, weighted, generator,
+                              rounds=40, seed=17, backend=backend)
+
+        object_result, array_result = one("object"), one("array")
+        assert object_result.trace_max_min == array_result.trace_max_min
+        assert object_result.trace_total_weight == array_result.trace_total_weight
