@@ -49,12 +49,22 @@ from .simulation import (
     DynamicScenario,
     RunResult,
     Scenario,
+    SweepConfiguration,
+    SweepResult,
     compare_algorithms,
     determine_balancing_time,
+    expand_seeds,
+    grid_sweep,
     make_balancer,
+    parallel_dynamic_grid,
+    parallel_grid_sweep,
+    parallel_sweep,
     run_algorithm,
+    run_dynamic_grid,
     run_dynamic_scenario,
     run_scenario,
+    run_scenario_grid,
+    run_sweep,
 )
 from .dynamic import (
     EVENT_PROFILES,
@@ -131,10 +141,21 @@ __all__ = [
     "DynamicScenario",
     "run_algorithm",
     "run_scenario",
+    "run_scenario_grid",
     "run_dynamic_scenario",
+    "run_dynamic_grid",
+    "expand_seeds",
     "compare_algorithms",
     "determine_balancing_time",
     "make_balancer",
+    # sweeps and sharded parallel grids
+    "SweepConfiguration",
+    "SweepResult",
+    "run_sweep",
+    "grid_sweep",
+    "parallel_sweep",
+    "parallel_grid_sweep",
+    "parallel_dynamic_grid",
     # dynamic workloads
     "EVENT_PROFILES",
     "DynamicEvent",

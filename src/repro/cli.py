@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 
 from .network import topologies
 from .simulation.engine import ALL_ALGORITHMS, BACKEND_KINDS, RNG_MODES, compare_algorithms
+from .simulation.workloads import WORKLOADS
 from .simulation.experiments import (
     DEFAULT_TABLE1_ALGORITHMS,
     DEFAULT_TABLE2_ALGORITHMS,
@@ -114,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "excess-tokens): sequential draws or the "
                               "order-free edge/node-keyed counter RNG")
     dynamic.add_argument("--seed", type=int, default=7)
+    dynamic.add_argument("--seeds", nargs="+", type=int, default=None,
+                         help="run a grid of seeds instead of the single --seed "
+                              "(shardable with --workers)")
+    dynamic.add_argument("--workers", type=int, default=None,
+                         help="process-pool size for a --seeds grid "
+                              "(default: one per core)")
+    dynamic.add_argument("--warmup", type=int, default=0,
+                         help="trace entries to exclude from time_in_band "
+                              "(the initial transient)")
     dynamic.add_argument("--csv", help="optional path to write the summary row as CSV")
 
     sweep = subparsers.add_parser("sweep", help="run one configuration over several seeds")
@@ -121,11 +131,46 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--topology", default="torus")
     sweep.add_argument("--nodes", type=int, default=64)
     sweep.add_argument("--tokens-per-node", type=int, default=32)
-    sweep.add_argument("--workload", default="point",
-                       choices=["point", "uniform", "half-nodes", "gradient"])
+    sweep.add_argument("--workload", default="point", choices=sorted(WORKLOADS))
     sweep.add_argument("--continuous", default="fos",
                        choices=["fos", "sos", "periodic-matching", "random-matching"])
+    sweep.add_argument("--backend", default="auto", choices=list(BACKEND_KINDS),
+                       help="load-state backend (array = vectorized fast path)")
+    sweep.add_argument("--rng-mode", default="sequential", choices=list(RNG_MODES),
+                       help="randomized-draw mode; 'counter' makes sharded and "
+                            "serial runs draw bit-identical randomness")
     sweep.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3, 4, 5])
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="shard the per-seed runs over a process pool")
+    sweep.add_argument("--legacy-seeding", action="store_true",
+                       help="reuse one integer for topology/workload/schedule/"
+                            "algorithm randomness (the historical, correlated "
+                            "behaviour)")
+
+    grid = subparsers.add_parser(
+        "grid", help="sharded sweep grid: algorithms x topologies x seeds")
+    grid.add_argument("--algorithms", nargs="+", required=True,
+                      choices=list(ALL_ALGORITHMS))
+    grid.add_argument("--topologies", nargs="+", default=["torus:64"],
+                      help="grid cells as 'family' or 'family:size' "
+                           "(e.g. torus:64 cycle:16); bare names use --nodes")
+    grid.add_argument("--nodes", type=int, default=64,
+                      help="default size for bare --topologies entries")
+    grid.add_argument("--tokens-per-node", type=int, default=32)
+    grid.add_argument("--workload", default="point", choices=sorted(WORKLOADS))
+    grid.add_argument("--continuous", default="fos",
+                      choices=["fos", "sos", "periodic-matching", "random-matching"])
+    grid.add_argument("--backend", default="auto", choices=list(BACKEND_KINDS),
+                      help="load-state backend (array = vectorized fast path)")
+    grid.add_argument("--rng-mode", default="sequential", choices=list(RNG_MODES),
+                      help="randomized-draw mode; 'counter' makes sharded and "
+                           "serial runs draw bit-identical randomness")
+    grid.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3, 4, 5])
+    grid.add_argument("--workers", type=int, default=None,
+                      help="process-pool size (default: one per core); the grid "
+                           "is sharded at (cell, seed) granularity")
+    grid.add_argument("--legacy-seeding", action="store_true",
+                      help="reuse one integer seed per run for every component")
 
     audit = subparsers.add_parser(
         "audit", help="run a flow-imitation algorithm and check the paper's invariants each round")
@@ -186,7 +231,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .core.algorithm1 import theorem3_discrepancy_bound
         from .dynamic.metrics import recovery_report, summarize_dynamic
         from .simulation.reporting import rows_to_csv
-        from .simulation.scenario import DynamicScenario, run_dynamic_scenario
+        from .simulation.scenario import (
+            DynamicScenario,
+            expand_seeds,
+            run_dynamic_grid,
+            run_dynamic_scenario,
+        )
 
         scenario = DynamicScenario(
             name=f"cli-{args.scenario}", algorithm=args.algorithm,
@@ -196,26 +246,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backend=args.backend, max_task_weight=args.max_task_weight,
             rng_mode=args.rng_mode,
         )
-        result = run_dynamic_scenario(scenario)
-        band = theorem3_discrepancy_bound(result.max_degree, result.max_task_weight)
-        summary = summarize_dynamic(result, band)
-        row = {"scenario": args.scenario, **result.as_dict(), **summary}
+        if args.seeds:
+            scenarios = expand_seeds(scenario, args.seeds)
+            results = run_dynamic_grid(scenarios, workers=args.workers)
+        else:
+            scenarios = [scenario]
+            results = [run_dynamic_scenario(scenario)]
+        rows = []
+        for cell, result in zip(scenarios, results):
+            band = theorem3_discrepancy_bound(result.max_degree,
+                                              result.max_task_weight)
+            summary = summarize_dynamic(result, band, start=args.warmup)
+            rows.append({"scenario": args.scenario, "seed": cell.seed,
+                         **result.as_dict(), **summary})
+        first = results[0]
         print(f"dynamic '{args.scenario}' stream: {args.algorithm} on "
-              f"{result.network_name} ({result.num_nodes} nodes after "
-              f"{result.rounds} rounds, continuous={args.continuous}, "
-              f"backend={args.backend})")
-        print(format_table([row], columns=["scenario", "algorithm", "n", "rounds",
-                                           "events", "arrivals", "departures",
-                                           "recouplings", "steady_state", "band",
-                                           "time_in_band", "max_min"]))
-        for burst in recovery_report(result, band):
-            recovered = burst["recovery_time"]
-            recovery = (f"recovered in {recovered} rounds"
-                        if recovered is not None else "did NOT recover")
-            print(f"  burst at round {burst['round']}: peak discrepancy "
-                  f"{burst['peak']:.1f}, {recovery} (band {band:.1f})")
+              f"{first.network_name} ({first.num_nodes} nodes after "
+              f"{first.rounds} rounds, continuous={args.continuous}, "
+              f"backend={args.backend}, {len(results)} seed(s))")
+        print(format_table(rows, columns=["scenario", "seed", "algorithm", "n",
+                                          "rounds", "events", "arrivals",
+                                          "departures", "recouplings",
+                                          "steady_state", "band",
+                                          "time_in_band", "max_min"]))
+        for cell, result, row in zip(scenarios, results, rows):
+            for burst in recovery_report(result, row["band"]):
+                recovered = burst["recovery_time"]
+                recovery = (f"recovered in {recovered} rounds"
+                            if recovered is not None else "did NOT recover")
+                print(f"  seed {cell.seed}, burst at round {burst['round']}: "
+                      f"peak discrepancy {burst['peak']:.1f}, {recovery} "
+                      f"(band {row['band']:.1f})")
         if args.csv:
-            rows_to_csv([row], args.csv)
+            rows_to_csv(rows, args.csv)
             print(f"wrote {args.csv}")
     elif args.command == "sweep":
         from .simulation.sweep import SweepConfiguration, run_sweep
@@ -223,10 +286,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         configuration = SweepConfiguration(
             algorithm=args.algorithm, topology=args.topology, num_nodes=args.nodes,
             tokens_per_node=args.tokens_per_node, workload=args.workload,
-            continuous_kind=args.continuous,
+            continuous_kind=args.continuous, backend=args.backend,
+            rng_mode=args.rng_mode,
         )
-        result = run_sweep(configuration, seeds=args.seeds)
+        result = run_sweep(configuration, seeds=args.seeds, workers=args.workers,
+                           legacy_seeding=args.legacy_seeding)
         print(format_table([result.as_row()]))
+    elif args.command == "grid":
+        from .simulation.parallel import parallel_grid_sweep
+        from .simulation.sweep import SweepConfiguration
+
+        pairs = []
+        for entry in args.topologies:
+            family, _, size = entry.partition(":")
+            try:
+                pairs.append((family, int(size) if size else args.nodes))
+            except ValueError:
+                parser.error(f"invalid --topologies entry {entry!r}: expected "
+                             f"'family' or 'family:size' with an integer size")
+        configurations = [
+            SweepConfiguration(
+                algorithm=algorithm, topology=topology, num_nodes=size,
+                tokens_per_node=args.tokens_per_node, workload=args.workload,
+                continuous_kind=args.continuous, backend=args.backend,
+                rng_mode=args.rng_mode,
+            )
+            for topology, size in pairs
+            for algorithm in args.algorithms
+        ]
+        # Always the sharded path: --workers defaults to one per core here
+        # (run_cells resolves None), unlike the library grid_sweep whose
+        # default stays serial.
+        results = parallel_grid_sweep(configurations, seeds=args.seeds,
+                                      workers=args.workers,
+                                      legacy_seeding=args.legacy_seeding)
+        print(format_table([result.as_row() for result in results]))
     elif args.command == "audit":
         from .continuous.fos import FirstOrderDiffusion
         from .core.algorithm1 import DeterministicFlowImitation

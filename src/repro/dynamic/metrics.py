@@ -104,7 +104,10 @@ def recovery_report(result: RunResult, band: float,
         raise ExperimentError(
             "recovery_report needs a dynamic result with traces and a timeline")
     trace = result.trace_max_min
-    rounds = burst_rounds(result.event_timeline, tag=tag)
+    # Two burst events landing on the same round are one disturbance as far
+    # as recovery is concerned; without the dedupe the duplicated round makes
+    # ``horizon == event_round``, the peak window empty and the peak NaN.
+    rounds = sorted(dict.fromkeys(burst_rounds(result.event_timeline, tag=tag)))
     reports: List[Dict[str, object]] = []
     for position, event_round in enumerate(rounds):
         horizon = rounds[position + 1] if position + 1 < len(rounds) else len(trace) - 1
@@ -127,10 +130,18 @@ def recovery_report(result: RunResult, band: float,
 
 
 def summarize_dynamic(result: RunResult, band: float, window: int = 50,
-                      tag: str = "burst") -> Dict[str, object]:
-    """One-row summary of a dynamic run (used by the CLI and the benchmarks)."""
+                      tag: str = "burst", start: int = 0) -> Dict[str, object]:
+    """One-row summary of a dynamic run (used by the CLI and the benchmarks).
+
+    ``start`` discards the first ``start`` trace entries from the
+    ``time_in_band`` fraction — the warm-up prefix of a stream (e.g. the
+    initial point-load transient) is about the starting condition, not the
+    steady-state behaviour, and counting it dilutes the fraction.
+    """
     if result.trace_max_min is None:
         raise ExperimentError("summarize_dynamic needs a result with trace_max_min")
+    if start < 0:
+        raise ExperimentError("start (the warm-up prefix) must be non-negative")
     trace = result.trace_max_min
     reports = recovery_report(result, band, tag=tag) if result.event_timeline else []
     recoveries = [entry["recovery_time"] for entry in reports
@@ -138,7 +149,7 @@ def summarize_dynamic(result: RunResult, band: float, window: int = 50,
     summary: Dict[str, object] = {
         "band": float(band),
         "steady_state": steady_state_discrepancy(trace, window=window),
-        "time_in_band": time_in_band(trace, band),
+        "time_in_band": time_in_band(trace, band, start=start),
         "final_max_min": result.final_max_min,
         "bursts": len(reports),
         "recovered_bursts": len(recoveries),

@@ -15,16 +15,30 @@ from .engine import (
     run_algorithm,
 )
 from .locality import DisplacementSummary, summarize_displacements, task_displacements
+from .parallel import (
+    CellOutcome,
+    GridCell,
+    parallel_dynamic_grid,
+    parallel_grid_sweep,
+    parallel_scenario_grid,
+    parallel_sweep,
+    run_cells,
+)
 from .results import RunResult
 from .scenario import (
     DynamicScenario,
     Scenario,
+    expand_seeds,
     load_dynamic_scenario,
     load_scenario,
+    run_dynamic_grid,
     run_dynamic_scenario,
     run_scenario,
+    run_scenario_grid,
 )
-from .sweep import SweepConfiguration, SweepResult, grid_sweep, run_sweep
+from .seeding import PurposeSeeds, purpose_seeds
+from .sweep import SweepConfiguration, SweepResult, grid_sweep, run_sweep, run_sweep_cell
+from .workloads import WORKLOADS
 from . import experiments, reporting
 
 __all__ = [
@@ -36,11 +50,25 @@ __all__ = [
     "load_scenario",
     "load_dynamic_scenario",
     "run_scenario",
+    "run_scenario_grid",
     "run_dynamic_scenario",
+    "run_dynamic_grid",
+    "expand_seeds",
     "SweepConfiguration",
     "SweepResult",
     "grid_sweep",
     "run_sweep",
+    "run_sweep_cell",
+    "WORKLOADS",
+    "PurposeSeeds",
+    "purpose_seeds",
+    "GridCell",
+    "CellOutcome",
+    "run_cells",
+    "parallel_sweep",
+    "parallel_grid_sweep",
+    "parallel_scenario_grid",
+    "parallel_dynamic_grid",
     "reporting",
     "ALL_ALGORITHMS",
     "BACKEND_KINDS",

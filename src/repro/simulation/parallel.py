@@ -1,0 +1,279 @@
+"""Sharded process-pool driver for sweep and scenario grids.
+
+Seed x configuration grids are embarrassingly parallel: every (cell, seed)
+run is a pure function of a small, picklable spec — a
+:class:`~repro.simulation.sweep.SweepConfiguration` plus a seed, a
+:class:`~repro.simulation.scenario.Scenario`, or a
+:class:`~repro.simulation.scenario.DynamicScenario`.  This module shards a
+grid of such cells across a :class:`~concurrent.futures.ProcessPoolExecutor`
+and merges the per-run :class:`~repro.simulation.results.RunResult`s back in
+grid order, **bit-identically** to the serial path:
+
+* every worker executes exactly the same per-cell function the serial loop
+  uses (:func:`repro.simulation.sweep.run_sweep_cell`,
+  :func:`~repro.simulation.scenario.run_scenario`,
+  :func:`~repro.simulation.scenario.run_dynamic_scenario`);
+* per-purpose seed derivation (:mod:`repro.simulation.seeding`) makes each
+  run a pure function of its spec — nothing depends on which worker runs it
+  or in what order;
+* for randomized algorithms, ``rng_mode="counter"`` keys every draw on
+  ``(seed, round, edge-or-node)`` so trajectories are exactly reproducible
+  regardless of scheduling.
+
+Results come back wrapped in :class:`CellOutcome` envelopes carrying
+per-cell wall-clock timing and the worker pid, so drivers (and the
+``parallel`` benchmark suite) can report scaling and load-balance without
+touching the :class:`RunResult` payloads being merged.
+
+Dispatch is chunked: cells are handed to workers ``chunksize`` at a time
+(default: about four chunks per worker) to amortise pickling overhead while
+keeping the queue fine-grained enough that one slow cell does not serialise
+the grid.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..exceptions import ExperimentError
+from .results import RunResult
+from .scenario import DynamicScenario, Scenario, run_dynamic_scenario, run_scenario
+from .sweep import SweepConfiguration, SweepResult, run_sweep_cell
+
+__all__ = [
+    "GridCell",
+    "CellOutcome",
+    "default_workers",
+    "run_cells",
+    "parallel_sweep",
+    "parallel_grid_sweep",
+    "parallel_scenario_grid",
+    "parallel_dynamic_grid",
+    "timing_summary",
+]
+
+_SWEEP = "sweep"
+_SCENARIO = "scenario"
+_DYNAMIC = "dynamic"
+_KINDS = (_SWEEP, _SCENARIO, _DYNAMIC)
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One schedulable unit of a grid: a picklable spec plus its grid position.
+
+    ``index`` is the cell's position in the caller's grid (used to merge
+    results back in grid order); for sweep cells ``seed`` is the per-run
+    seed and the remaining fields forward the sweep options.
+    """
+
+    kind: str
+    spec: Union[SweepConfiguration, Scenario, DynamicScenario]
+    index: int
+    seed: Optional[int] = None
+    record_trace: bool = False
+    max_rounds: int = 200_000
+    legacy_seeding: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ExperimentError(
+                f"unknown grid cell kind {self.kind!r}; valid kinds: {_KINDS}")
+
+
+@dataclass
+class CellOutcome:
+    """A finished cell: its result plus scheduling metadata.
+
+    ``seconds`` is the in-worker wall-clock of the run itself (pickling and
+    queueing excluded); ``worker_pid`` identifies which pool process ran it.
+    """
+
+    cell: GridCell
+    result: RunResult
+    seconds: float
+    worker_pid: int
+
+
+def _execute_cell(cell: GridCell) -> CellOutcome:
+    """Run one cell (in a pool worker or inline) — the only execution path."""
+    start = time.perf_counter()
+    if cell.kind == _SWEEP:
+        result = run_sweep_cell(cell.spec, cell.seed,
+                                record_trace=cell.record_trace,
+                                max_rounds=cell.max_rounds,
+                                legacy_seeding=cell.legacy_seeding)
+    elif cell.kind == _SCENARIO:
+        result = run_scenario(cell.spec)
+    else:
+        result = run_dynamic_scenario(cell.spec)
+    seconds = time.perf_counter() - start
+    return CellOutcome(cell=cell, result=result, seconds=seconds,
+                       worker_pid=os.getpid())
+
+
+def _available_cores() -> int:
+    """Cores this process may actually use (affinity/cgroup aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def default_workers(num_cells: int) -> int:
+    """The default pool size: one worker per usable core, never more than cells."""
+    return max(1, min(num_cells, _available_cores()))
+
+
+def _chunksize(num_cells: int, workers: int) -> int:
+    # ~4 chunks per worker: coarse enough to amortise dispatch, fine enough
+    # that the tail of the grid still load-balances across the pool.
+    return max(1, num_cells // (workers * 4))
+
+
+def run_cells(cells: Sequence[GridCell], workers: Optional[int] = None,
+              chunksize: Optional[int] = None) -> List[CellOutcome]:
+    """Execute a list of grid cells, sharded across a process pool.
+
+    Returns one :class:`CellOutcome` per cell **in input order** regardless
+    of completion order (the contract that makes merges deterministic).
+    ``workers=None`` uses one worker per available core; ``workers=1`` runs
+    serially in-process, which is also the fallback for single-cell grids.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    if workers is not None and workers < 1:
+        raise ExperimentError("workers must be at least 1")
+    if workers is None:
+        workers = default_workers(len(cells))
+    workers = min(workers, len(cells))
+    if workers == 1:
+        return [_execute_cell(cell) for cell in cells]
+    if chunksize is None:
+        chunksize = _chunksize(len(cells), workers)
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(_execute_cell, cells, chunksize=chunksize))
+
+
+def timing_summary(outcomes: Sequence[CellOutcome]) -> Dict[str, object]:
+    """Aggregate per-cell timings: totals, extremes and per-worker load."""
+    if not outcomes:
+        return {"cells": 0, "busy_seconds": 0.0, "workers_used": 0}
+    seconds = [outcome.seconds for outcome in outcomes]
+    by_worker: Dict[int, float] = {}
+    for outcome in outcomes:
+        by_worker[outcome.worker_pid] = by_worker.get(outcome.worker_pid, 0.0) \
+            + outcome.seconds
+    return {
+        "cells": len(outcomes),
+        "busy_seconds": round(sum(seconds), 4),
+        "max_cell_seconds": round(max(seconds), 4),
+        "min_cell_seconds": round(min(seconds), 4),
+        "workers_used": len(by_worker),
+        "per_worker_busy_seconds": [round(value, 4)
+                                    for value in sorted(by_worker.values())],
+    }
+
+
+# ---------------------------------------------------------------------- #
+# sweep grids
+# ---------------------------------------------------------------------- #
+
+
+def sweep_cells(configurations: Sequence[SweepConfiguration],
+                seeds: Sequence[int], record_trace: bool = False,
+                max_rounds: int = 200_000,
+                legacy_seeding: bool = False) -> List[GridCell]:
+    """Flatten a configuration x seed grid into schedulable cells."""
+    if not seeds:
+        raise ExperimentError("at least one seed is required")
+    return [
+        GridCell(kind=_SWEEP, spec=configuration, index=index, seed=seed,
+                 record_trace=record_trace, max_rounds=max_rounds,
+                 legacy_seeding=legacy_seeding)
+        for index, configuration in enumerate(configurations)
+        for seed in seeds
+    ]
+
+
+def _merge_sweeps(configurations: Sequence[SweepConfiguration],
+                  outcomes: Sequence[CellOutcome]) -> List[SweepResult]:
+    """Group run results back into one SweepResult per configuration.
+
+    ``run_cells`` returns outcomes in cell order (configuration-major, seed
+    order within a configuration), so appending in sequence reproduces the
+    exact run order of the serial path.
+    """
+    results = [SweepResult(configuration=configuration)
+               for configuration in configurations]
+    for outcome in outcomes:
+        results[outcome.cell.index].runs.append(outcome.result)
+    return results
+
+
+def parallel_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
+                   workers: Optional[int] = None, record_trace: bool = False,
+                   max_rounds: int = 200_000,
+                   legacy_seeding: bool = False) -> SweepResult:
+    """Sharded :func:`~repro.simulation.sweep.run_sweep`: one cell per seed.
+
+    Bit-identical to ``run_sweep(configuration, seeds, ...)`` for every
+    worker count — the pool executes the same :func:`run_sweep_cell` calls
+    and the merge preserves seed order.
+    """
+    cells = sweep_cells([configuration], seeds, record_trace=record_trace,
+                        max_rounds=max_rounds, legacy_seeding=legacy_seeding)
+    outcomes = run_cells(cells, workers=workers)
+    return _merge_sweeps([configuration], outcomes)[0]
+
+
+def parallel_grid_sweep(configurations: Sequence[SweepConfiguration],
+                        seeds: Sequence[int], workers: Optional[int] = None,
+                        legacy_seeding: bool = False) -> List[SweepResult]:
+    """Shard a whole configuration grid at (cell, seed) granularity.
+
+    All ``len(configurations) * len(seeds)`` runs share one work queue, so a
+    single expensive cell cannot serialise the grid the way per-cell
+    parallelism would.  Results come back as one
+    :class:`~repro.simulation.sweep.SweepResult` per configuration, in
+    configuration order, bit-identical to the serial nested loop.
+    """
+    configurations = list(configurations)
+    cells = sweep_cells(configurations, seeds, legacy_seeding=legacy_seeding)
+    outcomes = run_cells(cells, workers=workers)
+    return _merge_sweeps(configurations, outcomes)
+
+
+# ---------------------------------------------------------------------- #
+# scenario grids
+# ---------------------------------------------------------------------- #
+
+
+def _scenario_grid(kind: str, scenarios, workers: Optional[int]) -> List[RunResult]:
+    cells = [GridCell(kind=kind, spec=scenario, index=index)
+             for index, scenario in enumerate(scenarios)]
+    return [outcome.result for outcome in run_cells(cells, workers=workers)]
+
+
+def parallel_scenario_grid(scenarios: Sequence[Scenario],
+                           workers: Optional[int] = None) -> List[RunResult]:
+    """Run a list of static scenarios across a process pool (input order)."""
+    return _scenario_grid(_SCENARIO, scenarios, workers)
+
+
+def parallel_dynamic_grid(scenarios: Sequence[DynamicScenario],
+                          workers: Optional[int] = None) -> List[RunResult]:
+    """Run a list of dynamic scenarios across a process pool (input order).
+
+    The per-scenario trajectories (``trace_max_min`` etc.) are bit-identical
+    to serial :func:`~repro.simulation.scenario.run_dynamic_scenario` calls;
+    with ``rng_mode="counter"`` this holds exactly for the randomized
+    algorithms too, which is what makes many-seed recovery-time statistics
+    cheap to scale out.
+    """
+    return _scenario_grid(_DYNAMIC, scenarios, workers)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -29,6 +29,7 @@ from ..network.graph import Network
 from ..tasks import generators
 from .engine import ALL_ALGORITHMS, BACKEND_KINDS, CONTINUOUS_KINDS, RNG_MODES, run_algorithm
 from .results import RunResult
+from .workloads import WORKLOADS
 
 __all__ = [
     "Scenario",
@@ -36,7 +37,10 @@ __all__ = [
     "load_scenario",
     "load_dynamic_scenario",
     "run_scenario",
+    "run_scenario_grid",
     "run_dynamic_scenario",
+    "run_dynamic_grid",
+    "expand_seeds",
 ]
 
 #: Speed profiles selectable by name.
@@ -50,20 +54,9 @@ _SPEED_PROFILES = {
     "degree": lambda network, seed: generators.proportional_to_degree_speeds(network),
 }
 
-#: Workload generators selectable by name (integer token loads).
-_WORKLOADS = {
-    "point": lambda network, tokens, seed: generators.point_load(
-        network, tokens * network.num_nodes),
-    "two-point": lambda network, tokens, seed: generators.two_point_load(
-        network, tokens * network.num_nodes),
-    "uniform": lambda network, tokens, seed: generators.uniform_random_load(
-        network, tokens * network.num_nodes, seed=seed),
-    "half-nodes": lambda network, tokens, seed: generators.half_nodes_load(
-        network, 2 * tokens, seed=seed),
-    "gradient": lambda network, tokens, seed: generators.linear_gradient_load(
-        network, 2 * tokens),
-    "balanced": lambda network, tokens, seed: generators.balanced_load(network, tokens),
-}
+#: Workload generators selectable by name — the shared registry, so scenarios
+#: and sweeps accept exactly the same workload names.
+_WORKLOADS = WORKLOADS
 
 
 # ---------------------------------------------------------------------- #
@@ -379,3 +372,48 @@ def run_dynamic_scenario(scenario: DynamicScenario) -> RunResult:
         backend=scenario.backend,
         rng_mode=scenario.rng_mode,
     )
+
+
+# ---------------------------------------------------------------------- #
+# scenario grids (sharded across workers)
+# ---------------------------------------------------------------------- #
+
+
+def expand_seeds(scenario, seeds: Sequence[int]) -> List:
+    """Replicate a scenario once per seed (names suffixed ``-s{seed}``).
+
+    Works for both :class:`Scenario` and :class:`DynamicScenario`; the
+    replicas are the natural grid for many-seed statistics (e.g. recovery
+    times per spectral-gap point) and feed directly into
+    :func:`run_scenario_grid` / :func:`run_dynamic_grid`.
+    """
+    if not seeds:
+        raise ExperimentError("at least one seed is required")
+    return [replace(scenario, name=f"{scenario.name}-s{seed}", seed=int(seed))
+            for seed in seeds]
+
+
+def run_scenario_grid(scenarios: Sequence[Scenario],
+                      workers: Optional[int] = None) -> List[RunResult]:
+    """Run several static scenarios, sharded across ``workers`` processes.
+
+    ``workers=None`` uses one worker per available core; results come back
+    in input order, bit-identical to serial :func:`run_scenario` calls.
+    """
+    from .parallel import parallel_scenario_grid
+
+    return parallel_scenario_grid(scenarios, workers=workers)
+
+
+def run_dynamic_grid(scenarios: Sequence[DynamicScenario],
+                     workers: Optional[int] = None) -> List[RunResult]:
+    """Run several dynamic scenarios, sharded across ``workers`` processes.
+
+    ``workers=None`` uses one worker per available core; trajectories come
+    back in input order, bit-identical to serial
+    :func:`run_dynamic_scenario` calls (exactly so for randomized algorithms
+    under ``rng_mode="counter"``).
+    """
+    from .parallel import parallel_dynamic_grid
+
+    return parallel_dynamic_grid(scenarios, workers=workers)

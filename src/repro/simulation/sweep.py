@@ -7,6 +7,19 @@ topology, workload, substrate); :func:`run_sweep` executes it over several
 seeds and returns a :class:`SweepResult` with per-metric
 :class:`~repro.analysis.aggregate.SampleStatistics`.
 
+Each (cell, seed) run derives **independent child seeds** for the topology
+sample, the workload placement, the matching schedule and the algorithm's
+internal randomness via :mod:`repro.simulation.seeding` — reusing one integer
+for all four (the historical behaviour, still available as
+``legacy_seeding=True``) correlates components that the experiment design
+treats as independent.
+
+Sweeps are embarrassingly parallel across (cell, seed) pairs: pass
+``workers=N`` to :func:`run_sweep` / :func:`grid_sweep` to shard the runs
+over a process pool (:mod:`repro.simulation.parallel`).  The merge is
+bit-identical to the serial path because every run is a pure function of its
+cell and seed.
+
 The benchmarks use single representative seeds for speed; the sweep API is
 what a user would reach for to put error bars on the tables.
 """
@@ -14,35 +27,24 @@ what a user would reach for to put error bars on the tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.aggregate import SampleStatistics, summarize_samples
 from ..exceptions import ExperimentError
 from ..network import topologies
-from ..network.graph import Network
-from ..tasks.generators import (
-    half_nodes_load,
-    linear_gradient_load,
-    point_load,
-    uniform_random_load,
-)
-from .engine import ALL_ALGORITHMS, run_algorithm
+from .engine import ALL_ALGORITHMS, BACKEND_KINDS, RNG_MODES, make_schedule, run_algorithm
 from .results import RunResult
+from .seeding import purpose_seeds
+from .workloads import WORKLOADS
 
-__all__ = ["SweepConfiguration", "SweepResult", "run_sweep", "grid_sweep"]
-
-#: Built-in workload generators selectable by name in a sweep configuration.
-WORKLOADS: Dict[str, Callable[[Network, int, Optional[int]], np.ndarray]] = {
-    "point": lambda network, tokens, seed: point_load(network, tokens * network.num_nodes),
-    "uniform": lambda network, tokens, seed: uniform_random_load(
-        network, tokens * network.num_nodes, seed=seed),
-    "half-nodes": lambda network, tokens, seed: half_nodes_load(
-        network, 2 * tokens, seed=seed),
-    "gradient": lambda network, tokens, seed: linear_gradient_load(
-        network, 2 * tokens),
-}
+__all__ = [
+    "WORKLOADS",
+    "SweepConfiguration",
+    "SweepResult",
+    "run_sweep",
+    "run_sweep_cell",
+    "grid_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -60,11 +62,17 @@ class SweepConfiguration:
     tokens_per_node:
         Average workload density.
     workload:
-        One of :data:`WORKLOADS` (``"point"``, ``"uniform"``, ``"half-nodes"``,
-        ``"gradient"``).
+        One of :data:`~repro.simulation.workloads.WORKLOADS` (``"point"``,
+        ``"two-point"``, ``"uniform"``, ``"half-nodes"``, ``"gradient"``,
+        ``"balanced"``).
     continuous_kind:
         The continuous substrate ("fos", "sos", "periodic-matching",
         "random-matching").
+    backend:
+        Load-state backend ("auto", "object", "array"); see :mod:`repro.backend`.
+    rng_mode:
+        How randomized processes draw ("sequential", or the order-free
+        "counter" mode of :mod:`repro.counter_rng`).
     """
 
     algorithm: str
@@ -73,6 +81,8 @@ class SweepConfiguration:
     tokens_per_node: int = 32
     workload: str = "point"
     continuous_kind: str = "fos"
+    backend: str = "auto"
+    rng_mode: str = "sequential"
 
     def label(self) -> str:
         """A compact human-readable label for tables."""
@@ -126,52 +136,114 @@ class SweepResult:
         }
 
 
-def run_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
-              record_trace: bool = False, max_rounds: int = 200_000) -> SweepResult:
-    """Run one configuration once per seed and aggregate the results.
-
-    The seed controls the topology sample (for random families), the workload
-    placement, the matching schedule and the algorithm's internal randomness,
-    so repeated sweeps with the same seeds are fully reproducible.
-    """
+def _validate_configuration(configuration: SweepConfiguration) -> None:
     if configuration.algorithm not in ALL_ALGORITHMS:
         raise ExperimentError(f"unknown algorithm {configuration.algorithm!r}")
     if configuration.workload not in WORKLOADS:
         raise ExperimentError(
             f"unknown workload {configuration.workload!r}; valid: {sorted(WORKLOADS)}"
         )
+    if configuration.backend not in BACKEND_KINDS:
+        raise ExperimentError(
+            f"unknown backend {configuration.backend!r}; valid: {BACKEND_KINDS}")
+    if configuration.rng_mode not in RNG_MODES:
+        raise ExperimentError(
+            f"unknown rng mode {configuration.rng_mode!r}; valid: {RNG_MODES}")
+
+
+def run_sweep_cell(configuration: SweepConfiguration, seed: int,
+                   record_trace: bool = False, max_rounds: int = 200_000,
+                   legacy_seeding: bool = False) -> RunResult:
+    """Execute one (configuration, seed) run — the unit of sweep sharding.
+
+    This is the pure function both the serial loop of :func:`run_sweep` and
+    the process-pool workers of :mod:`repro.simulation.parallel` call, which
+    is what makes parallel merges bit-identical to serial ones.  The seed
+    spawns independent child streams for the topology, the workload, the
+    matching schedule and the algorithm (see
+    :mod:`repro.simulation.seeding`); ``legacy_seeding=True`` restores the
+    historical single-integer reuse.
+    """
+    _validate_configuration(configuration)
+    seeds = purpose_seeds(seed, legacy=legacy_seeding)
+    network = topologies.named_topology(
+        configuration.topology, configuration.num_nodes, seed=seeds.topology)
+    load = WORKLOADS[configuration.workload](
+        network, configuration.tokens_per_node, seeds.workload)
+    schedule = make_schedule(configuration.continuous_kind, network,
+                             seed=seeds.schedule)
+    return run_algorithm(
+        configuration.algorithm,
+        network,
+        initial_load=load,
+        continuous_kind=configuration.continuous_kind,
+        schedule=schedule,
+        seed=seeds.algorithm,
+        record_trace=record_trace,
+        max_rounds=max_rounds,
+        backend=configuration.backend,
+        rng_mode=configuration.rng_mode,
+    )
+
+
+def run_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
+              record_trace: bool = False, max_rounds: int = 200_000,
+              legacy_seeding: bool = False,
+              workers: Optional[int] = None) -> SweepResult:
+    """Run one configuration once per seed and aggregate the results.
+
+    Each seed spawns independent child streams for the topology sample (for
+    random families), the workload placement, the matching schedule and the
+    algorithm's internal randomness, so repeated sweeps with the same seeds
+    are fully reproducible and the components stay uncorrelated across
+    seeds.  ``legacy_seeding=True`` restores the historical behaviour of
+    passing the same integer to every component.
+
+    ``workers`` shards the per-seed runs over a process pool (``None`` or 1
+    runs serially in-process); the merged result is bit-identical either way.
+    """
+    _validate_configuration(configuration)
     if not seeds:
         raise ExperimentError("at least one seed is required")
+    if workers is not None and workers > 1:
+        from .parallel import parallel_sweep
+
+        return parallel_sweep(configuration, seeds, workers=workers,
+                              record_trace=record_trace, max_rounds=max_rounds,
+                              legacy_seeding=legacy_seeding)
     result = SweepResult(configuration=configuration)
     for seed in seeds:
-        network = topologies.named_topology(
-            configuration.topology, configuration.num_nodes, seed=seed)
-        load = WORKLOADS[configuration.workload](
-            network, configuration.tokens_per_node, seed)
-        run = run_algorithm(
-            configuration.algorithm,
-            network,
-            initial_load=load,
-            continuous_kind=configuration.continuous_kind,
-            seed=seed,
-            record_trace=record_trace,
-            max_rounds=max_rounds,
-        )
-        result.runs.append(run)
+        result.runs.append(
+            run_sweep_cell(configuration, seed, record_trace=record_trace,
+                           max_rounds=max_rounds, legacy_seeding=legacy_seeding))
     return result
 
 
 def grid_sweep(algorithms: Sequence[str], topologies_and_sizes: Sequence[Sequence],
                seeds: Sequence[int], tokens_per_node: int = 32,
-               workload: str = "point", continuous_kind: str = "fos") -> List[SweepResult]:
-    """Run the cross product of algorithms and (topology, size) pairs."""
-    results: List[SweepResult] = []
-    for topology, size in topologies_and_sizes:
-        for algorithm in algorithms:
-            configuration = SweepConfiguration(
-                algorithm=algorithm, topology=topology, num_nodes=int(size),
-                tokens_per_node=tokens_per_node, workload=workload,
-                continuous_kind=continuous_kind,
-            )
-            results.append(run_sweep(configuration, seeds))
-    return results
+               workload: str = "point", continuous_kind: str = "fos",
+               legacy_seeding: bool = False,
+               workers: Optional[int] = None) -> List[SweepResult]:
+    """Run the cross product of algorithms and (topology, size) pairs.
+
+    With ``workers`` the whole grid is sharded at (cell, seed) granularity —
+    one queue of runs across all cells, so a slow cell does not serialise
+    the grid — and merged back per configuration, bit-identically to the
+    serial path.
+    """
+    configurations = [
+        SweepConfiguration(
+            algorithm=algorithm, topology=topology, num_nodes=int(size),
+            tokens_per_node=tokens_per_node, workload=workload,
+            continuous_kind=continuous_kind,
+        )
+        for topology, size in topologies_and_sizes
+        for algorithm in algorithms
+    ]
+    if workers is not None and workers > 1:
+        from .parallel import parallel_grid_sweep
+
+        return parallel_grid_sweep(configurations, seeds, workers=workers,
+                                   legacy_seeding=legacy_seeding)
+    return [run_sweep(configuration, seeds, legacy_seeding=legacy_seeding)
+            for configuration in configurations]

@@ -1,0 +1,39 @@
+"""The shared workload registry used by sweeps, scenarios and the CLI.
+
+Historically :mod:`repro.simulation.sweep` and :mod:`repro.simulation.scenario`
+each kept their own name -> generator table and the two drifted apart: the
+sweep table lacked ``two-point`` and ``balanced``.  Both entry points now
+select from this single registry, so every workload name means the same thing
+everywhere (and new workloads only need to be registered once).
+
+Every generator has the uniform signature ``(network, tokens_per_node, seed)``
+and returns an integer token vector; deterministic workloads simply ignore
+the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..network.graph import Network
+from ..tasks import generators
+
+__all__ = ["WORKLOADS"]
+
+#: Workload generators selectable by name (integer token loads).
+WORKLOADS: Dict[str, Callable[[Network, int, Optional[int]], np.ndarray]] = {
+    "point": lambda network, tokens, seed: generators.point_load(
+        network, tokens * network.num_nodes),
+    "two-point": lambda network, tokens, seed: generators.two_point_load(
+        network, tokens * network.num_nodes),
+    "uniform": lambda network, tokens, seed: generators.uniform_random_load(
+        network, tokens * network.num_nodes, seed=seed),
+    "half-nodes": lambda network, tokens, seed: generators.half_nodes_load(
+        network, 2 * tokens, seed=seed),
+    "gradient": lambda network, tokens, seed: generators.linear_gradient_load(
+        network, 2 * tokens),
+    "balanced": lambda network, tokens, seed: generators.balanced_load(
+        network, tokens),
+}

@@ -104,3 +104,58 @@ class TestTimelineHelpers:
         result.trace_max_min = None
         with pytest.raises(ExperimentError):
             summarize_dynamic(result, band=10.0)
+
+
+class TestSameRoundBursts:
+    """Regression: two bursts on one round used to make the peak window empty."""
+
+    def double_burst(self, round_index):
+        entry = {"round": round_index, "kind": "arrival", "tokens": 25,
+                 "tag": "burst", "applied": True}
+        return [dict(entry), dict(entry)]
+
+    def test_same_round_bursts_are_one_disturbance(self):
+        trace = [2.0] * 4 + [40.0, 15.0, 8.0] + [2.0] * 4
+        result = make_result(trace, self.double_burst(3))
+        reports = recovery_report(result, band=10.0)
+        assert len(reports) == 1
+        assert reports[0]["peak"] == 40.0  # was NaN before the dedupe
+        assert reports[0]["recovery_time"] == 3
+
+    def test_same_round_bursts_out_of_order_timeline(self):
+        trace = [2.0] * 4 + [40.0, 8.0] + [2.0] * 3 + [30.0, 7.0]
+        timeline = self.double_burst(8)[:1] + self.double_burst(3)
+        result = make_result(trace, timeline)
+        reports = recovery_report(result, band=10.0)
+        assert [entry["round"] for entry in reports] == [3, 8]
+        assert [entry["peak"] for entry in reports] == [40.0, 30.0]
+
+    def test_burst_on_final_round_has_empty_window(self):
+        # A burst applied at the last recorded round has no post-event state:
+        # the peak is NaN by contract and the burst cannot have recovered.
+        import math
+
+        trace = [2.0, 2.0, 2.0]
+        result = make_result(trace, self.double_burst(2))
+        reports = recovery_report(result, band=10.0)
+        assert len(reports) == 1
+        assert math.isnan(reports[0]["peak"])
+        assert reports[0]["recovery_time"] is None
+
+
+class TestWarmupStart:
+    TIMELINE = []
+
+    def test_time_in_band_excludes_warmup_prefix(self):
+        # Point-load start: 4 out-of-band warm-up entries, then in-band.
+        trace = [50.0] * 4 + [2.0] * 12
+        result = make_result(trace, [])
+        diluted = summarize_dynamic(result, band=10.0)
+        steady = summarize_dynamic(result, band=10.0, start=4)
+        assert diluted["time_in_band"] == 0.75
+        assert steady["time_in_band"] == 1.0
+
+    def test_negative_start_rejected(self):
+        result = make_result([1.0, 2.0], [])
+        with pytest.raises(ExperimentError):
+            summarize_dynamic(result, band=10.0, start=-1)

@@ -86,6 +86,63 @@ class TestCommands:
         assert "burst at round" in output
         assert csv_path.exists()
 
+    def test_sweep_command_with_workers(self, capsys):
+        exit_code = main(["sweep", "--algorithm", "algorithm2", "--topology", "torus",
+                          "--nodes", "16", "--tokens-per-node", "8",
+                          "--seeds", "1", "2", "3", "--workers", "2",
+                          "--rng-mode", "counter"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "algorithm2" in output
+        assert "max_min_mean" in output
+
+    def test_sweep_command_accepts_shared_registry_workloads(self, capsys):
+        exit_code = main(["sweep", "--algorithm", "algorithm1", "--topology", "cycle",
+                          "--nodes", "8", "--tokens-per-node", "4",
+                          "--workload", "two-point", "--seeds", "1"])
+        assert exit_code == 0
+        assert "two-point" in capsys.readouterr().out
+
+    def test_sweep_command_legacy_seeding(self, capsys):
+        exit_code = main(["sweep", "--algorithm", "algorithm1", "--topology", "cycle",
+                          "--nodes", "8", "--tokens-per-node", "4",
+                          "--seeds", "1", "--legacy-seeding"])
+        assert exit_code == 0
+
+    def test_grid_command(self, capsys):
+        exit_code = main(["grid", "--algorithms", "round-down", "algorithm1",
+                          "--topologies", "cycle:8", "torus:16",
+                          "--tokens-per-node", "8", "--seeds", "1", "2",
+                          "--workers", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "round-down" in output and "algorithm1" in output
+        assert "cycle" in output and "torus" in output
+
+    def test_grid_command_rejects_malformed_topology_entry(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["grid", "--algorithms", "round-down",
+                  "--topologies", "torus:4x4", "--seeds", "1"])
+        assert "invalid --topologies entry" in capsys.readouterr().err
+
+    def test_grid_command_bare_topology_uses_nodes(self, capsys):
+        exit_code = main(["grid", "--algorithms", "round-down",
+                          "--topologies", "cycle", "--nodes", "8",
+                          "--tokens-per-node", "4", "--seeds", "1"])
+        assert exit_code == 0
+        assert "cycle" in capsys.readouterr().out
+
+    def test_dynamic_seed_grid(self, capsys):
+        exit_code = main(["dynamic", "--scenario", "burst", "--algorithm", "algorithm2",
+                          "--topology", "torus", "--nodes", "16",
+                          "--tokens-per-node", "6", "--rounds", "60",
+                          "--seeds", "1", "2", "--workers", "2",
+                          "--warmup", "5", "--rng-mode", "counter"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "2 seed(s)" in output
+        assert "seed 1" in output and "seed 2" in output
+
     def test_dynamic_rejects_unknown_profile(self, capsys):
         from repro.exceptions import ExperimentError
 
