@@ -32,9 +32,7 @@ records ``BENCH_randomized.json``.  Run directly for the CI smoke checks::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
-import platform
 import sys
 import time
 
@@ -48,6 +46,7 @@ from repro.dynamic.stream import run_stream  # noqa: E402
 from repro.network import topologies  # noqa: E402
 from repro.simulation.engine import make_balancer, run_algorithm  # noqa: E402
 from repro.simulation.experiments import format_table  # noqa: E402
+from repro.store import write_benchmark_record  # noqa: E402
 from repro.tasks.generators import uniform_random_load  # noqa: E402
 from repro.tasks.weighted import (  # noqa: E402
     WeightedLoads,
@@ -215,46 +214,40 @@ def run_randomized_ladder(side=RANDOMIZED_SIDE, rounds=RANDOMIZED_ROUNDS):
     return rows
 
 
-def write_record(rows) -> pathlib.Path:
-    payload = {
-        "benchmark": "backend_speedup",
-        "description": "object vs array backend on a bursty 64-node dynamic stream",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "rows": rows,
-    }
-    RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    return RECORD_PATH
+def write_record(rows, store=None) -> pathlib.Path:
+    return write_benchmark_record(
+        "backend_speedup",
+        "object vs array backend on a bursty 64-node dynamic stream",
+        rows, RECORD_PATH, store=store,
+        config={"sizes": [row["W"] for row in rows], "rounds": ROUNDS},
+        seeds=[SEED])
 
 
-def write_weighted_record(rows) -> pathlib.Path:
-    payload = {
-        "benchmark": "weighted_backend_speedup",
-        "description": ("object vs columnar weighted backend on a bursty 64-node "
-                        "weighted stream, plus the counter-RNG excess-token "
-                        "kernel vs its scalar reference"),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "rows": rows,
-    }
-    WEIGHTED_RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    return WEIGHTED_RECORD_PATH
+def write_weighted_record(rows, store=None) -> pathlib.Path:
+    return write_benchmark_record(
+        "weighted_backend_speedup",
+        ("object vs columnar weighted backend on a bursty 64-node "
+         "weighted stream, plus the counter-RNG excess-token "
+         "kernel vs its scalar reference"),
+        rows, WEIGHTED_RECORD_PATH, store=store,
+        config={"workloads": [row["workload"] for row in rows],
+                "rounds": ROUNDS},
+        seeds=[SEED])
 
 
-def write_randomized_record(rows) -> pathlib.Path:
-    payload = {
-        "benchmark": "randomized_kernel_speedup",
-        "description": ("per-round kernel times: scalar counter-RNG references "
-                        "vs the vectorised array kernels (algorithm2 and "
-                        "randomized-rounding on a torus) plus the weighted "
-                        "round kernel (single-class fast path and "
-                        "grouped-per-sender general path)"),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "rows": rows,
-    }
-    RANDOMIZED_RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    return RANDOMIZED_RECORD_PATH
+def write_randomized_record(rows, store=None) -> pathlib.Path:
+    return write_benchmark_record(
+        "randomized_kernel_speedup",
+        ("per-round kernel times: scalar counter-RNG references "
+         "vs the vectorised array kernels (algorithm2 and "
+         "randomized-rounding on a torus) plus the weighted "
+         "round kernel (single-class fast path and "
+         "grouped-per-sender general path)"),
+        rows, RANDOMIZED_RECORD_PATH, store=store,
+        config={"kernels": [row["kernel"] for row in rows],
+                "n": rows[0]["n"] if rows else None,
+                "rounds": RANDOMIZED_ROUNDS},
+        seeds=[SEED])
 
 
 def check(rows, min_speedup: float) -> None:
@@ -330,25 +323,29 @@ def main(argv=None) -> int:
                         help="fail unless the array backend is this much faster")
     parser.add_argument("--no-record", action="store_true",
                         help="skip writing the BENCH_*.json records")
+    parser.add_argument("--store", type=pathlib.Path, default=None,
+                        help="also append the rows to this JSONL run store")
     args = parser.parse_args(argv)
     if args.suite in ("unit", "all"):
         rows = run_ladder(args.sizes)
         print(format_table(rows))
         if not args.no_record:
-            print(f"perf record written to {write_record(rows)}")
+            print(f"perf record written to {write_record(rows, args.store)}")
         check(rows, args.min_speedup)
     if args.suite in ("weighted", "all"):
         rows = run_weighted_ladder(args.weighted_sizes,
                                    include_excess=not args.skip_excess)
         print(format_table(rows))
         if not args.no_record:
-            print(f"perf record written to {write_weighted_record(rows)}")
+            print("perf record written to "
+                  f"{write_weighted_record(rows, args.store)}")
         check(rows, args.min_speedup)
     if args.suite in ("randomized", "all"):
         rows = run_randomized_ladder(args.randomized_side)
         print(format_table(rows))
         if not args.no_record:
-            print(f"perf record written to {write_randomized_record(rows)}")
+            print("perf record written to "
+                  f"{write_randomized_record(rows, args.store)}")
         check(rows, args.min_speedup)
     return 0
 

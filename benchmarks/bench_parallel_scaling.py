@@ -21,14 +21,10 @@ correctly but cannot be faster.  Run directly for the CI smoke check::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import pathlib
-import platform
 import sys
 import time
-
-import numpy as np
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -42,6 +38,7 @@ from repro.simulation.parallel import (  # noqa: E402
 )
 from repro.simulation.scenario import DynamicScenario, expand_seeds  # noqa: E402
 from repro.simulation.sweep import SweepConfiguration  # noqa: E402
+from repro.store import write_benchmark_record  # noqa: E402
 
 WORKERS_LIST = (1, 2, 4)
 SEEDS = (1, 2, 3, 4)
@@ -131,21 +128,17 @@ def run_curve(workers_list=WORKERS_LIST, scale: str = "full"):
     return rows, cell_rows
 
 
-def write_record(rows, cell_rows, scale: str) -> pathlib.Path:
-    payload = {
-        "benchmark": "parallel_scaling",
-        "description": ("sharded process-pool grid driver vs the serial path: "
-                        "mixed sweep + dynamic (cell, seed) grid, bit-identical "
-                        "merges, wall-clock scaling curve"),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "cpus": available_cores(),
-        "scale": scale,
-        "rows": rows,
-        "cell_seconds": cell_rows,
-    }
-    RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    return RECORD_PATH
+def write_record(rows, cell_rows, scale: str, store=None) -> pathlib.Path:
+    return write_benchmark_record(
+        "parallel_scaling",
+        ("sharded process-pool grid driver vs the serial path: "
+         "mixed sweep + dynamic (cell, seed) grid, bit-identical "
+         "merges, wall-clock scaling curve"),
+        rows, RECORD_PATH, store=store,
+        config={"scale": scale, "workers": [row["workers"] for row in rows]},
+        seeds=list(SCALES[scale]["seeds"]),
+        extra={"cpus": available_cores(), "scale": scale,
+               "cell_seconds": cell_rows})
 
 
 def check(rows, min_speedup: float = MIN_SPEEDUP,
@@ -198,12 +191,15 @@ def main(argv=None) -> int:
                              "fewer cores than the largest pool")
     parser.add_argument("--no-record", action="store_true",
                         help="skip writing BENCH_parallel.json")
+    parser.add_argument("--store", type=pathlib.Path, default=None,
+                        help="also append the rows to this JSONL run store")
     args = parser.parse_args(argv)
     rows, cell_rows = run_curve(args.workers_list, scale=args.scale)
     print(format_table(rows))
     print(f"available cores: {available_cores()}")
     if not args.no_record:
-        print(f"perf record written to {write_record(rows, cell_rows, args.scale)}")
+        record = write_record(rows, cell_rows, args.scale, store=args.store)
+        print(f"perf record written to {record}")
     check(rows, args.min_speedup,
           require_speedup=True if args.require_speedup else None)
     return 0

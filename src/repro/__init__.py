@@ -74,6 +74,16 @@ from .dynamic import (
     run_stream,
     summarize_dynamic,
 )
+from .obs import ConsoleSubscriber, EventLog, MetricsBus, RoundProbe, TelemetryEvent
+from .store import (
+    RunRecord,
+    RunStore,
+    check_store_regression,
+    config_hash,
+    record_run,
+    record_sweep_outcomes,
+    write_benchmark_record,
+)
 from .tasks import (
     Task,
     TaskAssignment,
@@ -163,4 +173,17 @@ __all__ = [
     "make_event_generator",
     "run_stream",
     "summarize_dynamic",
+    # observability: telemetry bus + run store + regression reports
+    "MetricsBus",
+    "TelemetryEvent",
+    "EventLog",
+    "RoundProbe",
+    "ConsoleSubscriber",
+    "RunRecord",
+    "RunStore",
+    "config_hash",
+    "record_run",
+    "record_sweep_outcomes",
+    "check_store_regression",
+    "write_benchmark_record",
 ]

@@ -125,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trace entries to exclude from time_in_band "
                               "(the initial transient)")
     dynamic.add_argument("--csv", help="optional path to write the summary row as CSV")
+    dynamic.add_argument("--store", help="append each run to this JSONL run "
+                                         "store (see the 'report' command)")
+    dynamic.add_argument("--store-label", default="dynamic",
+                         help="label the stored records carry")
+    dynamic.add_argument("--telemetry", nargs="?", const=1, type=int,
+                         default=None, metavar="N",
+                         help="stream per-round telemetry to stderr (every "
+                              "Nth round; single-seed runs only)")
 
     sweep = subparsers.add_parser("sweep", help="run one configuration over several seeds")
     sweep.add_argument("--algorithm", required=True, choices=list(ALL_ALGORITHMS))
@@ -146,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reuse one integer for topology/workload/schedule/"
                             "algorithm randomness (the historical, correlated "
                             "behaviour)")
+    sweep.add_argument("--store", help="append each (seed, run) record — with "
+                                       "trajectory and timing envelope — to "
+                                       "this JSONL run store")
+    sweep.add_argument("--store-label", default="sweep",
+                       help="label the stored records carry")
+    sweep.add_argument("--telemetry", nargs="?", const=1, type=int,
+                       default=None, metavar="N",
+                       help="stream per-round telemetry to stderr (every Nth "
+                            "round; serial runs only)")
 
     grid = subparsers.add_parser(
         "grid", help="sharded sweep grid: algorithms x topologies x seeds")
@@ -179,7 +196,46 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--nodes", type=int, default=64)
     audit.add_argument("--tokens-per-node", type=int, default=32)
     audit.add_argument("--seed", type=int, default=7)
+
+    report = subparsers.add_parser(
+        "report", help="compare stored runs and gate on regressions "
+                       "(see repro.store)")
+    report.add_argument("--store", required=True,
+                        help="JSONL run store to read (written by 'sweep "
+                             "--store', 'dynamic --store' or the benchmarks)")
+    report.add_argument("--diff", nargs=2, metavar=("BASE", "CAND"),
+                        help="diff two records: each selector is 'latest', "
+                             "'#index', a label (latest match wins) or a "
+                             "config-hash prefix")
+    report.add_argument("--no-chart", action="store_true",
+                        help="skip the trajectory sparkline chart")
+    report.add_argument("--check-regression", action="store_true",
+                        help="gate this store against --baseline-store; "
+                             "exit 1 on drift")
+    report.add_argument("--baseline-store",
+                        help="baseline JSONL store for --check-regression")
+    report.add_argument("--max-metric-drift", type=float, default=0.0,
+                        help="allowed worsening of final discrepancies "
+                             "(default 0: bit-exact under counter RNG)")
+    report.add_argument("--max-trace-drift", type=float, default=0.0,
+                        help="allowed pointwise trajectory deviation "
+                             "(default 0: bit-exact under counter RNG)")
+    report.add_argument("--max-timing-ratio", type=float, default=None,
+                        help="fail when a run exceeds this multiple of the "
+                             "baseline wall-clock (timing checks are off "
+                             "unless set)")
     return parser
+
+
+def _telemetry_bus(every: Optional[int]):
+    """A bus with a stderr console subscriber, or ``None`` when not asked for."""
+    if every is None:
+        return None
+    from .obs import ConsoleSubscriber, MetricsBus
+
+    bus = MetricsBus()
+    bus.subscribe(ConsoleSubscriber(every=every, stream=sys.stderr))
+    return bus
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -249,9 +305,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.seeds:
             scenarios = expand_seeds(scenario, args.seeds)
             results = run_dynamic_grid(scenarios, workers=args.workers)
+            timings = [None] * len(results)
         else:
+            import time
+
             scenarios = [scenario]
-            results = [run_dynamic_scenario(scenario)]
+            start = time.perf_counter()
+            results = [run_dynamic_scenario(scenario,
+                                            bus=_telemetry_bus(args.telemetry))]
+            timings = [time.perf_counter() - start]
         rows = []
         for cell, result in zip(scenarios, results):
             band = theorem3_discrepancy_bound(result.max_degree,
@@ -280,6 +342,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.csv:
             rows_to_csv(rows, args.csv)
             print(f"wrote {args.csv}")
+        if args.store:
+            from dataclasses import asdict
+
+            from .store import RunStore, record_run
+
+            store = RunStore(args.store)
+            for cell, result, seconds in zip(scenarios, results, timings):
+                record_run(store, args.store_label, "dynamic",
+                           {**asdict(cell), "kind": "dynamic"},
+                           seeds=[cell.seed], result=result,
+                           timing=None if seconds is None
+                           else {"seconds": seconds})
+            print(f"stored {len(results)} record(s) in {store.path}")
     elif args.command == "sweep":
         from .simulation.sweep import SweepConfiguration, run_sweep
 
@@ -289,9 +364,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             continuous_kind=args.continuous, backend=args.backend,
             rng_mode=args.rng_mode,
         )
-        result = run_sweep(configuration, seeds=args.seeds, workers=args.workers,
-                           legacy_seeding=args.legacy_seeding)
-        print(format_table([result.as_row()]))
+        bus = _telemetry_bus(args.telemetry) if args.workers <= 1 else None
+        if args.store:
+            from .simulation.parallel import grid_sweep_with_outcomes
+            from .store import RunStore, record_sweep_outcomes
+
+            # The outcome envelopes carry per-run timing and worker pids;
+            # traces are recorded so stored runs diff as trajectories.
+            results, outcomes = grid_sweep_with_outcomes(
+                [configuration], args.seeds, workers=args.workers,
+                record_trace=True, legacy_seeding=args.legacy_seeding, bus=bus)
+            result = results[0]
+            store = RunStore(args.store)
+            record_sweep_outcomes(store, args.store_label, outcomes)
+            print(format_table([result.as_row()]))
+            print(f"stored {len(outcomes)} record(s) in {store.path}")
+        else:
+            result = run_sweep(configuration, seeds=args.seeds, workers=args.workers,
+                               legacy_seeding=args.legacy_seeding, bus=bus)
+            print(format_table([result.as_row()]))
     elif args.command == "grid":
         from .simulation.parallel import parallel_grid_sweep
         from .simulation.sweep import SweepConfiguration
@@ -346,6 +437,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for violation in report.violations:
             print(f"  VIOLATION round {violation.round_index}: "
                   f"{violation.invariant} — {violation.detail}")
+    elif args.command == "report":
+        from .exceptions import ExperimentError
+        from .store import (
+            RunStore,
+            check_store_regression,
+            comparison_rows,
+            diff_rows,
+            render_comparison,
+        )
+
+        try:
+            store = RunStore(args.store)
+            records = store.records()
+            if args.check_regression:
+                if not args.baseline_store:
+                    parser.error("--check-regression requires --baseline-store")
+                baseline = RunStore(args.baseline_store).records()
+                outcome = check_store_regression(
+                    baseline, records,
+                    max_metric_drift=args.max_metric_drift,
+                    max_trace_drift=args.max_trace_drift,
+                    max_timing_ratio=args.max_timing_ratio)
+                print(outcome.summary())
+                if outcome.violations:
+                    print(format_table([violation.as_row()
+                                        for violation in outcome.violations]))
+                return 0 if outcome.ok else 1
+            if args.diff:
+                base = store.select(args.diff[0], records)
+                cand = store.select(args.diff[1], records)
+                print(f"baseline:  {base.label} ({base.config_hash[:10]}, "
+                      f"{base.created})")
+                print(f"candidate: {cand.label} ({cand.config_hash[:10]}, "
+                      f"{cand.created})")
+                print(format_table(diff_rows(base, cand)))
+                if not args.no_chart:
+                    print(render_comparison([base, cand]))
+            else:
+                print(f"{len(records)} record(s) in {store.path}")
+                print(format_table(comparison_rows(records)))
+                if not args.no_chart:
+                    print(render_comparison(records))
+        except ExperimentError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

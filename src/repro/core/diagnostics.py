@@ -18,13 +18,13 @@ observes it; it never changes the run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..exceptions import ProcessError
-from .flow_imitation import FlowImitationBalancer
+from .flow_imitation import FlowCoupledBalancer
 
 __all__ = ["InvariantViolation", "AuditReport", "FlowImitationAuditor"]
 
@@ -62,6 +62,17 @@ class AuditReport:
                 f"max |load deviation| = {self.max_load_deviation:.3f}, "
                 f"dummy tokens = {self.dummy_tokens}")
 
+    def as_extra(self) -> Dict[str, object]:
+        """JSON-friendly view for ``RunResult.extra["audit"]``."""
+        return {
+            "rounds_checked": self.rounds_checked,
+            "clean": self.clean,
+            "max_flow_error": self.max_flow_error,
+            "max_load_deviation": self.max_load_deviation,
+            "dummy_tokens": self.dummy_tokens,
+            "violations": [asdict(violation) for violation in self.violations],
+        }
+
 
 class FlowImitationAuditor:
     """Checks the paper's per-round invariants on a live flow-imitation run.
@@ -69,9 +80,15 @@ class FlowImitationAuditor:
     Parameters
     ----------
     balancer:
-        The :class:`~repro.core.flow_imitation.FlowImitationBalancer` to audit.
+        The :class:`~repro.core.flow_imitation.FlowCoupledBalancer` to audit
+        — either backend: the audited quantities (flow errors, load
+        deviation, dummy counters) are representation-agnostic.
     tolerance:
         Numerical slack added to every bound before reporting a violation.
+    bus:
+        Optional :class:`~repro.obs.bus.MetricsBus`: every violation found by
+        :meth:`check_round` is additionally emitted as an
+        ``"audit_violation"`` telemetry event.
 
     The audited invariants:
 
@@ -83,11 +100,13 @@ class FlowImitationAuditor:
     * **non-negativity** — discrete loads never go negative.
     """
 
-    def __init__(self, balancer: FlowImitationBalancer, tolerance: float = 1e-9) -> None:
-        if not isinstance(balancer, FlowImitationBalancer):
+    def __init__(self, balancer: FlowCoupledBalancer, tolerance: float = 1e-9,
+                 bus=None) -> None:
+        if not isinstance(balancer, FlowCoupledBalancer):
             raise ProcessError("the auditor only audits flow-imitation balancers")
         self._balancer = balancer
         self._tolerance = float(tolerance)
+        self._bus = bus
         self._report = AuditReport()
         self._original_weight = balancer.original_weight
 
@@ -159,6 +178,13 @@ class FlowImitationAuditor:
         self._report.rounds_checked += 1
         self._report.dummy_tokens = balancer.dummy_tokens_created
         self._report.violations.extend(found)
+        if self._bus is not None and found:
+            for violation in found:
+                self._bus.emit("audit_violation", "auditor",
+                               round_index=violation.round_index,
+                               invariant=violation.invariant,
+                               detail=violation.detail,
+                               magnitude=violation.magnitude)
         return found
 
     def _deviation_from_edge_errors(self, errors: np.ndarray) -> np.ndarray:

@@ -14,6 +14,7 @@ benchmarks can treat them interchangeably.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Optional
 
@@ -39,6 +40,7 @@ class DiscreteBalancer(ABC):
         network.require_connected()
         self._network = network
         self._round = 0
+        self._probe = None
 
     @property
     def network(self) -> Network:
@@ -58,10 +60,33 @@ class DiscreteBalancer(ABC):
     def _execute_round(self) -> None:
         """Execute the balancing actions of the current round."""
 
+    @property
+    def probe(self):
+        """The attached :class:`~repro.obs.probe.RoundProbe`, if any."""
+        return self._probe
+
+    def attach_probe(self, probe) -> None:
+        """Attach a per-round telemetry probe (see :mod:`repro.obs`).
+
+        The probe's ``after_round(balancer, seconds)`` is called once per
+        executed round with the round's kernel wall-clock.  Probes are
+        strictly observers — they read state, never mutate it — so attaching
+        one cannot change the trajectory.  Pass ``None`` to detach.
+        """
+        self._probe = probe
+
     def advance(self) -> None:
         """Execute one synchronous round."""
+        probe = self._probe
+        if probe is None:
+            self._execute_round()
+            self._round += 1
+            return
+        start = time.perf_counter()
         self._execute_round()
+        seconds = time.perf_counter() - start
         self._round += 1
+        probe.after_round(self, seconds)
 
     def run(self, rounds: int) -> None:
         """Execute ``rounds`` rounds."""

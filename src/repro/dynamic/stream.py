@@ -49,6 +49,8 @@ import numpy as np
 from ..backend import resolve_backend
 from ..core.flow_imitation import FlowCoupledBalancer, TaskSelectionPolicy
 from ..exceptions import ExperimentError
+from ..obs.bus import MetricsBus
+from ..obs.probe import RoundProbe
 from ..network.graph import Network
 from ..simulation.engine import ALL_ALGORITHMS, CONTINUOUS_KINDS, make_balancer, make_schedule
 from ..simulation.results import RunResult
@@ -88,6 +90,7 @@ class StreamingEngine:
         selection_policy: str = TaskSelectionPolicy.FIFO,
         backend: str = "auto",
         rng_mode: str = "sequential",
+        bus: Optional[MetricsBus] = None,
     ) -> None:
         if algorithm not in ALL_ALGORITHMS:
             raise ExperimentError(
@@ -135,6 +138,11 @@ class StreamingEngine:
         self._backend = choice.name
         self._backend_reason = choice.reason
         self._base_name = network.name
+        self._bus = bus
+        self._probe = None if bus is None else RoundProbe(
+            bus, source="stream", context={
+                "algorithm": algorithm, "backend": choice.name,
+                "rng_mode": rng_mode})
 
         # Stable-label state: the graph and token counts the events act on.
         # ``network`` already uses contiguous labels 0..n-1, which become the
@@ -291,6 +299,8 @@ class StreamingEngine:
             seed=couple_seed, selection_policy=self._selection_policy,
             backend=self._backend, rng_mode=self._rng_mode,
         )
+        if self._probe is not None:
+            self._balancer.attach_probe(self._probe)
 
     def _recouple_loads(self) -> None:
         """O(n) re-coupling: only loads changed, so rewind the balancer in place.
@@ -451,6 +461,8 @@ class StreamingEngine:
         events = self._generator.events(self.view())
         changed = False
         topology_changed = False
+        applied_events = 0
+        rejected_events = 0
         for event in events:
             event_changed, record = self._apply_event(event)
             changed = changed or event_changed
@@ -458,15 +470,34 @@ class StreamingEngine:
                 event_changed and event.kind in (JOIN, LEAVE))
             if not record["applied"]:
                 self._rejected_events += 1
+                rejected_events += 1
+            else:
+                applied_events += 1
             self._timeline.append(record)
+        recouple_mode = None
         if changed:
             self._recouplings += 1
             if topology_changed:
                 self._couple()
+                recouple_mode = "full"
             else:
                 self._recouple_loads()
+                recouple_mode = "fast"
+        bus = self._bus
+        if bus is not None and bus.active and recouple_mode is not None:
+            bus.emit("recouple", "stream", round_index=self._round,
+                     mode=recouple_mode, n=self._network.num_nodes,
+                     total_load=self.total_real_load())
         self._balancer.advance()
         self._sync_tokens_from_balancer()
+        if bus is not None and bus.active:
+            bus.emit("stream_round", "stream", round_index=self._round,
+                     max_min=self.current_discrepancy(),
+                     total_load=self.total_real_load(),
+                     events_applied=applied_events,
+                     events_rejected=rejected_events,
+                     recoupled=recouple_mode,
+                     recouplings=self._recouplings)
         self._round += 1
 
     def result(self,
@@ -514,6 +545,8 @@ class StreamingEngine:
             "backend": self._backend,
             "backend_reason": self._backend_reason,
         })
+        if self._probe is not None:
+            result.extra["kernel_seconds"] = self._probe.kernel_seconds
         return result
 
 
@@ -528,6 +561,7 @@ def run_stream(
     selection_policy: str = TaskSelectionPolicy.FIFO,
     backend: str = "auto",
     rng_mode: str = "sequential",
+    bus: Optional[MetricsBus] = None,
 ) -> RunResult:
     """Run ``algorithm`` for ``rounds`` rounds under a stream of events.
 
@@ -547,7 +581,7 @@ def run_stream(
     engine = StreamingEngine(algorithm, network, initial_load, generator,
                              continuous_kind=continuous_kind, seed=seed,
                              selection_policy=selection_policy, backend=backend,
-                             rng_mode=rng_mode)
+                             rng_mode=rng_mode, bus=bus)
     trace = [engine.current_discrepancy()]
     totals = [float(engine.total_real_load())]
     for _ in range(rounds):

@@ -1,0 +1,33 @@
+"""Observability: the telemetry bus and the per-round probes.
+
+This package is the first of the three observability layers (bus → run store
+→ regression reports; see ``README.md`` "Observability"):
+
+* :class:`MetricsBus` — a synchronous in-process publish/subscribe hub for
+  structured :class:`TelemetryEvent` records;
+* :class:`RoundProbe` — attaches to any balancer and emits one ``"round"``
+  event (discrepancy, kernel seconds, flow/dummy statistics) per executed
+  round;
+* :class:`EventLog` / :class:`ConsoleSubscriber` — ready-made subscribers for
+  collecting and live-printing events.
+
+Every run entry point accepts an optional ``bus=`` keyword
+(:func:`repro.simulation.engine.run_algorithm`,
+:func:`repro.dynamic.stream.run_stream`,
+:func:`repro.simulation.sweep.run_sweep_cell`,
+:func:`repro.simulation.parallel.run_cells`).  Instrumentation is strictly
+read-only — trajectories are bit-identical with and without a subscriber —
+and unobserved runs pay a single attribute check per round.
+"""
+
+from .bus import EventLog, MetricsBus, TelemetryEvent
+from .console import ConsoleSubscriber
+from .probe import RoundProbe
+
+__all__ = [
+    "MetricsBus",
+    "TelemetryEvent",
+    "EventLog",
+    "RoundProbe",
+    "ConsoleSubscriber",
+]

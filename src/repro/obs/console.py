@@ -1,0 +1,59 @@
+"""A terminal subscriber: watch a run live without any plotting dependency.
+
+:class:`ConsoleSubscriber` prints one compact line per telemetry event (round
+events may be thinned with ``every=N``).  The CLI's ``--telemetry`` flag wires
+it to the run's bus, which is the quickest way to see the bus in action::
+
+    repro-loadbalance dynamic --scenario burst --rounds 60 --telemetry
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from .bus import TelemetryEvent
+
+__all__ = ["ConsoleSubscriber"]
+
+_PER_ROUND_KINDS = ("round", "stream_round")
+
+
+class ConsoleSubscriber:
+    """Print telemetry events as they are emitted.
+
+    Parameters
+    ----------
+    every:
+        Print only every ``N``-th per-round event (run-level events, audit
+        violations and re-couplings are always printed).
+    stream:
+        Output stream; defaults to ``sys.stdout``.
+    """
+
+    def __init__(self, every: int = 1, stream: Optional[IO[str]] = None) -> None:
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        self._every = every
+        self._stream = stream if stream is not None else sys.stdout
+        self._round_events = 0
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        if event.kind in _PER_ROUND_KINDS:
+            self._round_events += 1
+            if self._round_events % self._every:
+                return
+        self._stream.write(self.format(event) + "\n")
+
+    @staticmethod
+    def format(event: TelemetryEvent) -> str:
+        """One compact ``key=value`` line for an event."""
+        parts = [f"[{event.source}] {event.kind}"]
+        if event.round_index is not None:
+            parts.append(f"round={event.round_index}")
+        for key, value in event.payload.items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.6g}")
+            else:
+                parts.append(f"{key}={value}")
+        return " ".join(parts)

@@ -18,6 +18,7 @@ from .locality import DisplacementSummary, summarize_displacements, task_displac
 from .parallel import (
     CellOutcome,
     GridCell,
+    grid_sweep_with_outcomes,
     parallel_dynamic_grid,
     parallel_grid_sweep,
     parallel_scenario_grid,
@@ -65,6 +66,7 @@ __all__ = [
     "GridCell",
     "CellOutcome",
     "run_cells",
+    "grid_sweep_with_outcomes",
     "parallel_sweep",
     "parallel_grid_sweep",
     "parallel_scenario_grid",

@@ -35,6 +35,8 @@ from ..network.matchings import (
     RandomMatchingSchedule,
 )
 from ..counter_rng import RNG_MODES, validate_rng_mode
+from ..obs.bus import MetricsBus
+from ..obs.probe import RoundProbe
 from ..tasks.assignment import TaskAssignment
 from ..tasks.load import as_token_counts, max_avg_discrepancy, max_min_discrepancy
 from ..tasks.weighted import WeightedLoads
@@ -270,6 +272,8 @@ def run_algorithm(
     selection_policy: str = TaskSelectionPolicy.FIFO,
     backend: str = "auto",
     rng_mode: str = "sequential",
+    bus: Optional[MetricsBus] = None,
+    audit: bool = False,
 ) -> RunResult:
     """Run a single discrete balancing algorithm and summarize the outcome.
 
@@ -301,6 +305,19 @@ def run_algorithm(
         diffusion, excess tokens) draw their randomness: "sequential", or the
         order-free edge/node-keyed "counter" mode of
         :mod:`repro.counter_rng`; deterministic algorithms ignore it.
+    bus:
+        Optional :class:`~repro.obs.bus.MetricsBus`: the run emits
+        ``run_start`` / per-round ``round`` / ``run_end`` telemetry events
+        through an attached :class:`~repro.obs.probe.RoundProbe`.
+        Instrumentation is read-only — trajectories are bit-identical with
+        and without a subscriber — and the accumulated kernel wall-clock is
+        recorded in ``result.extra["kernel_seconds"]``.
+    audit:
+        Check the paper's per-round invariants with a
+        :class:`~repro.core.diagnostics.FlowImitationAuditor` after every
+        round (flow-imitation algorithms only).  The audit summary lands in
+        ``result.extra["audit"]``; violations are also emitted on ``bus`` as
+        ``audit_violation`` events.
     """
     if algorithm not in ALL_ALGORITHMS:
         raise ExperimentError(
@@ -361,13 +378,37 @@ def run_algorithm(
                 choice.name, "matching baselines share one integer-vector "
                              "implementation across backends")
 
+    probe: Optional[RoundProbe] = None
+    if bus is not None:
+        probe = RoundProbe(bus, source="engine", context={
+            "algorithm": algorithm, "backend": choice.name, "rng_mode": rng_mode})
+        balancer.attach_probe(probe)
+        bus.emit("run_start", "engine", algorithm=algorithm,
+                 network=network.name, n=network.num_nodes,
+                 max_degree=network.max_degree, continuous=continuous_kind,
+                 backend=choice.name, rng_mode=rng_mode, seed=seed,
+                 rounds=rounds, total_weight=original_weight)
+
+    auditor = None
+    if audit:
+        if not isinstance(balancer, FlowCoupledBalancer):
+            raise ExperimentError(
+                "audit=True requires a flow-imitation algorithm "
+                "(the audited invariants are about the coupled processes)")
+        from ..core.diagnostics import FlowImitationAuditor
+
+        auditor = FlowImitationAuditor(balancer, bus=bus)
+
     trace: Optional[List[float]] = [] if record_trace else None
 
     def record() -> None:
+        if auditor is not None:
+            auditor.check_round()
         if trace is not None:
             trace.append(max_min_discrepancy(balancer.loads(), network))
 
-    record()
+    if trace is not None:
+        trace.append(max_min_discrepancy(balancer.loads(), network))
     executed = 0
     if rounds is not None:
         for _ in range(rounds):
@@ -405,6 +446,15 @@ def run_algorithm(
     )
     result.extra["backend"] = choice.name
     result.extra["backend_reason"] = choice.reason
+    if auditor is not None:
+        result.extra["audit"] = auditor.report.as_extra()
+    if probe is not None:
+        balancer.attach_probe(None)
+        result.extra["kernel_seconds"] = probe.kernel_seconds
+        bus.emit("run_end", "engine", round_index=executed,
+                 algorithm=algorithm, rounds=executed,
+                 max_min=result.final_max_min, max_avg=result.final_max_avg,
+                 kernel_seconds=probe.kernel_seconds)
 
     if isinstance(balancer, FlowCoupledBalancer):
         no_dummy_loads = balancer.loads(include_dummies=False)

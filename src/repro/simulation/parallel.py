@@ -51,6 +51,7 @@ __all__ = [
     "run_cells",
     "parallel_sweep",
     "parallel_grid_sweep",
+    "grid_sweep_with_outcomes",
     "parallel_scenario_grid",
     "parallel_dynamic_grid",
     "timing_summary",
@@ -135,14 +136,37 @@ def _chunksize(num_cells: int, workers: int) -> int:
     return max(1, num_cells // (workers * 4))
 
 
+def _cell_label(cell: GridCell) -> str:
+    if cell.kind == _SWEEP:
+        return f"{cell.spec.label()} seed={cell.seed}"
+    return getattr(cell.spec, "name", repr(cell.spec))
+
+
+def _emit_cell_done(bus, outcome: CellOutcome) -> None:
+    """Publish one finished cell's envelope on the driver-side telemetry bus."""
+    if bus is None or not bus.active:
+        return
+    result = outcome.result
+    bus.emit("cell_done", "parallel", cell_kind=outcome.cell.kind,
+             index=outcome.cell.index, seed=outcome.cell.seed,
+             label=_cell_label(outcome.cell), seconds=outcome.seconds,
+             worker_pid=outcome.worker_pid, rounds=result.rounds,
+             max_min=result.final_max_min)
+
+
 def run_cells(cells: Sequence[GridCell], workers: Optional[int] = None,
-              chunksize: Optional[int] = None) -> List[CellOutcome]:
+              chunksize: Optional[int] = None, bus=None) -> List[CellOutcome]:
     """Execute a list of grid cells, sharded across a process pool.
 
     Returns one :class:`CellOutcome` per cell **in input order** regardless
     of completion order (the contract that makes merges deterministic).
     ``workers=None`` uses one worker per available core; ``workers=1`` runs
     serially in-process, which is also the fallback for single-cell grids.
+
+    ``bus`` emits one ``cell_done`` telemetry event per finished cell on the
+    driver side (a :class:`~repro.obs.bus.MetricsBus` cannot cross the
+    process boundary, so per-round events stay in-worker; the envelopes —
+    timing, worker pid, headline metric — stream back in merge order).
     """
     cells = list(cells)
     if not cells:
@@ -152,12 +176,20 @@ def run_cells(cells: Sequence[GridCell], workers: Optional[int] = None,
     if workers is None:
         workers = default_workers(len(cells))
     workers = min(workers, len(cells))
+    outcomes: List[CellOutcome] = []
     if workers == 1:
-        return [_execute_cell(cell) for cell in cells]
+        for cell in cells:
+            outcome = _execute_cell(cell)
+            _emit_cell_done(bus, outcome)
+            outcomes.append(outcome)
+        return outcomes
     if chunksize is None:
         chunksize = _chunksize(len(cells), workers)
     with ProcessPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(_execute_cell, cells, chunksize=chunksize))
+        for outcome in executor.map(_execute_cell, cells, chunksize=chunksize):
+            _emit_cell_done(bus, outcome)
+            outcomes.append(outcome)
+    return outcomes
 
 
 def timing_summary(outcomes: Sequence[CellOutcome]) -> Dict[str, object]:
@@ -219,7 +251,7 @@ def _merge_sweeps(configurations: Sequence[SweepConfiguration],
 def parallel_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
                    workers: Optional[int] = None, record_trace: bool = False,
                    max_rounds: int = 200_000,
-                   legacy_seeding: bool = False) -> SweepResult:
+                   legacy_seeding: bool = False, bus=None) -> SweepResult:
     """Sharded :func:`~repro.simulation.sweep.run_sweep`: one cell per seed.
 
     Bit-identical to ``run_sweep(configuration, seeds, ...)`` for every
@@ -228,13 +260,13 @@ def parallel_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
     """
     cells = sweep_cells([configuration], seeds, record_trace=record_trace,
                         max_rounds=max_rounds, legacy_seeding=legacy_seeding)
-    outcomes = run_cells(cells, workers=workers)
+    outcomes = run_cells(cells, workers=workers, bus=bus)
     return _merge_sweeps([configuration], outcomes)[0]
 
 
 def parallel_grid_sweep(configurations: Sequence[SweepConfiguration],
                         seeds: Sequence[int], workers: Optional[int] = None,
-                        legacy_seeding: bool = False) -> List[SweepResult]:
+                        legacy_seeding: bool = False, bus=None) -> List[SweepResult]:
     """Shard a whole configuration grid at (cell, seed) granularity.
 
     All ``len(configurations) * len(seeds)`` runs share one work queue, so a
@@ -245,8 +277,27 @@ def parallel_grid_sweep(configurations: Sequence[SweepConfiguration],
     """
     configurations = list(configurations)
     cells = sweep_cells(configurations, seeds, legacy_seeding=legacy_seeding)
-    outcomes = run_cells(cells, workers=workers)
+    outcomes = run_cells(cells, workers=workers, bus=bus)
     return _merge_sweeps(configurations, outcomes)
+
+
+def grid_sweep_with_outcomes(configurations: Sequence[SweepConfiguration],
+                             seeds: Sequence[int], workers: Optional[int] = None,
+                             record_trace: bool = False,
+                             legacy_seeding: bool = False, bus=None):
+    """Like :func:`parallel_grid_sweep`, also returning the raw envelopes.
+
+    Returns ``(sweep_results, outcomes)``: the merged per-configuration
+    :class:`~repro.simulation.sweep.SweepResult` list plus the flat
+    :class:`CellOutcome` list in cell order — what the run store needs to
+    record each run together with its timing envelope
+    (:func:`repro.store.record_sweep_outcomes`).
+    """
+    configurations = list(configurations)
+    cells = sweep_cells(configurations, seeds, record_trace=record_trace,
+                        legacy_seeding=legacy_seeding)
+    outcomes = run_cells(cells, workers=workers, bus=bus)
+    return _merge_sweeps(configurations, outcomes), outcomes
 
 
 # ---------------------------------------------------------------------- #

@@ -65,13 +65,49 @@ def rows_to_json(rows: Iterable[Dict[str, object]], path: PathLike) -> pathlib.P
     return path
 
 
-def load_rows_from_csv(path: PathLike) -> List[Dict[str, str]]:
-    """Read back a CSV produced by :func:`rows_to_csv` (all values as strings)."""
+def _coerce_cell(text: str) -> object:
+    """Best-effort typed view of one CSV cell.
+
+    ``csv`` gives back strings; this restores the common row types so a
+    CSV round-trip preserves values, not just their repr: empty cells
+    (``None`` columns) come back as ``None``, ``"True"``/``"False"`` as
+    booleans, integer and float literals as numbers, everything else as the
+    original string.
+    """
+    if text == "":
+        return None
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def load_rows_from_csv(path: PathLike, coerce: bool = True) -> List[Dict[str, object]]:
+    """Read back a CSV produced by :func:`rows_to_csv`.
+
+    By default cell values are coerced back to their natural types
+    (``None`` / bool / int / float / str — see :func:`_coerce_cell`), so
+    ``load_rows_from_csv(rows_to_csv(rows, path))`` round-trips the common
+    row types instead of returning everything as strings.  Pass
+    ``coerce=False`` for the raw string view.
+    """
     path = pathlib.Path(path)
     if not path.exists():
         raise ExperimentError(f"no such file: {path}")
     with path.open() as handle:
-        return list(csv.DictReader(handle))
+        rows = list(csv.DictReader(handle))
+    if not coerce:
+        return rows
+    return [{key: _coerce_cell(value) for key, value in row.items()}
+            for row in rows]
 
 
 def bar_chart(values: Dict[str, float], width: int = 40,

@@ -81,7 +81,12 @@ class RunResult:
     extra: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
-        """Return a flat dictionary view (suitable for CSV rows / dataframes)."""
+        """Return a flat dictionary view (suitable for CSV rows / dataframes).
+
+        ``extra`` entries are merged in after the base columns; an ``extra``
+        key that collides with a base column is added as ``extra_<key>``
+        instead of silently overwriting the column it shadows.
+        """
         row: Dict[str, object] = {
             "algorithm": self.algorithm,
             "continuous_kind": self.continuous_kind,
@@ -101,5 +106,6 @@ class RunResult:
         }
         if self.event_timeline is not None:
             row["events"] = len(self.event_timeline)
-        row.update(self.extra)
+        for key, value in self.extra.items():
+            row[f"extra_{key}" if key in row else key] = value
         return row

@@ -253,8 +253,12 @@ def load_scenario(path: Union[str, pathlib.Path]) -> Scenario:
     return Scenario.from_dict(_read_json(path))
 
 
-def run_scenario(scenario: Scenario) -> RunResult:
-    """Materialise and execute a scenario, returning the run result."""
+def run_scenario(scenario: Scenario, bus=None) -> RunResult:
+    """Materialise and execute a scenario, returning the run result.
+
+    ``bus`` forwards a :class:`~repro.obs.bus.MetricsBus` to the engine for
+    per-round telemetry (see :mod:`repro.obs`).
+    """
     network = scenario.build_network()
     if scenario.max_task_weight > 1:
         workload = {"weighted_load": scenario.build_weighted_load(network)}
@@ -269,6 +273,7 @@ def run_scenario(scenario: Scenario) -> RunResult:
         record_trace=scenario.record_trace,
         backend=scenario.backend,
         rng_mode=scenario.rng_mode,
+        bus=bus,
         **workload,
     )
 
@@ -349,8 +354,12 @@ def load_dynamic_scenario(path: Union[str, pathlib.Path]) -> DynamicScenario:
     return DynamicScenario.from_dict(_read_json(path))
 
 
-def run_dynamic_scenario(scenario: DynamicScenario) -> RunResult:
-    """Materialise and execute a dynamic scenario, returning the run result."""
+def run_dynamic_scenario(scenario: DynamicScenario, bus=None) -> RunResult:
+    """Materialise and execute a dynamic scenario, returning the run result.
+
+    ``bus`` forwards a :class:`~repro.obs.bus.MetricsBus` to the streaming
+    engine for per-round telemetry (see :mod:`repro.obs`).
+    """
     from ..dynamic.events import make_event_generator
     from ..dynamic.stream import run_stream
 
@@ -371,6 +380,7 @@ def run_dynamic_scenario(scenario: DynamicScenario) -> RunResult:
         seed=scenario.seed,
         backend=scenario.backend,
         rng_mode=scenario.rng_mode,
+        bus=bus,
     )
 
 

@@ -153,7 +153,7 @@ def _validate_configuration(configuration: SweepConfiguration) -> None:
 
 def run_sweep_cell(configuration: SweepConfiguration, seed: int,
                    record_trace: bool = False, max_rounds: int = 200_000,
-                   legacy_seeding: bool = False) -> RunResult:
+                   legacy_seeding: bool = False, bus=None) -> RunResult:
     """Execute one (configuration, seed) run — the unit of sweep sharding.
 
     This is the pure function both the serial loop of :func:`run_sweep` and
@@ -163,6 +163,12 @@ def run_sweep_cell(configuration: SweepConfiguration, seed: int,
     matching schedule and the algorithm (see
     :mod:`repro.simulation.seeding`); ``legacy_seeding=True`` restores the
     historical single-integer reuse.
+
+    ``bus`` forwards a :class:`~repro.obs.bus.MetricsBus` to
+    :func:`~repro.simulation.engine.run_algorithm`, streaming per-round
+    telemetry from the cell (serial driver only — process-pool workers
+    cannot share a bus; the parallel driver emits ``cell_done`` envelopes
+    instead).
     """
     _validate_configuration(configuration)
     seeds = purpose_seeds(seed, legacy=legacy_seeding)
@@ -183,13 +189,14 @@ def run_sweep_cell(configuration: SweepConfiguration, seed: int,
         max_rounds=max_rounds,
         backend=configuration.backend,
         rng_mode=configuration.rng_mode,
+        bus=bus,
     )
 
 
 def run_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
               record_trace: bool = False, max_rounds: int = 200_000,
               legacy_seeding: bool = False,
-              workers: Optional[int] = None) -> SweepResult:
+              workers: Optional[int] = None, bus=None) -> SweepResult:
     """Run one configuration once per seed and aggregate the results.
 
     Each seed spawns independent child streams for the topology sample (for
@@ -215,7 +222,8 @@ def run_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
     for seed in seeds:
         result.runs.append(
             run_sweep_cell(configuration, seed, record_trace=record_trace,
-                           max_rounds=max_rounds, legacy_seeding=legacy_seeding))
+                           max_rounds=max_rounds, legacy_seeding=legacy_seeding,
+                           bus=bus))
     return result
 
 

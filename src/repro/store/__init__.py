@@ -1,0 +1,54 @@
+"""Experiment run store: append-only JSONL records plus regression reports.
+
+Layer two and three of the observability subsystem (:mod:`repro.obs` is
+layer one).  :mod:`repro.store.runstore` persists runs — configuration hash,
+seeds, environment fingerprint, git revision, full result (trajectories
+included) and timing envelope — as one JSONL line each;
+:mod:`repro.store.report` renders cross-run comparison tables / trace charts
+and gates CI on drift via :func:`check_store_regression`;
+:mod:`repro.store.benchwriter` is the shared writer the
+``benchmarks/bench_*.py`` scripts use for their ``BENCH_*.json`` records.
+"""
+
+from .benchwriter import benchmark_payload, write_benchmark_record
+from .report import (
+    RegressionOutcome,
+    RegressionViolation,
+    check_regression,
+    check_store_regression,
+    comparison_rows,
+    diff_rows,
+    render_comparison,
+)
+from .runstore import (
+    RunRecord,
+    RunStore,
+    canonical_json,
+    config_hash,
+    env_fingerprint,
+    git_revision,
+    record_run,
+    record_sweep_outcomes,
+    result_payload,
+)
+
+__all__ = [
+    "RunRecord",
+    "RunStore",
+    "canonical_json",
+    "config_hash",
+    "env_fingerprint",
+    "git_revision",
+    "record_run",
+    "record_sweep_outcomes",
+    "result_payload",
+    "benchmark_payload",
+    "write_benchmark_record",
+    "RegressionOutcome",
+    "RegressionViolation",
+    "check_regression",
+    "check_store_regression",
+    "comparison_rows",
+    "diff_rows",
+    "render_comparison",
+]

@@ -1,0 +1,87 @@
+"""Shared writer for benchmark records: one code path, two artefacts.
+
+Every ``benchmarks/bench_*.py`` script used to hand-roll its own
+``json.dumps`` payload.  :func:`write_benchmark_record` centralises that: it
+writes the human-diffable ``BENCH_<name>.json`` file in the historical format
+(``benchmark`` / ``description`` / ``python`` / ``numpy`` / ``rows``) and —
+when given a store path — appends the same rows to the append-only run store
+as a ``kind="benchmark"`` :class:`~repro.store.runstore.RunRecord`, so
+benchmark timings become diffable across commits with ``repro report`` just
+like engine runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from .runstore import RunStore, _jsonify, record_run
+
+__all__ = ["benchmark_payload", "write_benchmark_record"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def benchmark_payload(name: str, description: str,
+                      rows: Sequence[Dict[str, object]],
+                      extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """The historical ``BENCH_*.json`` payload shape, numpy-safe.
+
+    ``extra`` merges additional top-level keys (e.g. a scaling benchmark's
+    ``cpus`` / ``cell_seconds``) between the interpreter stamp and ``rows``.
+    """
+    payload = {
+        "benchmark": name,
+        "description": description,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    if extra:
+        payload.update(_jsonify(extra))
+    payload["rows"] = _jsonify(list(rows))
+    return payload
+
+
+def write_benchmark_record(name: str, description: str,
+                           rows: Sequence[Dict[str, object]],
+                           path: PathLike,
+                           store: Optional[PathLike] = None,
+                           config: Optional[Dict[str, object]] = None,
+                           seeds: Iterable[int] = (),
+                           extra: Optional[Dict[str, object]] = None) -> pathlib.Path:
+    """Write ``BENCH_*.json`` and optionally append to a run store.
+
+    Parameters
+    ----------
+    name / description / rows:
+        The benchmark identity and its result table.
+    path:
+        Where the ``BENCH_*.json`` record goes (the checked-in perf record).
+    store:
+        Optional run-store path; when given, the rows are additionally
+        appended as one ``kind="benchmark"`` record whose timing envelope
+        holds the row table.
+    config:
+        The benchmark's configuration knobs (sizes, suites, seeds) — what
+        makes two benchmark records comparable.  Defaults to ``{"benchmark":
+        name}``.
+    seeds:
+        Seeds the benchmark ran with, if any.
+    extra:
+        Additional top-level payload keys (see :func:`benchmark_payload`).
+    """
+    payload = benchmark_payload(name, description, rows, extra=extra)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    if store is not None:
+        record_run(
+            RunStore(store), label=name, kind="benchmark",
+            config={"benchmark": name, **(config or {})},
+            seeds=seeds, result=None,
+            timing={"rows": payload["rows"]},
+        )
+    return path

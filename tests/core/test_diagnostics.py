@@ -134,3 +134,116 @@ class TestValidation:
         violation = InvariantViolation(round_index=3, invariant="x", detail="d", magnitude=1.0)
         report.violations.append(violation)
         assert not report.clean
+
+
+class TestAuditorTelemetry:
+    """The auditor as a telemetry producer (satellite of the obs subsystem)."""
+
+    def test_violations_emitted_on_the_bus(self):
+        from repro.obs import EventLog, MetricsBus
+
+        network = topologies.cycle(8)
+        balancer = build_algorithm1(network, point_load(network, 64))
+        bus = MetricsBus()
+        auditor = FlowImitationAuditor(balancer, bus=bus)
+        with EventLog(bus, kinds=["audit_violation"]) as log:
+            balancer.advance()
+            balancer._discrete_cumulative[0] += 10.0  # corrupt the bookkeeping
+            violations = auditor.check_round()
+        assert violations
+        assert len(log.events) == len(violations)
+        payload = log.events[0].payload
+        assert payload["invariant"] == violations[0].invariant
+        assert payload["magnitude"] == violations[0].magnitude
+        assert log.events[0].round_index == violations[0].round_index
+
+    def test_clean_rounds_emit_nothing(self):
+        from repro.obs import EventLog, MetricsBus
+
+        network = topologies.cycle(8)
+        balancer = build_algorithm1(network, point_load(network, 64))
+        bus = MetricsBus()
+        auditor = FlowImitationAuditor(balancer, bus=bus)
+        with EventLog(bus) as log:
+            balancer.advance()
+            assert auditor.check_round() == []
+        assert log.events == []
+
+    def test_array_backend_balancers_auditable(self):
+        """The loosened FlowCoupledBalancer bound admits the array backend."""
+        from repro.simulation.engine import run_algorithm
+
+        network = topologies.cycle(8)
+        result = run_algorithm("algorithm1", network,
+                               initial_load=point_load(network, 64),
+                               rounds=10, seed=3, backend="array", audit=True)
+        assert result.extra["backend"] == "array"
+        audit = result.extra["audit"]
+        assert audit["clean"] is True
+        assert audit["rounds_checked"] == 10
+
+    def test_as_extra_round_trips_to_json(self):
+        import json
+
+        report = AuditReport()
+        report.rounds_checked = 5
+        report.violations.append(InvariantViolation(
+            round_index=2, invariant="conservation", detail="d", magnitude=1.5))
+        extra = report.as_extra()
+        assert extra["clean"] is False
+        assert extra["rounds_checked"] == 5
+        assert extra["violations"][0]["invariant"] == "conservation"
+        json.dumps(extra)  # JSON-friendly by construction
+
+
+class TestEngineAuditIntegration:
+    """run_algorithm(audit=True): the auditor rides the engine's record loop."""
+
+    def test_audit_summary_lands_in_extra(self):
+        from repro.simulation.engine import run_algorithm
+
+        network = topologies.torus(4, dims=2)
+        result = run_algorithm("algorithm1", network,
+                               initial_load=point_load(network, 256),
+                               rounds=10, seed=3, audit=True)
+        audit = result.extra["audit"]
+        assert audit["clean"] is True
+        assert audit["rounds_checked"] == 10
+        assert audit["violations"] == []
+
+    def test_audit_does_not_change_the_trajectory(self):
+        from repro.simulation.engine import run_algorithm
+
+        network = topologies.torus(4, dims=2)
+        kwargs = dict(initial_load=point_load(network, 256), rounds=10,
+                      seed=3, record_trace=True)
+        plain = run_algorithm("algorithm2", network, rng_mode="counter", **kwargs)
+        audited = run_algorithm("algorithm2", network, rng_mode="counter",
+                                audit=True, **kwargs)
+        assert audited.trace_max_min == plain.trace_max_min
+
+    def test_audit_with_probe_interplay(self):
+        """Auditor and probe share one bus without interfering."""
+        from repro.obs import EventLog, MetricsBus
+        from repro.simulation.engine import run_algorithm
+
+        network = topologies.torus(4, dims=2)
+        bus = MetricsBus()
+        with EventLog(bus) as log:
+            result = run_algorithm("algorithm1", network,
+                                   initial_load=point_load(network, 256),
+                                   rounds=8, seed=3, bus=bus, audit=True)
+        assert len(log.of_kind("round")) == 8
+        assert log.of_kind("audit_violation") == []
+        assert result.extra["audit"]["clean"] is True
+        assert result.extra["kernel_seconds"] > 0.0
+
+    def test_audit_rejected_for_baselines(self):
+        from repro.exceptions import ExperimentError
+        from repro.simulation.engine import run_algorithm
+
+        network = topologies.torus(4, dims=2)
+        with pytest.raises(ExperimentError, match="audit=True requires"):
+            run_algorithm("round-down", network,
+                          initial_load=point_load(network, 256),
+                          rounds=5, audit=True)

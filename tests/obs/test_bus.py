@@ -1,0 +1,146 @@
+"""Tests for the telemetry bus (:mod:`repro.obs.bus`)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.obs import ConsoleSubscriber, EventLog, MetricsBus, TelemetryEvent
+
+
+class TestTelemetryEvent:
+    def test_as_dict_flattens_payload(self):
+        event = TelemetryEvent(kind="round", source="engine", round_index=3,
+                               payload={"max_min": 2.0, "backend": "array"})
+        row = event.as_dict()
+        assert row == {"kind": "round", "source": "engine", "round": 3,
+                       "max_min": 2.0, "backend": "array"}
+
+    def test_as_dict_omits_round_for_run_level_events(self):
+        row = TelemetryEvent(kind="run_start", source="engine").as_dict()
+        assert "round" not in row
+
+    def test_as_dict_payload_cannot_shadow_identity(self):
+        event = TelemetryEvent(kind="round", source="engine", round_index=1,
+                               payload={"kind": "evil", "round": 99})
+        row = event.as_dict()
+        assert row["kind"] == "round"
+        assert row["round"] == 1
+
+    def test_frozen(self):
+        event = TelemetryEvent(kind="round", source="engine")
+        with pytest.raises(AttributeError):
+            event.kind = "other"
+
+
+class TestMetricsBus:
+    def test_inactive_without_subscribers(self):
+        bus = MetricsBus()
+        assert not bus.active
+        assert bus.emit("round", "engine", max_min=1.0) is None
+        assert bus.events_emitted == 0
+
+    def test_emit_delivers_to_subscriber(self):
+        bus = MetricsBus()
+        seen = []
+        bus.subscribe(seen.append)
+        event = bus.emit("round", "engine", round_index=0, max_min=4.0)
+        assert bus.active
+        assert seen == [event]
+        assert event.payload["max_min"] == 4.0
+        assert bus.events_emitted == 1
+
+    def test_kind_filter(self):
+        bus = MetricsBus()
+        rounds, everything = [], []
+        bus.subscribe(rounds.append, kinds=["round"])
+        bus.subscribe(everything.append)
+        bus.emit("round", "engine")
+        bus.emit("run_end", "engine")
+        assert [event.kind for event in rounds] == ["round"]
+        assert [event.kind for event in everything] == ["round", "run_end"]
+
+    def test_subscribers_called_in_order(self):
+        bus = MetricsBus()
+        order = []
+        bus.subscribe(lambda event: order.append("first"))
+        bus.subscribe(lambda event: order.append("second"))
+        bus.emit("round", "engine")
+        assert order == ["first", "second"]
+
+    def test_unsubscribe(self):
+        bus = MetricsBus()
+        seen = []
+        subscriber = bus.subscribe(seen.append)
+        bus.emit("round", "engine")
+        bus.unsubscribe(subscriber)
+        assert not bus.active
+        bus.emit("round", "engine")
+        assert len(seen) == 1
+
+    def test_unsubscribe_unknown_errors(self):
+        bus = MetricsBus()
+        with pytest.raises(ExperimentError):
+            bus.unsubscribe(lambda event: None)
+
+    def test_non_callable_subscriber_rejected(self):
+        with pytest.raises(ExperimentError):
+            MetricsBus().subscribe("not-callable")
+
+    def test_subscriber_exception_propagates(self):
+        bus = MetricsBus()
+
+        def explode(event):
+            raise RuntimeError("observer bug")
+
+        bus.subscribe(explode)
+        with pytest.raises(RuntimeError):
+            bus.emit("round", "engine")
+
+
+class TestEventLog:
+    def test_collects_within_context(self):
+        bus = MetricsBus()
+        with EventLog(bus) as log:
+            bus.emit("round", "engine", round_index=0)
+            bus.emit("run_end", "engine")
+        bus.emit("round", "engine", round_index=1)  # after detach
+        assert log.kinds() == ["round", "run_end"]
+        assert [event.round_index for event in log.of_kind("round")] == [0]
+
+    def test_kind_filtered_log(self):
+        bus = MetricsBus()
+        with EventLog(bus, kinds=["audit_violation"]) as log:
+            bus.emit("round", "engine")
+            bus.emit("audit_violation", "auditor", invariant="flow")
+        assert log.kinds() == ["audit_violation"]
+
+    def test_detaches_on_exception(self):
+        bus = MetricsBus()
+        with pytest.raises(ValueError):
+            with EventLog(bus):
+                raise ValueError("boom")
+        assert not bus.active
+
+
+class TestConsoleSubscriber:
+    def test_prints_formatted_lines(self):
+        stream = io.StringIO()
+        bus = MetricsBus()
+        bus.subscribe(ConsoleSubscriber(stream=stream))
+        bus.emit("round", "engine", round_index=2, max_min=3.0)
+        line = stream.getvalue().strip()
+        assert "[engine]" in line and "round" in line
+        assert "round=2" in line and "max_min=3" in line
+
+    def test_thins_round_events(self):
+        stream = io.StringIO()
+        bus = MetricsBus()
+        bus.subscribe(ConsoleSubscriber(every=2, stream=stream))
+        for index in range(4):
+            bus.emit("round", "engine", round_index=index)
+        bus.emit("run_end", "engine")  # never thinned
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 3  # every 2nd of 4 round events, plus run_end

@@ -105,3 +105,37 @@ class TestCharts:
             trace_chart({})
         with pytest.raises(ExperimentError):
             trace_chart({"x": []})
+
+
+class TestCsvTypedRoundTrip:
+    """load_rows_from_csv restores natural types, not just strings."""
+
+    def test_round_trip_preserves_types(self, tmp_path):
+        rows = [{"algorithm": "algorithm2", "n": 64, "max_min": 2.5,
+                 "went_negative": False, "band": None, "label": "2x"},
+                {"algorithm": "round-down", "n": 16, "max_min": 8.0,
+                 "went_negative": True, "band": 10.0, "label": "10"}]
+        path = rows_to_csv(rows, tmp_path / "typed.csv")
+        loaded = load_rows_from_csv(path)
+        assert loaded[0]["n"] == 64 and isinstance(loaded[0]["n"], int)
+        assert loaded[0]["max_min"] == 2.5
+        assert loaded[0]["went_negative"] is False
+        assert loaded[1]["went_negative"] is True
+        assert loaded[0]["band"] is None
+        assert loaded[1]["band"] == 10.0
+        assert loaded[0]["algorithm"] == "algorithm2"
+        # numeric-looking strings become numbers (documented coercion limit)
+        assert loaded[1]["label"] == 10
+
+    def test_coerce_false_returns_raw_strings(self, tmp_path):
+        rows = [{"n": 64, "max_min": 2.5}]
+        path = rows_to_csv(rows, tmp_path / "raw.csv")
+        loaded = load_rows_from_csv(path, coerce=False)
+        assert loaded[0]["n"] == "64"
+        assert loaded[0]["max_min"] == "2.5"
+
+    def test_numeric_consumers_work_without_casts(self, tmp_path):
+        rows = [{"seed": 1, "max_min": 4.0}, {"seed": 2, "max_min": 2.0}]
+        path = rows_to_csv(rows, tmp_path / "metrics.csv")
+        loaded = load_rows_from_csv(path)
+        assert sum(row["max_min"] for row in loaded) == 6.0

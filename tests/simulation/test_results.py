@@ -58,3 +58,14 @@ class TestRunResult:
         second = make_result()
         first.extra["x"] = 1.0
         assert "x" not in second.extra
+
+    def test_extra_collision_does_not_overwrite_base_columns(self):
+        """An extra key that shadows a base column lands as ``extra_<key>``."""
+        result = make_result(extra={"rounds": 999, "max_min": -1.0,
+                                    "spectral_gap": 0.12})
+        row = result.as_dict()
+        assert row["rounds"] == 39  # the base column survives
+        assert row["max_min"] == 8.0
+        assert row["extra_rounds"] == 999  # the extra value is still visible
+        assert row["extra_max_min"] == -1.0
+        assert row["spectral_gap"] == 0.12  # non-colliding keys unprefixed

@@ -1,0 +1,218 @@
+"""Tests for the append-only run store (:mod:`repro.store.runstore`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.network import topologies
+from repro.simulation.engine import run_algorithm
+from repro.simulation.parallel import grid_sweep_with_outcomes
+from repro.simulation.sweep import SweepConfiguration
+from repro.store import (
+    RunRecord,
+    RunStore,
+    canonical_json,
+    config_hash,
+    record_run,
+    record_sweep_outcomes,
+    result_payload,
+    write_benchmark_record,
+)
+from repro.store.runstore import env_fingerprint
+from repro.tasks.generators import point_load
+
+
+def engine_result(seed=7, rounds=10):
+    network = topologies.torus(4, dims=2)
+    load = point_load(network, 32 * network.num_nodes)
+    return run_algorithm("algorithm2", network, initial_load=load,
+                         rounds=rounds, seed=seed, record_trace=True,
+                         rng_mode="counter")
+
+
+class TestConfigHash:
+    def test_key_order_does_not_matter(self):
+        assert (config_hash({"a": 1, "b": [2, 3]})
+                == config_hash({"b": [2, 3], "a": 1}))
+
+    def test_value_changes_change_the_hash(self):
+        assert config_hash({"seed": 1}) != config_hash({"seed": 2})
+
+    def test_numpy_values_hash_like_python_ones(self):
+        assert (config_hash({"n": np.int64(16), "w": np.float64(2.5)})
+                == config_hash({"n": 16, "w": 2.5}))
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [True, None]}) == '{"a":[true,null],"b":1}'
+
+
+class TestRunRecord:
+    def test_hash_and_timestamp_filled_in(self):
+        record = RunRecord(label="x", kind="engine", config={"seed": 1})
+        assert record.config_hash == config_hash({"seed": 1})
+        assert record.created  # ISO timestamp auto-stamped
+
+    def test_line_round_trip(self):
+        result = engine_result()
+        record = RunRecord(label="x", kind="engine", config={"seed": 7},
+                           seeds=[7], result=result_payload(result),
+                           timing={"seconds": 0.5})
+        clone = RunRecord.from_line(record.as_line())
+        assert clone == record
+        assert clone.trace() == [float(v) for v in result.trace_max_min]
+        assert clone.metric("final_max_min") == result.final_max_min
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown run-record fields"):
+            RunRecord.from_line('{"label": "x", "kind": "engine", '
+                                '"config": {}, "surprise": 1}')
+
+    def test_metric_and_trace_defaults_without_result(self):
+        record = RunRecord(label="x", kind="benchmark", config={})
+        assert record.trace() is None
+        assert record.metric("final_max_min", default=-1) == -1
+
+    def test_env_excluded_from_hash(self):
+        record = RunRecord(label="x", kind="engine", config={"seed": 1},
+                           env={"python": "0.0"})
+        assert record.config_hash == config_hash({"seed": 1})
+        assert env_fingerprint()["python"] != "0.0"
+
+
+class TestRunStore:
+    def test_append_and_read_back(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        assert not store.exists()
+        record = record_run(store, "first", "engine", {"seed": 1}, seeds=[1],
+                            result=engine_result(seed=1))
+        assert store.exists()
+        records = store.records()
+        assert len(records) == 1
+        assert records[0] == record
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        store = RunStore(tmp_path / "deep" / "nested" / "runs.jsonl")
+        record_run(store, "x", "engine", {"seed": 1}, seeds=[1])
+        assert store.exists()
+
+    def test_missing_store_errors(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no such run store"):
+            RunStore(tmp_path / "nope.jsonl").records()
+
+    def test_corrupt_line_errors_with_location(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        record_run(store, "good", "engine", {"seed": 1}, seeds=[1])
+        with path.open("a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ExperimentError, match=r"runs\.jsonl:2"):
+            store.records()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        record_run(store, "x", "engine", {"seed": 1}, seeds=[1])
+        with path.open("a") as handle:
+            handle.write("\n\n")
+        assert len(store.records()) == 1
+
+
+class TestSelect:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        record_run(store, "alpha", "engine", {"seed": 1}, seeds=[1])
+        record_run(store, "beta", "engine", {"seed": 2}, seeds=[2])
+        record_run(store, "alpha", "engine", {"seed": 3}, seeds=[3])
+        return store
+
+    def test_latest(self, store):
+        assert store.select().seeds == [3]
+        assert store.select("latest").seeds == [3]
+
+    def test_index(self, store):
+        assert store.select("#0").label == "alpha"
+        assert store.select("#1").label == "beta"
+
+    def test_bad_index(self, store):
+        with pytest.raises(ExperimentError, match="bad record index"):
+            store.select("#9")
+
+    def test_label_latest_wins(self, store):
+        assert store.select("alpha").seeds == [3]
+
+    def test_hash_prefix(self, store):
+        target = store.records()[1]
+        assert store.select(target.config_hash[:12]) == target
+
+    def test_ambiguous_prefix(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        record_run(store, "a", "engine", {"seed": 1}, seeds=[1])
+        record_run(store, "b", "engine", {"seed": 1}, seeds=[1])
+        prefix = store.records()[0].config_hash[:8]
+        with pytest.raises(ExperimentError, match="ambiguous"):
+            store.select(prefix)
+
+    def test_no_match(self, store):
+        with pytest.raises(ExperimentError, match="no record"):
+            store.select("zzzz")
+
+    def test_empty_store(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text("")
+        with pytest.raises(ExperimentError, match="is empty"):
+            RunStore(path).select()
+
+
+class TestRecordSweepOutcomes:
+    def test_cells_stored_with_timing_envelopes(self, tmp_path):
+        configuration = SweepConfiguration(
+            algorithm="algorithm2", topology="torus", num_nodes=16,
+            tokens_per_node=8, rng_mode="counter")
+        _, outcomes = grid_sweep_with_outcomes([configuration], seeds=[1, 2],
+                                               record_trace=True)
+        store = RunStore(tmp_path / "sweep.jsonl")
+        records = record_sweep_outcomes(store, "grid", outcomes)
+        assert len(records) == 2
+        for record, outcome in zip(records, outcomes):
+            assert record.kind == "sweep"
+            assert record.seeds == [outcome.cell.seed]
+            assert record.timing["seconds"] == outcome.seconds
+            assert record.trace() == [float(v) for v
+                                      in outcome.result.trace_max_min]
+        # the seed is part of the stored config, so the two cells differ
+        assert records[0].config_hash != records[1].config_hash
+
+
+class TestBenchWriter:
+    def test_writes_historical_payload_shape(self, tmp_path):
+        rows = [{"W": 100, "speedup": np.float64(3.5)}]
+        path = write_benchmark_record("bench_x", "a description", rows,
+                                      tmp_path / "BENCH_x.json")
+        payload = json.loads(path.read_text())
+        assert list(payload) == ["benchmark", "description", "python",
+                                 "numpy", "rows"]
+        assert payload["benchmark"] == "bench_x"
+        assert payload["rows"] == [{"W": 100, "speedup": 3.5}]
+
+    def test_extra_keys_merged(self, tmp_path):
+        path = write_benchmark_record("bench_x", "d", [{"W": 1}],
+                                      tmp_path / "BENCH_x.json",
+                                      extra={"cpus": 4})
+        assert json.loads(path.read_text())["cpus"] == 4
+
+    def test_optional_store_append(self, tmp_path):
+        store_path = tmp_path / "store.jsonl"
+        write_benchmark_record("bench_x", "d", [{"W": 1, "seconds": 0.25}],
+                               tmp_path / "BENCH_x.json", store=store_path,
+                               config={"sizes": [1]}, seeds=[11])
+        record = RunStore(store_path).records()[0]
+        assert record.kind == "benchmark"
+        assert record.label == "bench_x"
+        assert record.seeds == [11]
+        assert record.config["benchmark"] == "bench_x"
+        assert record.timing["rows"][0]["seconds"] == 0.25

@@ -157,3 +157,164 @@ class TestCommands:
         assert "audited" in output
         assert "clean" in output
         assert "Theorem 3 bound" in output
+
+
+class TestStoreAndReportCommands:
+    def _populate(self, store_path):
+        exit_code = main(["sweep", "--algorithm", "algorithm2",
+                          "--topology", "torus", "--nodes", "16",
+                          "--tokens-per-node", "8", "--seeds", "1", "2",
+                          "--rng-mode", "counter",
+                          "--store", str(store_path),
+                          "--store-label", "test-sweep"])
+        assert exit_code == 0
+        return store_path
+
+    def test_sweep_store_writes_per_seed_records(self, tmp_path, capsys):
+        from repro.store import RunStore
+
+        store_path = self._populate(tmp_path / "runs.jsonl")
+        assert "stored 2 record(s)" in capsys.readouterr().out
+        records = RunStore(store_path).records()
+        assert [record.label for record in records] == ["test-sweep"] * 2
+        assert all(record.kind == "sweep" for record in records)
+        assert all(record.trace() for record in records)
+        assert all(record.timing["seconds"] > 0 for record in records)
+
+    def test_dynamic_store_records_run(self, tmp_path, capsys):
+        from repro.store import RunStore
+
+        store_path = tmp_path / "runs.jsonl"
+        exit_code = main(["dynamic", "--nodes", "16", "--rounds", "20",
+                          "--rng-mode", "counter", "--store", str(store_path),
+                          "--store-label", "test-dyn"])
+        assert exit_code == 0
+        record = RunStore(store_path).records()[0]
+        assert record.kind == "dynamic"
+        assert record.label == "test-dyn"
+        assert record.timing["seconds"] > 0
+
+    def test_report_lists_records(self, tmp_path, capsys):
+        store_path = self._populate(tmp_path / "runs.jsonl")
+        capsys.readouterr()
+        exit_code = main(["report", "--store", str(store_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "2 record(s)" in output
+        assert "test-sweep" in output
+        assert "max-min discrepancy per round" in output
+
+    def test_report_diff(self, tmp_path, capsys):
+        store_path = self._populate(tmp_path / "runs.jsonl")
+        capsys.readouterr()
+        exit_code = main(["report", "--store", str(store_path),
+                          "--diff", "#0", "#1", "--no-chart"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "final_max_min" in output and "delta" in output
+
+    def test_report_missing_store_exits_2(self, tmp_path, capsys):
+        exit_code = main(["report", "--store", str(tmp_path / "nope.jsonl")])
+        assert exit_code == 2
+        assert "no such run store" in capsys.readouterr().err
+
+    def test_check_regression_passes_on_rerun(self, tmp_path, capsys):
+        baseline = self._populate(tmp_path / "baseline.jsonl")
+        candidate = self._populate(tmp_path / "candidate.jsonl")
+        capsys.readouterr()
+        exit_code = main(["report", "--store", str(candidate),
+                          "--check-regression",
+                          "--baseline-store", str(baseline)])
+        assert exit_code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_regression_trips_on_trace_drift(self, tmp_path, capsys):
+        import json
+
+        baseline = self._populate(tmp_path / "baseline.jsonl")
+        drifted = tmp_path / "drifted.jsonl"
+        records = [json.loads(line) for line in baseline.read_text().splitlines()]
+        for record in records:
+            record["result"]["trace_max_min"][-1] += 1.0
+        drifted.write_text("".join(json.dumps(record) + "\n"
+                                   for record in records))
+        capsys.readouterr()
+        exit_code = main(["report", "--store", str(drifted),
+                          "--check-regression", "--baseline-store", str(baseline)])
+        assert exit_code == 1
+        assert "trace-drift" in capsys.readouterr().out
+
+    def test_check_regression_trips_on_injected_slowdown(self, tmp_path, capsys):
+        import json
+
+        baseline = self._populate(tmp_path / "baseline.jsonl")
+        slow = tmp_path / "slow.jsonl"
+        records = [json.loads(line) for line in baseline.read_text().splitlines()]
+        for record in records:
+            record["timing"] = {"seconds": 999.0}
+        slow.write_text("".join(json.dumps(record) + "\n" for record in records))
+        capsys.readouterr()
+        exit_code = main(["report", "--store", str(slow),
+                          "--check-regression", "--baseline-store", str(baseline),
+                          "--max-timing-ratio", "3"])
+        assert exit_code == 1
+        assert "timing" in capsys.readouterr().out
+
+    def test_check_regression_requires_baseline(self, tmp_path, capsys):
+        store_path = self._populate(tmp_path / "runs.jsonl")
+        with pytest.raises(SystemExit):
+            main(["report", "--store", str(store_path), "--check-regression"])
+        assert "requires --baseline-store" in capsys.readouterr().err
+
+    def test_sweep_telemetry_streams_to_stderr(self, capsys):
+        exit_code = main(["sweep", "--algorithm", "algorithm2",
+                          "--topology", "torus", "--nodes", "16",
+                          "--tokens-per-node", "8", "--seeds", "1",
+                          "--rng-mode", "counter", "--telemetry", "5"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "[engine] run_start" in captured.err
+        assert "[engine] run_end" in captured.err
+        assert "[engine]" not in captured.out  # telemetry stays off stdout
+
+    def test_ci_baseline_store_matches_fresh_runs(self, tmp_path, capsys):
+        """The checked-in CI baseline must stay reproducible bit-for-bit."""
+        import pathlib
+
+        baseline = (pathlib.Path(__file__).resolve().parent.parent
+                    / "ci" / "baseline_store.jsonl")
+        store_path = tmp_path / "fresh.jsonl"
+        for argv in (
+            ["sweep", "--algorithm", "algorithm2", "--nodes", "16",
+             "--tokens-per-node", "8", "--seeds", "1", "2",
+             "--rng-mode", "counter", "--store", str(store_path),
+             "--store-label", "ci-sweep"],
+            ["sweep", "--algorithm", "round-down", "--nodes", "16",
+             "--tokens-per-node", "8", "--seeds", "1",
+             "--rng-mode", "counter", "--store", str(store_path),
+             "--store-label", "ci-rounddown"],
+            ["dynamic", "--nodes", "16", "--rounds", "40",
+             "--rng-mode", "counter", "--store", str(store_path),
+             "--store-label", "ci-dynamic"],
+        ):
+            assert main(argv) == 0
+        capsys.readouterr()
+        exit_code = main(["report", "--store", str(store_path),
+                          "--check-regression", "--baseline-store",
+                          str(baseline)])
+        assert exit_code == 0, capsys.readouterr().out
+
+    def test_sweep_store_and_telemetry_together(self, tmp_path, capsys):
+        """--store routes through the outcome driver; the bus must ride along."""
+        from repro.store import RunStore
+
+        store_path = tmp_path / "runs.jsonl"
+        exit_code = main(["sweep", "--algorithm", "algorithm2",
+                          "--topology", "torus", "--nodes", "16",
+                          "--tokens-per-node", "8", "--seeds", "1",
+                          "--rng-mode", "counter", "--store", str(store_path),
+                          "--telemetry", "10"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "[parallel] cell_done" in captured.err
+        assert len(RunStore(store_path).records()) == 1
