@@ -114,14 +114,15 @@ def run_curve(workers_list=WORKERS_LIST, scale: str = "full"):
                          else getattr(outcome.cell.spec, "seed", None)),
                 "seconds": round(outcome.seconds, 4),
             } for outcome in outcomes]
-        timings = timing_summary(outcomes)
+        timings = timing_summary(outcomes, wall_seconds=wall)
         rows.append({
             "workers": workers,
             "cells": len(cells),
-            "wall_seconds": round(wall, 4),
+            "wall_seconds": timings["wall_seconds"],
             "speedup": round(serial_seconds / wall, 2),
             "efficiency": round(serial_seconds / wall / workers, 2),
             "busy_seconds": timings["busy_seconds"],
+            "utilization": timings["utilization"],
             "pool_processes": timings["workers_used"],
             "identical_to_serial": prints == reference,
         })

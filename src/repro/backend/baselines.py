@@ -32,6 +32,7 @@ from ..discrete.baselines.diffusion import (
     RoundDownSecondOrder,
 )
 from ..exceptions import ProcessError
+from ..obs.kernels import kernel_phase
 
 __all__ = [
     "ArrayRoundDownDiffusion",
@@ -101,6 +102,10 @@ class ArrayExcessTokenDiffusion(ExcessTokenDiffusion):
             )
 
     def _execute_round(self) -> None:
+        with kernel_phase("baseline/excess-array"):
+            self._vectorized_round()
+
+    def _vectorized_round(self) -> None:
         floors, excess = self._counter_flow_plan()
         degrees = self.network.degrees
         num_candidates = degrees + 1  # every node may also keep a token

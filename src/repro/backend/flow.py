@@ -45,6 +45,7 @@ from ..core.algorithm2 import theorem8_max_avg_bound
 from ..core.flow_imitation import FlowCoupledBalancer, RoundReport
 from ..counter_rng import edge_scores, normalize_counter_seed, validate_rng_mode
 from ..exceptions import ProcessError
+from ..obs.kernels import kernel_phase
 from ..tasks.load import as_token_counts
 from .state import TokenCountState
 
@@ -128,7 +129,12 @@ class ArrayFlowImitation(FlowCoupledBalancer):
     # ------------------------------------------------------------------ #
 
     def _execute_round(self) -> None:
-        self._continuous.advance()
+        with kernel_phase("continuous/advance"):
+            self._continuous.advance()
+        with kernel_phase("flow/array-round"):
+            self._imitate_round()
+
+    def _imitate_round(self) -> None:
         residual = self._continuous.cumulative_flows - self._discrete_cumulative
         active = np.nonzero(residual != 0.0)[0]
         if active.size == 0:

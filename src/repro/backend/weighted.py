@@ -60,6 +60,7 @@ from ..continuous.base import ContinuousProcess
 from ..core.algorithm1 import theorem3_discrepancy_bound
 from ..core.flow_imitation import FlowCoupledBalancer, RoundReport, TaskSelectionPolicy
 from ..exceptions import ProcessError, TaskError
+from ..obs.kernels import kernel_phase
 from ..tasks.assignment import TaskAssignment
 from ..tasks.load import as_token_counts
 from ..tasks.weighted import WeightedLoads, task_integer_weight
@@ -547,7 +548,12 @@ class ArrayWeightedDeterministicFlowImitation(FlowCoupledBalancer):
     # ------------------------------------------------------------------ #
 
     def _execute_round(self) -> None:
-        self._continuous.advance()
+        with kernel_phase("continuous/advance"):
+            self._continuous.advance()
+        with kernel_phase("flow/weighted-round"):
+            self._imitate_round()
+
+    def _imitate_round(self) -> None:
         residual = self._continuous.cumulative_flows - self._discrete_cumulative
         active = np.nonzero(residual != 0.0)[0]
         if active.size == 0:

@@ -132,7 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--telemetry", nargs="?", const=1, type=int,
                          default=None, metavar="N",
                          help="stream per-round telemetry to stderr (every "
-                              "Nth round; single-seed runs only)")
+                              "Nth round; worker events are relayed for "
+                              "--seeds grids)")
+    dynamic.add_argument("--trace", metavar="OUT.json",
+                         help="record a Chrome trace-event profile of the "
+                              "run(s) (open in chrome://tracing / Perfetto)")
+    dynamic.add_argument("--progress", action="store_true",
+                         help="render a live cells-done/ETA line on stderr "
+                              "(--seeds grids)")
 
     sweep = subparsers.add_parser("sweep", help="run one configuration over several seeds")
     sweep.add_argument("--algorithm", required=True, choices=list(ALL_ALGORITHMS))
@@ -162,7 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--telemetry", nargs="?", const=1, type=int,
                        default=None, metavar="N",
                        help="stream per-round telemetry to stderr (every Nth "
-                            "round; serial runs only)")
+                            "round; worker events are relayed for --workers "
+                            "runs)")
+    sweep.add_argument("--trace", metavar="OUT.json",
+                       help="record a Chrome trace-event profile of the runs "
+                            "(open in chrome://tracing / Perfetto)")
+    sweep.add_argument("--progress", action="store_true",
+                       help="render a live cells-done/ETA line on stderr")
 
     grid = subparsers.add_parser(
         "grid", help="sharded sweep grid: algorithms x topologies x seeds")
@@ -188,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "is sharded at (cell, seed) granularity")
     grid.add_argument("--legacy-seeding", action="store_true",
                       help="reuse one integer seed per run for every component")
+    grid.add_argument("--telemetry", nargs="?", const=1, type=int,
+                      default=None, metavar="N",
+                      help="stream per-round telemetry to stderr (every Nth "
+                           "round; worker events are relayed to the driver)")
+    grid.add_argument("--trace", metavar="OUT.json",
+                      help="record a Chrome trace-event profile of the grid — "
+                           "one pid per pool worker, one tid per cell (open "
+                           "in chrome://tracing / Perfetto)")
+    grid.add_argument("--progress", action="store_true",
+                      help="render a live cells-done/ETA line on stderr")
 
     audit = subparsers.add_parser(
         "audit", help="run a flow-imitation algorithm and check the paper's invariants each round")
@@ -224,18 +247,63 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fail when a run exceeds this multiple of the "
                              "baseline wall-clock (timing checks are off "
                              "unless set)")
+
+    trace = subparsers.add_parser(
+        "trace", help="profile stored runs: hot-kernel table and Chrome "
+                      "trace conversion")
+    trace.add_argument("--store", required=True,
+                       help="JSONL run store to read (runs recorded by "
+                            "'sweep --store' carry kernel-phase summaries "
+                            "when traced)")
+    trace.add_argument("--out", metavar="OUT.json",
+                       help="write the records as Chrome trace-event JSON "
+                            "(open in chrome://tracing / Perfetto)")
+    trace.add_argument("--top", type=int, default=10,
+                       help="rows in the hot-kernel table (default 10)")
     return parser
 
 
-def _telemetry_bus(every: Optional[int]):
-    """A bus with a stderr console subscriber, or ``None`` when not asked for."""
-    if every is None:
-        return None
-    from .obs import ConsoleSubscriber, MetricsBus
+def _instrument(telemetry: Optional[int], trace: Optional[str],
+                progress: bool, total_cells: int, label: str):
+    """Wire the shared observability flags into ``(bus, tracer, renderer)``.
 
-    bus = MetricsBus()
-    bus.subscribe(ConsoleSubscriber(every=every, stream=sys.stderr))
-    return bus
+    ``--telemetry N`` attaches a stderr console subscriber, ``--trace OUT``
+    attaches a :class:`~repro.obs.trace.Tracer`, and ``--progress`` builds a
+    live :class:`~repro.obs.progress.GridProgress` status line.  Any of the
+    three may be ``None`` when the corresponding flag is absent.
+    """
+    bus = tracer = renderer = None
+    if telemetry is not None or trace:
+        from .obs import ConsoleSubscriber, MetricsBus, Tracer
+
+        bus = MetricsBus()
+        if telemetry is not None:
+            bus.subscribe(ConsoleSubscriber(every=telemetry, stream=sys.stderr))
+        if trace:
+            tracer = Tracer(label=label).attach(bus)
+    if progress and total_cells:
+        from .obs import GridProgress
+
+        renderer = GridProgress(total_cells, label=label)
+    return bus, tracer, renderer
+
+
+def _finish_instrumentation(trace_path: Optional[str], tracer, renderer) -> None:
+    """Close the progress line, then write the Chrome trace + hot kernels."""
+    if renderer is not None:
+        renderer.finish()
+    if tracer is None:
+        return
+    tracer.detach()
+    path = tracer.write(trace_path)
+    rows = tracer.hot_kernels()
+    if rows:
+        print("hot kernels:")
+        print(format_table(rows))
+    summary = tracer.summary()
+    print(f"wrote Chrome trace ({summary['spans']} spans, "
+          f"{summary['rounds']} rounds) to {path} — open in chrome://tracing "
+          f"or https://ui.perfetto.dev")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -304,16 +372,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         if args.seeds:
             scenarios = expand_seeds(scenario, args.seeds)
-            results = run_dynamic_grid(scenarios, workers=args.workers)
+            bus, tracer, renderer = _instrument(
+                args.telemetry, args.trace, args.progress,
+                total_cells=len(scenarios), label="dynamic")
+            results = run_dynamic_grid(scenarios, workers=args.workers,
+                                       bus=bus, progress=renderer)
             timings = [None] * len(results)
         else:
             import time
 
             scenarios = [scenario]
+            bus, tracer, renderer = _instrument(
+                args.telemetry, args.trace, False, 0, label="dynamic")
             start = time.perf_counter()
-            results = [run_dynamic_scenario(scenario,
-                                            bus=_telemetry_bus(args.telemetry))]
+            results = [run_dynamic_scenario(scenario, bus=bus)]
             timings = [time.perf_counter() - start]
+        _finish_instrumentation(args.trace, tracer, renderer)
         rows = []
         for cell, result in zip(scenarios, results):
             band = theorem3_discrepancy_bound(result.max_degree,
@@ -343,14 +417,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             rows_to_csv(rows, args.csv)
             print(f"wrote {args.csv}")
         if args.store:
-            from dataclasses import asdict
-
             from .store import RunStore, record_run
 
             store = RunStore(args.store)
             for cell, result, seconds in zip(scenarios, results, timings):
                 record_run(store, args.store_label, "dynamic",
-                           {**asdict(cell), "kind": "dynamic"},
+                           {**cell.to_dict(), "kind": "dynamic"},
                            seeds=[cell.seed], result=result,
                            timing=None if seconds is None
                            else {"seconds": seconds})
@@ -364,7 +436,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             continuous_kind=args.continuous, backend=args.backend,
             rng_mode=args.rng_mode,
         )
-        bus = _telemetry_bus(args.telemetry) if args.workers <= 1 else None
+        bus, tracer, renderer = _instrument(
+            args.telemetry, args.trace, args.progress,
+            total_cells=len(args.seeds), label="sweep")
         if args.store:
             from .simulation.parallel import grid_sweep_with_outcomes
             from .store import RunStore, record_sweep_outcomes
@@ -373,15 +447,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # traces are recorded so stored runs diff as trajectories.
             results, outcomes = grid_sweep_with_outcomes(
                 [configuration], args.seeds, workers=args.workers,
-                record_trace=True, legacy_seeding=args.legacy_seeding, bus=bus)
+                record_trace=True, legacy_seeding=args.legacy_seeding, bus=bus,
+                progress=renderer)
             result = results[0]
             store = RunStore(args.store)
             record_sweep_outcomes(store, args.store_label, outcomes)
+            _finish_instrumentation(args.trace, tracer, renderer)
             print(format_table([result.as_row()]))
             print(f"stored {len(outcomes)} record(s) in {store.path}")
         else:
-            result = run_sweep(configuration, seeds=args.seeds, workers=args.workers,
-                               legacy_seeding=args.legacy_seeding, bus=bus)
+            from .simulation.parallel import parallel_sweep
+
+            if args.workers > 1 or renderer is not None:
+                result = parallel_sweep(configuration, args.seeds,
+                                        workers=args.workers,
+                                        legacy_seeding=args.legacy_seeding,
+                                        bus=bus, progress=renderer)
+            else:
+                result = run_sweep(configuration, seeds=args.seeds,
+                                   workers=args.workers,
+                                   legacy_seeding=args.legacy_seeding, bus=bus)
+            _finish_instrumentation(args.trace, tracer, renderer)
             print(format_table([result.as_row()]))
     elif args.command == "grid":
         from .simulation.parallel import parallel_grid_sweep
@@ -408,9 +494,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Always the sharded path: --workers defaults to one per core here
         # (run_cells resolves None), unlike the library grid_sweep whose
         # default stays serial.
+        bus, tracer, renderer = _instrument(
+            args.telemetry, args.trace, args.progress,
+            total_cells=len(configurations) * len(args.seeds), label="grid")
         results = parallel_grid_sweep(configurations, seeds=args.seeds,
                                       workers=args.workers,
-                                      legacy_seeding=args.legacy_seeding)
+                                      legacy_seeding=args.legacy_seeding,
+                                      bus=bus, progress=renderer)
+        _finish_instrumentation(args.trace, tracer, renderer)
         print(format_table([result.as_row() for result in results]))
     elif args.command == "audit":
         from .continuous.fos import FirstOrderDiffusion
@@ -482,6 +573,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ExperimentError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    elif args.command == "trace":
+        import json
+        import pathlib
+
+        from .exceptions import ExperimentError
+        from .obs.trace import chrome_from_records, hot_kernel_rows
+        from .store import RunStore
+
+        try:
+            store = RunStore(args.store)
+            records = store.records()
+        except ExperimentError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{len(records)} record(s) in {store.path}")
+        rows = hot_kernel_rows(records, top=args.top)
+        if rows:
+            print("hot kernels:")
+            print(format_table(rows))
+        else:
+            print("no kernel-phase summaries in this store (record runs "
+                  "with 'sweep --store ... --trace ...' to collect them)")
+        if args.out:
+            trace = chrome_from_records(records)
+            out = pathlib.Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(trace) + "\n")
+            print(f"wrote Chrome trace ({len(trace['traceEvents'])} events) "
+                  f"to {out} — open in chrome://tracing or "
+                  f"https://ui.perfetto.dev")
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

@@ -39,6 +39,7 @@ import numpy as np
 from ..continuous.base import BALANCE_TOLERANCE, ContinuousProcess
 from ..discrete.base import DiscreteBalancer
 from ..exceptions import ConvergenceError, ProcessError, TaskError
+from ..obs.kernels import kernel_phase
 from ..tasks.assignment import TaskAssignment
 from ..tasks.load import as_token_counts
 from ..tasks.task import Task, TaskFactory
@@ -336,7 +337,12 @@ class FlowImitationBalancer(FlowCoupledBalancer):
     # ------------------------------------------------------------------ #
 
     def _execute_round(self) -> None:
-        self._continuous.advance()
+        with kernel_phase("continuous/advance"):
+            self._continuous.advance()
+        with kernel_phase("flow/object-round"):
+            self._imitate_round()
+
+    def _imitate_round(self) -> None:
         residual = self._continuous.cumulative_flows - self._discrete_cumulative
 
         # Partition residuals into per-sender requests (only one direction of an

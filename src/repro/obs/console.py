@@ -10,6 +10,7 @@ it to the run's bus, which is the quickest way to see the bus in action::
 from __future__ import annotations
 
 import sys
+import time
 from typing import IO, Optional
 
 from .bus import TelemetryEvent
@@ -22,6 +23,11 @@ _PER_ROUND_KINDS = ("round", "stream_round")
 class ConsoleSubscriber:
     """Print telemetry events as they are emitted.
 
+    Each line is prefixed with the seconds elapsed since the subscriber was
+    created (``+1.204s``), and the stream is flushed after every line so
+    piped output (``| tee``, CI log capture) stays live rather than arriving
+    in one buffered burst at exit.
+
     Parameters
     ----------
     every:
@@ -31,19 +37,24 @@ class ConsoleSubscriber:
         Output stream; defaults to ``sys.stdout``.
     """
 
-    def __init__(self, every: int = 1, stream: Optional[IO[str]] = None) -> None:
+    def __init__(self, every: int = 1, stream: Optional[IO[str]] = None,
+                 clock=time.perf_counter) -> None:
         if every < 1:
             raise ValueError("every must be at least 1")
         self._every = every
         self._stream = stream if stream is not None else sys.stdout
         self._round_events = 0
+        self._clock = clock
+        self._started = clock()
 
     def __call__(self, event: TelemetryEvent) -> None:
         if event.kind in _PER_ROUND_KINDS:
             self._round_events += 1
             if self._round_events % self._every:
                 return
-        self._stream.write(self.format(event) + "\n")
+        elapsed = self._clock() - self._started
+        self._stream.write(f"+{elapsed:.3f}s {self.format(event)}\n")
+        self._stream.flush()
 
     @staticmethod
     def format(event: TelemetryEvent) -> str:

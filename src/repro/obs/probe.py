@@ -16,12 +16,14 @@ uninstrumented runs at a single attribute-check of overhead.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
-from ..core.flow_imitation import FlowCoupledBalancer
-from ..discrete.base import DiscreteBalancer
 from ..tasks.load import max_min_discrepancy
 from .bus import MetricsBus
+from .kernels import drain_round_phases
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..discrete.base import DiscreteBalancer
 
 __all__ = ["RoundProbe"]
 
@@ -69,8 +71,14 @@ class RoundProbe:
         """Whether emitting is worth the payload work right now."""
         return self._bus.active
 
-    def after_round(self, balancer: DiscreteBalancer, seconds: float) -> None:
+    def after_round(self, balancer: "DiscreteBalancer", seconds: float) -> None:
         """Observe one executed round of ``balancer`` (read-only) and emit."""
+        # imported here, not at module top: the kernels wrap their hot
+        # sections in repro.obs.kernels phase blocks, so the core modules
+        # import this package — a top-level import back into core would be
+        # circular
+        from ..core.flow_imitation import FlowCoupledBalancer
+
         self._rounds_seen += 1
         self._kernel_seconds += seconds
         if not self._bus.active:
@@ -82,6 +90,9 @@ class RoundProbe:
             max_min=max_min_discrepancy(loads, balancer.network),
             total_load=float(loads.sum()),
         )
+        phases = drain_round_phases()
+        if phases is not None:
+            payload["kernel_phases"] = phases
         if isinstance(balancer, FlowCoupledBalancer):
             report = balancer._reports[-1] if balancer._reports else None
             if report is not None and report.round_index == balancer.round_index - 1:

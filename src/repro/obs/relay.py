@@ -1,0 +1,134 @@
+"""Cross-process telemetry relay: worker-side capture, driver-side re-emit.
+
+A :class:`~repro.obs.bus.MetricsBus` is synchronous and in-process, so the
+sharded grid driver (:mod:`repro.simulation.parallel`) historically reported
+only driver-side ``cell_done`` envelopes — every round, kernel and recouple
+inside a pool worker went unrecorded.  This module closes that gap:
+
+* each worker runs its cell against a **private** bus with a
+  :class:`TelemetryRecorder` subscribed, freezing every event into a
+  picklable :class:`CapturedEvent` (payload + monotonic capture timestamp);
+* the captured stream rides back to the driver inside the cell's
+  :class:`~repro.simulation.parallel.CellOutcome` — the pool's own result
+  queue, so no spool files or extra queues are needed — and
+  :func:`relay_outcome` re-publishes each event on the driver's main bus,
+  tagged with ``(worker, cell, cell_seed)`` identity plus the worker-side
+  ``ts``.
+
+Because the workers execute exactly the serial per-cell functions and the
+probes are read-only, the relayed stream is the serial stream *plus
+attribution*: for any cell, the relayed events equal the events a serial run
+of that cell emits, modulo the :data:`ATTRIBUTION_FIELDS` added by the relay
+and the :data:`TIMING_FIELDS` that are wall-clock measurements (enforced for
+worker counts 1/2/4 by ``tests/obs/test_relay.py``).  Use
+:func:`event_signature` to compare streams under exactly that contract.
+
+Capture timestamps use :func:`time.perf_counter`, which on Linux is the
+system-wide monotonic clock — timestamps from different pool workers are
+mutually comparable, which is what lets the Chrome trace exporter
+(:mod:`repro.obs.trace`) lay worker pids out on one timeline.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .bus import MetricsBus, TelemetryEvent
+
+__all__ = [
+    "ATTRIBUTION_FIELDS",
+    "TIMING_FIELDS",
+    "CapturedEvent",
+    "TelemetryRecorder",
+    "relay_outcome",
+    "event_signature",
+]
+
+#: Payload keys that identify where an event came from rather than what it
+#: measured: the relay's own tags plus the ``cell_done`` envelope's
+#: ``worker_pid``/``position`` scheduling metadata.
+ATTRIBUTION_FIELDS = ("worker", "cell", "cell_seed", "ts",
+                      "worker_pid", "position")
+
+#: Payload keys that are wall-clock measurements and therefore vary run to
+#: run even when the trajectory is bit-identical.
+TIMING_FIELDS = ("kernel_seconds", "kernel_phases", "seconds", "started")
+
+
+@dataclass(frozen=True)
+class CapturedEvent:
+    """One frozen, picklable telemetry event plus its capture timestamp.
+
+    ``ts`` is the worker's :func:`time.perf_counter` at emission time.
+    """
+
+    ts: float
+    kind: str
+    source: str
+    round_index: Optional[int]
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+class TelemetryRecorder:
+    """A bus subscriber that freezes every event into a :class:`CapturedEvent`.
+
+    Workers subscribe one of these to their private bus; the recorded list is
+    the cell's complete, ordered telemetry stream.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.events: List[CapturedEvent] = []
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        self.events.append(CapturedEvent(
+            ts=self._clock(), kind=event.kind, source=event.source,
+            round_index=event.round_index, payload=dict(event.payload)))
+
+
+def relay_outcome(bus: Optional[MetricsBus], captured: List[CapturedEvent],
+                  worker: int, cell: int, cell_seed: Optional[int]) -> int:
+    """Re-publish one cell's captured events on the driver bus, attributed.
+
+    Every event is re-emitted in capture order with ``worker`` (the pool
+    worker's pid), ``cell`` (the cell's grid index), ``cell_seed`` and the
+    worker-side ``ts`` added to the payload; original payload keys always
+    win over attribution on a name collision.  Returns the number of events
+    relayed (0 when the bus is absent or unobserved).
+    """
+    if bus is None or not bus.active or not captured:
+        return 0
+    for event in captured:
+        payload = {"worker": worker, "cell": cell, "cell_seed": cell_seed,
+                   "ts": event.ts}
+        payload.update(event.payload)
+        bus.publish(TelemetryEvent(kind=event.kind, source=event.source,
+                                   round_index=event.round_index,
+                                   payload=payload))
+    return len(captured)
+
+
+def event_signature(event, timing: bool = True) -> Tuple:
+    """The comparable fingerprint of an event, minus relay attribution.
+
+    Strips :data:`ATTRIBUTION_FIELDS` and — unless ``timing=False`` —
+    :data:`TIMING_FIELDS` from the payload, so a relayed stream and a serial
+    stream of the same cell compare equal exactly when they carry the same
+    telemetry.  Accepts both :class:`~repro.obs.bus.TelemetryEvent` and
+    :class:`CapturedEvent`.
+    """
+    dropped = set(ATTRIBUTION_FIELDS)
+    if timing:
+        dropped.update(TIMING_FIELDS)
+    payload = tuple(sorted(
+        (key, repr(value)) for key, value in event.payload.items()
+        if key not in dropped))
+    return (event.kind, event.source, event.round_index, payload)
+
+
+def worker_pid() -> int:
+    """The calling process's pid (the relay's worker identity)."""
+    return os.getpid()

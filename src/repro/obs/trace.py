@@ -1,0 +1,510 @@
+"""Span tracing: turn bus telemetry into a Chrome trace-event profile.
+
+A :class:`Tracer` subscribes to a :class:`~repro.obs.bus.MetricsBus` and
+builds a span tree out of the event stream:
+
+* ``run_start`` / ``run_end`` bracket a **run span** per ``(pid, tid)``;
+* each ``"round"`` event becomes a **round span** whose duration is the
+  probe-measured kernel wall-clock, with the per-phase kernel breakdown
+  (:mod:`repro.obs.kernels`) nested as child spans and the flow counters
+  (tokens moved, active edges, dummy tokens) emitted as counter tracks;
+* ``recouple`` / ``stream_round`` / ``audit_violation`` become instant
+  events, ``cell_done`` envelopes become **cell spans**;
+* relayed events (:mod:`repro.obs.relay`) carry ``(worker, cell, ts)``
+  attribution, which maps to **one pid per worker and one tid per cell** —
+  a sharded grid renders as one lane per worker process with its cells and
+  their rounds nested inside.
+
+The output is standard Chrome trace-event JSON (:meth:`Tracer.write`): open
+it in ``chrome://tracing`` or https://ui.perfetto.dev.  Timestamps are
+microseconds on the system-wide monotonic clock, so spans captured in
+different pool workers line up on one timeline.
+
+Tracing is an observer: it changes no trajectory (the probes it listens to
+are read-only, enforced by ``tests/obs/test_trace.py``), and its cost is
+paid only while a subscriber is attached.
+
+:func:`chrome_from_records` and :func:`hot_kernel_rows` additionally rebuild
+a coarse trace (cell spans + aggregate phase spans) from stored
+:class:`~repro.store.runstore.RunRecord` timing envelopes — the ``repro
+trace`` subcommand, for profiling runs recorded by earlier sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Dict, List, Optional, Union
+
+from .bus import MetricsBus, TelemetryEvent
+from .kernels import activate_kernel_clock, deactivate_kernel_clock
+from .relay import CapturedEvent
+
+__all__ = [
+    "Tracer",
+    "cell_trace_summary",
+    "chrome_from_records",
+    "hot_kernel_rows",
+    "validate_chrome_trace",
+]
+
+_US = 1e6  # seconds -> Chrome trace microseconds
+
+#: Round-payload counters surfaced as Chrome counter tracks, in the order
+#: ``(payload key, counter track name)``.
+_ROUND_COUNTERS = (
+    ("tasks_moved", "tokens_moved"),
+    ("weight_moved", "weight_moved"),
+    ("transfers", "active_edges"),
+    ("dummy_tokens_total", "dummy_tokens"),
+)
+
+
+def _read_rss_kb() -> Optional[int]:
+    """Current resident-set size in KiB (Linux ``/proc``; ``None`` elsewhere)."""
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * (os.sysconf("SC_PAGE_SIZE") // 1024)
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        try:
+            import resource
+
+            return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        except Exception:
+            return None
+
+
+class Tracer:
+    """Collect bus telemetry into Chrome trace events and span summaries.
+
+    Parameters
+    ----------
+    label:
+        Name recorded as the trace's driver-process label.
+    wrap_kernels:
+        Activate the per-process :class:`~repro.obs.kernels.KernelClock` for
+        the lifetime of the attachment, so *in-process* (serial) runs report
+        the per-phase kernel breakdown.  Pool workers activate their own
+        clock regardless (see ``repro.simulation.parallel``).
+    sample_rss:
+        Sample the driver's resident-set size on every handled round/cell
+        event into an ``rss_mb`` counter track (Linux; silently off where
+        ``/proc`` is unavailable).
+    clock:
+        Timestamp source; tests inject a fake. Must match the clock used by
+        the relay's capture timestamps.
+    """
+
+    def __init__(self, label: str = "repro", wrap_kernels: bool = True,
+                 sample_rss: bool = False, clock=time.perf_counter) -> None:
+        self._label = label
+        self._wrap_kernels = wrap_kernels
+        self._sample_rss = sample_rss
+        self._clock = clock
+        self._t0 = clock()
+        self._events: List[Dict[str, object]] = []
+        self._open_runs: Dict[tuple, Dict[str, object]] = {}
+        self._seen_pids: Dict[int, str] = {}
+        self._seen_tids: set = set()
+        self._bus: Optional[MetricsBus] = None
+        # run-level aggregates for summary() / hot_kernels()
+        self._rounds = 0
+        self._cells = 0
+        self._kernel_seconds = 0.0
+        self._phase_totals: Dict[str, float] = {}
+        self._phase_counts: Dict[str, int] = {}
+        self._counter_totals: Dict[str, float] = {}
+        self._rss_peak_kb = 0
+        self._driver_pid = os.getpid()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def attach(self, bus: MetricsBus) -> "Tracer":
+        """Subscribe to ``bus`` (and install the kernel clock, if asked)."""
+        if self._bus is not None:
+            raise ValueError("tracer is already attached to a bus")
+        bus.subscribe(self)
+        self._bus = bus
+        if self._wrap_kernels:
+            activate_kernel_clock()
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe and deactivate the kernel clock."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+        if self._wrap_kernels:
+            deactivate_kernel_clock()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------ #
+    # event handling
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        payload = event.payload
+        pid = int(payload.get("worker", self._driver_pid))
+        tid = int(payload.get("cell", 0))
+        end = float(payload.get("ts", self._clock()))
+        self._note_lane(pid, tid)
+        handler = getattr(self, f"_on_{event.kind}", None)
+        if handler is not None:
+            handler(event, pid, tid, end)
+        else:
+            self._instant(event.kind, event.kind, pid, tid, end,
+                          args=self._args(payload))
+        if self._sample_rss and event.kind in ("round", "cell_done"):
+            self._sample_driver_rss(end)
+
+    # -- kinds ---------------------------------------------------------- #
+
+    def _on_run_start(self, event, pid, tid, end) -> None:
+        self._open_runs[(pid, tid)] = {"ts": end, "payload": dict(event.payload)}
+
+    def _on_run_end(self, event, pid, tid, end) -> None:
+        opened = self._open_runs.pop((pid, tid), None)
+        start = opened["ts"] if opened else end
+        started_payload = opened["payload"] if opened else {}
+        algorithm = started_payload.get("algorithm",
+                                        event.payload.get("algorithm", "run"))
+        self._complete(f"run:{algorithm}", "run", pid, tid, start, end - start,
+                       args=self._args(started_payload, event.payload))
+
+    def _on_round(self, event, pid, tid, end) -> None:
+        payload = event.payload
+        dur = float(payload.get("kernel_seconds", 0.0))
+        start = end - dur
+        self._rounds += 1
+        self._kernel_seconds += dur
+        backend = payload.get("backend", "?")
+        self._complete("round", "round", pid, tid, start, dur, args={
+            "round": event.round_index, "backend": backend,
+            **self._args(payload, drop=("kernel_phases",))})
+        phases = payload.get("kernel_phases")
+        if isinstance(phases, dict):
+            cursor = start
+            for name, seconds in phases.items():
+                seconds = float(seconds)
+                self._complete(name, "kernel", pid, tid, cursor, seconds)
+                cursor += seconds
+                self._phase_totals[name] = \
+                    self._phase_totals.get(name, 0.0) + seconds
+                self._phase_counts[name] = self._phase_counts.get(name, 0) + 1
+        for key, track in _ROUND_COUNTERS:
+            value = payload.get(key)
+            if value is not None:
+                self._counter(track, float(value), pid, end)
+                if key != "dummy_tokens_total":  # already a running total
+                    self._counter_totals[track] = \
+                        self._counter_totals.get(track, 0.0) + float(value)
+                else:
+                    self._counter_totals[track] = float(value)
+
+    def _on_stream_round(self, event, pid, tid, end) -> None:
+        payload = event.payload
+        self._instant("stream_round", "stream", pid, tid, end,
+                      args=self._args(payload))
+        for key in ("total_load", "max_min"):
+            if key in payload:
+                self._counter(key, float(payload[key]), pid, end)
+
+    def _on_recouple(self, event, pid, tid, end) -> None:
+        self._instant(f"recouple:{event.payload.get('mode', '?')}", "recouple",
+                      pid, tid, end, args=self._args(event.payload))
+
+    def _on_cell_done(self, event, pid, tid, end) -> None:
+        payload = event.payload
+        seconds = float(payload.get("seconds", 0.0))
+        started = payload.get("started")
+        cell_pid = int(payload.get("worker_pid", pid))
+        cell_tid = int(payload.get("position", payload.get("index", tid)))
+        self._note_lane(cell_pid, cell_tid)
+        span_end = (float(started) + seconds) if started is not None else end
+        self._cells += 1
+        self._complete(f"cell:{payload.get('label', cell_tid)}", "cell",
+                       cell_pid, cell_tid, span_end - seconds, seconds,
+                       args=self._args(payload, drop=("label", "started")))
+
+    def _on_audit_violation(self, event, pid, tid, end) -> None:
+        self._instant("audit_violation", "audit", pid, tid, end,
+                      args=self._args(event.payload))
+
+    # ------------------------------------------------------------------ #
+    # trace-event assembly
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _args(*payloads: Dict[str, object], drop=()) -> Dict[str, object]:
+        merged: Dict[str, object] = {}
+        for payload in payloads:
+            for key, value in payload.items():
+                if key not in drop and isinstance(value, (str, int, float, bool)):
+                    merged.setdefault(key, value)
+        return merged
+
+    def _us(self, ts: float) -> float:
+        return round((ts - self._t0) * _US, 3)
+
+    def _note_lane(self, pid: int, tid: int) -> None:
+        if pid not in self._seen_pids:
+            name = self._label if pid == self._driver_pid else f"worker {pid}"
+            self._seen_pids[pid] = name
+            self._events.append({"ph": "M", "name": "process_name", "pid": pid,
+                                 "tid": 0, "args": {"name": name}})
+        if (pid, tid) not in self._seen_tids:
+            self._seen_tids.add((pid, tid))
+            self._events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                                 "tid": tid, "args": {"name": f"cell {tid}"}})
+
+    def _complete(self, name: str, cat: str, pid: int, tid: int,
+                  start: float, dur: float, args: Optional[dict] = None) -> None:
+        event = {"name": name, "cat": cat, "ph": "X", "ts": self._us(start),
+                 "dur": round(max(dur, 0.0) * _US, 3), "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def _instant(self, name: str, cat: str, pid: int, tid: int, ts: float,
+                 args: Optional[dict] = None) -> None:
+        event = {"name": name, "cat": cat, "ph": "i", "s": "t",
+                 "ts": self._us(ts), "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def _counter(self, name: str, value: float, pid: int, ts: float) -> None:
+        self._events.append({"name": name, "cat": "counter", "ph": "C",
+                             "ts": self._us(ts), "pid": pid, "tid": 0,
+                             "args": {name: value}})
+
+    def _sample_driver_rss(self, ts: float) -> None:
+        rss_kb = _read_rss_kb()
+        if rss_kb is None:
+            return
+        self._rss_peak_kb = max(self._rss_peak_kb, rss_kb)
+        self._counter("rss_mb", round(rss_kb / 1024.0, 2),
+                      self._driver_pid, ts)
+
+    # ------------------------------------------------------------------ #
+    # output
+    # ------------------------------------------------------------------ #
+
+    @property
+    def trace_events(self) -> List[Dict[str, object]]:
+        """The Chrome trace events collected so far (live list)."""
+        return self._events
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate span summary: rounds, kernel seconds, phases, counters."""
+        summary: Dict[str, object] = {
+            "spans": sum(1 for event in self._events if event.get("ph") == "X"),
+            "rounds": self._rounds,
+            "cells": self._cells,
+            "workers": sorted(pid for pid in self._seen_pids
+                              if pid != self._driver_pid) or [self._driver_pid],
+            "kernel_seconds": round(self._kernel_seconds, 6),
+            "phases": {name: {"count": self._phase_counts[name],
+                              "seconds": round(seconds, 6)}
+                       for name, seconds in sorted(self._phase_totals.items())},
+            "counters": {name: round(value, 6)
+                         for name, value in sorted(self._counter_totals.items())},
+        }
+        if self._rss_peak_kb:
+            summary["rss_peak_mb"] = round(self._rss_peak_kb / 1024.0, 2)
+        return summary
+
+    def hot_kernels(self, top: int = 10) -> List[Dict[str, object]]:
+        """The ``top`` most expensive kernel phases, by total seconds."""
+        rows = [{"kernel": name,
+                 "calls": self._phase_counts[name],
+                 "total_seconds": round(seconds, 6),
+                 "mean_ms": round(seconds / self._phase_counts[name] * 1e3, 4)}
+                for name, seconds in self._phase_totals.items()]
+        attributed = sum(self._phase_totals.values())
+        remainder = self._kernel_seconds - attributed
+        if self._rounds and remainder > 0:
+            rows.append({"kernel": "(unattributed round time)",
+                         "calls": self._rounds,
+                         "total_seconds": round(remainder, 6),
+                         "mean_ms": round(remainder / self._rounds * 1e3, 4)})
+        rows.sort(key=lambda row: row["total_seconds"], reverse=True)
+        return rows[:top]
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The complete Chrome trace-event JSON object."""
+        return {"traceEvents": list(self._events),
+                "displayTimeUnit": "ms",
+                "otherData": {"tracer": self._label, **self.summary()}}
+
+    def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the Chrome trace JSON to ``path`` and return it."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome()) + "\n")
+        return path
+
+
+# ---------------------------------------------------------------------- #
+# summaries and store-record conversion
+# ---------------------------------------------------------------------- #
+
+
+def cell_trace_summary(captured: List[CapturedEvent]) -> Dict[str, object]:
+    """Span summary of one cell's captured event stream (JSON friendly).
+
+    This is what the run store keeps per record when a traced grid is stored
+    (``RunRecord.timing["trace"]``): rounds, total kernel seconds, per-phase
+    totals and the flow counters — enough for ``repro trace`` to rebuild a
+    coarse profile from the store later.
+    """
+    rounds = 0
+    kernel_seconds = 0.0
+    phases: Dict[str, float] = {}
+    counters: Dict[str, float] = {}
+    recouplings = 0
+    for event in captured:
+        if event.kind == "round":
+            rounds += 1
+            kernel_seconds += float(event.payload.get("kernel_seconds", 0.0))
+            for name, seconds in (event.payload.get("kernel_phases") or {}).items():
+                phases[name] = phases.get(name, 0.0) + float(seconds)
+            for key, track in _ROUND_COUNTERS:
+                value = event.payload.get(key)
+                if value is None:
+                    continue
+                if key == "dummy_tokens_total":
+                    counters[track] = float(value)
+                else:
+                    counters[track] = counters.get(track, 0.0) + float(value)
+        elif event.kind == "recouple":
+            recouplings += 1
+    summary: Dict[str, object] = {
+        "events": len(captured),
+        "rounds": rounds,
+        "kernel_seconds": round(kernel_seconds, 6),
+        "phases": {name: round(seconds, 6)
+                   for name, seconds in sorted(phases.items())},
+    }
+    if counters:
+        summary["counters"] = {name: round(value, 6)
+                               for name, value in sorted(counters.items())}
+    if recouplings:
+        summary["recouplings"] = recouplings
+    return summary
+
+
+def chrome_from_records(records) -> Dict[str, object]:
+    """Rebuild a coarse Chrome trace from stored run records.
+
+    Each record becomes one cell span (pid = recorded worker pid, tid =
+    record index), laid out sequentially per worker; a record whose timing
+    envelope carries a ``"trace"`` span summary additionally gets its
+    aggregate per-phase kernel spans nested inside the cell span.  The
+    result is a profile of *where the recorded runs spent their time*, not a
+    replay of exact timestamps (the store keeps summaries, not raw spans).
+    """
+    events: List[Dict[str, object]] = [
+        {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+         "args": {"name": "store"}}]
+    cursors: Dict[int, float] = {}
+    seen_pids: set = set()
+    for index, record in enumerate(records):
+        timing = record.timing or {}
+        seconds = float(timing.get("seconds", 0.0))
+        pid = int(timing.get("worker_pid", 0))
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": f"worker {pid}"}})
+        start = cursors.get(pid, 0.0)
+        cursors[pid] = start + seconds
+        events.append({
+            "name": f"cell:{record.label}#{index}", "cat": "cell", "ph": "X",
+            "ts": round(start * _US, 3), "dur": round(seconds * _US, 3),
+            "pid": pid, "tid": index,
+            "args": {"label": record.label, "kind": record.kind,
+                     "config_hash": record.config_hash[:10],
+                     "seeds": list(record.seeds)}})
+        trace = timing.get("trace") or {}
+        cursor = start
+        for name, phase_seconds in (trace.get("phases") or {}).items():
+            phase_seconds = float(phase_seconds)
+            events.append({"name": name, "cat": "kernel", "ph": "X",
+                           "ts": round(cursor * _US, 3),
+                           "dur": round(phase_seconds * _US, 3),
+                           "pid": pid, "tid": index})
+            cursor += phase_seconds
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"records": len(list(records))}}
+
+
+def hot_kernel_rows(records, top: int = 10) -> List[Dict[str, object]]:
+    """Top-``top`` kernel phases aggregated across stored run records."""
+    totals: Dict[str, float] = {}
+    rounds_by_phase: Dict[str, int] = {}
+    unattributed = 0.0
+    total_rounds = 0
+    for record in records:
+        trace = (record.timing or {}).get("trace") or {}
+        rounds = int(trace.get("rounds", 0))
+        total_rounds += rounds
+        attributed = 0.0
+        for name, seconds in (trace.get("phases") or {}).items():
+            totals[name] = totals.get(name, 0.0) + float(seconds)
+            rounds_by_phase[name] = rounds_by_phase.get(name, 0) + rounds
+            attributed += float(seconds)
+        unattributed += max(0.0, float(trace.get("kernel_seconds", 0.0))
+                            - attributed)
+    rows = [{"kernel": name, "rounds": rounds_by_phase[name],
+             "total_seconds": round(seconds, 6),
+             "mean_ms": round(seconds / max(rounds_by_phase[name], 1) * 1e3, 4)}
+            for name, seconds in totals.items()]
+    if unattributed > 0 and total_rounds:
+        rows.append({"kernel": "(unattributed round time)",
+                     "rounds": total_rounds,
+                     "total_seconds": round(unattributed, 6),
+                     "mean_ms": round(unattributed / total_rounds * 1e3, 4)})
+    rows.sort(key=lambda row: row["total_seconds"], reverse=True)
+    return rows[:top]
+
+
+def validate_chrome_trace(trace: Dict[str, object]) -> List[str]:
+    """Sanity-check a Chrome trace object; returns a list of problems.
+
+    Checks the shape CI gates on: a ``traceEvents`` list, every event with
+    ``ph``/``pid``/``tid``, complete events with non-negative ``ts``/``dur``.
+    An empty list means the trace is well-formed.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        if "ph" not in event:
+            problems.append(f"event {index} has no phase ('ph')")
+        if event.get("ph") == "M":
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"event {index} has no integer {key}")
+        if event.get("ph") == "X":
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"event {index} has no numeric ts")
+            if not isinstance(event.get("dur"), (int, float)) \
+                    or event.get("dur", 0) < 0:
+                problems.append(f"event {index} has no non-negative dur")
+    return problems

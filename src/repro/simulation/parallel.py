@@ -25,6 +25,16 @@ per-cell wall-clock timing and the worker pid, so drivers (and the
 ``parallel`` benchmark suite) can report scaling and load-balance without
 touching the :class:`RunResult` payloads being merged.
 
+Telemetry crosses the process boundary by capture-and-relay
+(:mod:`repro.obs.relay`): when the driver bus has a subscriber, each worker
+runs its cell against a private bus with a recorder attached (plus an active
+kernel-phase clock, :mod:`repro.obs.kernels`), and the captured stream rides
+back inside the :class:`CellOutcome`.  The driver re-emits every event on
+the main bus tagged with ``(worker, cell, cell_seed)`` — in **cell input
+order**, buffering out-of-order completions — so the relayed stream is
+identical (modulo attribution and wall-clock fields) at any worker count,
+including ``workers=1``, which uses the same capture path.
+
 Dispatch is chunked: cells are handed to workers ``chunksize`` at a time
 (default: about four chunks per worker) to amortise pickling overhead while
 keeping the queue fine-grained enough that one slow cell does not serialise
@@ -35,11 +45,14 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..exceptions import ExperimentError
+from ..obs.bus import MetricsBus
+from ..obs.kernels import activate_kernel_clock, deactivate_kernel_clock
+from ..obs.relay import CapturedEvent, TelemetryRecorder, relay_outcome
 from .results import RunResult
 from .scenario import DynamicScenario, Scenario, run_dynamic_scenario, run_scenario
 from .sweep import SweepConfiguration, SweepResult, run_sweep_cell
@@ -91,30 +104,59 @@ class CellOutcome:
     """A finished cell: its result plus scheduling metadata.
 
     ``seconds`` is the in-worker wall-clock of the run itself (pickling and
-    queueing excluded); ``worker_pid`` identifies which pool process ran it.
+    queueing excluded) and ``started`` the worker's monotonic clock at cell
+    start; ``worker_pid`` identifies which pool process ran it.  When the
+    cell ran with telemetry capture, ``events`` holds its complete in-worker
+    event stream for the driver to relay.
     """
 
     cell: GridCell
     result: RunResult
     seconds: float
     worker_pid: int
+    started: Optional[float] = None
+    events: Optional[List[CapturedEvent]] = field(default=None, repr=False)
 
 
-def _execute_cell(cell: GridCell) -> CellOutcome:
-    """Run one cell (in a pool worker or inline) — the only execution path."""
-    start = time.perf_counter()
-    if cell.kind == _SWEEP:
-        result = run_sweep_cell(cell.spec, cell.seed,
-                                record_trace=cell.record_trace,
-                                max_rounds=cell.max_rounds,
-                                legacy_seeding=cell.legacy_seeding)
-    elif cell.kind == _SCENARIO:
-        result = run_scenario(cell.spec)
-    else:
-        result = run_dynamic_scenario(cell.spec)
-    seconds = time.perf_counter() - start
+def _execute_cell(cell: GridCell, capture: bool = False) -> CellOutcome:
+    """Run one cell (in a pool worker or inline) — the only execution path.
+
+    With ``capture=True`` the cell runs against a private bus with a
+    :class:`~repro.obs.relay.TelemetryRecorder` subscribed and a kernel-phase
+    clock active, and the recorded stream is returned on the outcome.  The
+    probes are read-only, so the trajectory is bit-identical either way.
+    """
+    bus: Optional[MetricsBus] = None
+    recorder: Optional[TelemetryRecorder] = None
+    if capture:
+        bus = MetricsBus()
+        recorder = TelemetryRecorder()
+        bus.subscribe(recorder)
+        activate_kernel_clock()
+    try:
+        start = time.perf_counter()
+        if cell.kind == _SWEEP:
+            result = run_sweep_cell(cell.spec, cell.seed,
+                                    record_trace=cell.record_trace,
+                                    max_rounds=cell.max_rounds,
+                                    legacy_seeding=cell.legacy_seeding,
+                                    bus=bus)
+        elif cell.kind == _SCENARIO:
+            result = run_scenario(cell.spec, bus=bus)
+        else:
+            result = run_dynamic_scenario(cell.spec, bus=bus)
+        seconds = time.perf_counter() - start
+    finally:
+        if capture:
+            deactivate_kernel_clock()
     return CellOutcome(cell=cell, result=result, seconds=seconds,
-                       worker_pid=os.getpid())
+                       worker_pid=os.getpid(), started=start,
+                       events=recorder.events if recorder is not None else None)
+
+
+def _execute_chunk(cells: Sequence[GridCell], capture: bool) -> List[CellOutcome]:
+    """Pool entry point: run one contiguous chunk of cells in this worker."""
+    return [_execute_cell(cell, capture=capture) for cell in cells]
 
 
 def _available_cores() -> int:
@@ -142,20 +184,40 @@ def _cell_label(cell: GridCell) -> str:
     return getattr(cell.spec, "name", repr(cell.spec))
 
 
-def _emit_cell_done(bus, outcome: CellOutcome) -> None:
+def _emit_cell_done(bus, outcome: CellOutcome, position: Optional[int] = None) -> None:
     """Publish one finished cell's envelope on the driver-side telemetry bus."""
     if bus is None or not bus.active:
         return
     result = outcome.result
-    bus.emit("cell_done", "parallel", cell_kind=outcome.cell.kind,
-             index=outcome.cell.index, seed=outcome.cell.seed,
-             label=_cell_label(outcome.cell), seconds=outcome.seconds,
-             worker_pid=outcome.worker_pid, rounds=result.rounds,
-             max_min=result.final_max_min)
+    payload = dict(cell_kind=outcome.cell.kind, index=outcome.cell.index,
+                   seed=outcome.cell.seed, label=_cell_label(outcome.cell),
+                   seconds=outcome.seconds, worker_pid=outcome.worker_pid,
+                   rounds=result.rounds, max_min=result.final_max_min)
+    if position is not None:
+        payload["position"] = position
+    if outcome.started is not None:
+        payload["started"] = outcome.started
+    bus.emit("cell_done", "parallel", **payload)
+
+
+def _deliver(bus, outcome: CellOutcome, position: int) -> None:
+    """Relay one cell's captured stream, then its ``cell_done`` envelope.
+
+    ``position`` is the cell's place in the grid's flat cell list — unique
+    per cell, unlike ``GridCell.index`` which identifies the *merge group*
+    (the configuration) and is shared by all its seeds — so trace viewers
+    get one lane per cell.
+    """
+    if outcome.events is not None:
+        relay_outcome(bus, outcome.events, worker=outcome.worker_pid,
+                      cell=position, cell_seed=outcome.cell.seed)
+    _emit_cell_done(bus, outcome, position)
 
 
 def run_cells(cells: Sequence[GridCell], workers: Optional[int] = None,
-              chunksize: Optional[int] = None, bus=None) -> List[CellOutcome]:
+              chunksize: Optional[int] = None, bus=None,
+              capture: Optional[bool] = None,
+              progress=None) -> List[CellOutcome]:
     """Execute a list of grid cells, sharded across a process pool.
 
     Returns one :class:`CellOutcome` per cell **in input order** regardless
@@ -163,10 +225,18 @@ def run_cells(cells: Sequence[GridCell], workers: Optional[int] = None,
     ``workers=None`` uses one worker per available core; ``workers=1`` runs
     serially in-process, which is also the fallback for single-cell grids.
 
-    ``bus`` emits one ``cell_done`` telemetry event per finished cell on the
-    driver side (a :class:`~repro.obs.bus.MetricsBus` cannot cross the
-    process boundary, so per-round events stay in-worker; the envelopes —
-    timing, worker pid, headline metric — stream back in merge order).
+    ``bus`` receives the run's telemetry on the driver side.  When the bus
+    has a subscriber (or ``capture=True`` is forced), workers capture their
+    in-cell event streams and the driver relays them — every round, kernel
+    and recouple event, tagged with ``(worker, cell, cell_seed)`` — followed
+    by one ``cell_done`` envelope per cell.  Relay order is cell input
+    order at any worker count: out-of-order completions are buffered until
+    their predecessors have been delivered.  ``capture=False`` restores the
+    envelope-only behaviour.
+
+    ``progress`` is an optional callback with an ``update(worker_pid=...,
+    seconds=...)`` method (see :class:`repro.obs.progress.GridProgress`),
+    invoked in *completion* order so the status line moves in real time.
     """
     cells = list(cells)
     if not cells:
@@ -176,32 +246,67 @@ def run_cells(cells: Sequence[GridCell], workers: Optional[int] = None,
     if workers is None:
         workers = default_workers(len(cells))
     workers = min(workers, len(cells))
-    outcomes: List[CellOutcome] = []
+    if capture is None:
+        capture = bus is not None and bus.active
     if workers == 1:
-        for cell in cells:
-            outcome = _execute_cell(cell)
-            _emit_cell_done(bus, outcome)
+        outcomes: List[CellOutcome] = []
+        for position, cell in enumerate(cells):
+            outcome = _execute_cell(cell, capture=capture)
+            _deliver(bus, outcome, position)
+            if progress is not None:
+                progress.update(worker_pid=outcome.worker_pid,
+                                seconds=outcome.seconds)
             outcomes.append(outcome)
         return outcomes
     if chunksize is None:
         chunksize = _chunksize(len(cells), workers)
+    chunks = [cells[offset:offset + chunksize]
+              for offset in range(0, len(cells), chunksize)]
+    slots: List[Optional[CellOutcome]] = [None] * len(cells)
+    next_delivery = 0
     with ProcessPoolExecutor(max_workers=workers) as executor:
-        for outcome in executor.map(_execute_cell, cells, chunksize=chunksize):
-            _emit_cell_done(bus, outcome)
-            outcomes.append(outcome)
-    return outcomes
+        pending = {executor.submit(_execute_chunk, chunk, capture): offset
+                   for offset, chunk in zip(
+                       range(0, len(cells), chunksize), chunks)}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                offset = pending.pop(future)
+                for position, outcome in enumerate(future.result()):
+                    slots[offset + position] = outcome
+                    if progress is not None:
+                        progress.update(worker_pid=outcome.worker_pid,
+                                        seconds=outcome.seconds)
+                # deliver the completed prefix, keeping relay order == input
+                # order regardless of which chunk finished first
+                while next_delivery < len(slots) \
+                        and slots[next_delivery] is not None:
+                    _deliver(bus, slots[next_delivery], next_delivery)
+                    next_delivery += 1
+    return list(slots)
 
 
-def timing_summary(outcomes: Sequence[CellOutcome]) -> Dict[str, object]:
-    """Aggregate per-cell timings: totals, extremes and per-worker load."""
+def timing_summary(outcomes: Sequence[CellOutcome],
+                   wall_seconds: Optional[float] = None) -> Dict[str, object]:
+    """Aggregate per-cell timings: totals, extremes and per-worker load.
+
+    Pass the driver-side ``wall_seconds`` (time around the ``run_cells``
+    call) to additionally report ``wall_seconds`` and ``utilization`` —
+    busy seconds divided by ``wall * workers_used``, the fraction of the
+    pool's capacity the grid actually kept busy.
+    """
     if not outcomes:
-        return {"cells": 0, "busy_seconds": 0.0, "workers_used": 0}
+        summary: Dict[str, object] = {"cells": 0, "busy_seconds": 0.0,
+                                      "workers_used": 0}
+        if wall_seconds is not None:
+            summary["wall_seconds"] = round(wall_seconds, 4)
+        return summary
     seconds = [outcome.seconds for outcome in outcomes]
     by_worker: Dict[int, float] = {}
     for outcome in outcomes:
         by_worker[outcome.worker_pid] = by_worker.get(outcome.worker_pid, 0.0) \
             + outcome.seconds
-    return {
+    summary = {
         "cells": len(outcomes),
         "busy_seconds": round(sum(seconds), 4),
         "max_cell_seconds": round(max(seconds), 4),
@@ -210,6 +315,12 @@ def timing_summary(outcomes: Sequence[CellOutcome]) -> Dict[str, object]:
         "per_worker_busy_seconds": [round(value, 4)
                                     for value in sorted(by_worker.values())],
     }
+    if wall_seconds is not None:
+        summary["wall_seconds"] = round(wall_seconds, 4)
+        capacity = wall_seconds * len(by_worker)
+        summary["utilization"] = round(sum(seconds) / capacity, 4) \
+            if capacity > 0 else 0.0
+    return summary
 
 
 # ---------------------------------------------------------------------- #
@@ -251,7 +362,9 @@ def _merge_sweeps(configurations: Sequence[SweepConfiguration],
 def parallel_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
                    workers: Optional[int] = None, record_trace: bool = False,
                    max_rounds: int = 200_000,
-                   legacy_seeding: bool = False, bus=None) -> SweepResult:
+                   legacy_seeding: bool = False, bus=None,
+                   capture: Optional[bool] = None,
+                   progress=None) -> SweepResult:
     """Sharded :func:`~repro.simulation.sweep.run_sweep`: one cell per seed.
 
     Bit-identical to ``run_sweep(configuration, seeds, ...)`` for every
@@ -260,13 +373,16 @@ def parallel_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
     """
     cells = sweep_cells([configuration], seeds, record_trace=record_trace,
                         max_rounds=max_rounds, legacy_seeding=legacy_seeding)
-    outcomes = run_cells(cells, workers=workers, bus=bus)
+    outcomes = run_cells(cells, workers=workers, bus=bus, capture=capture,
+                         progress=progress)
     return _merge_sweeps([configuration], outcomes)[0]
 
 
 def parallel_grid_sweep(configurations: Sequence[SweepConfiguration],
                         seeds: Sequence[int], workers: Optional[int] = None,
-                        legacy_seeding: bool = False, bus=None) -> List[SweepResult]:
+                        legacy_seeding: bool = False, bus=None,
+                        capture: Optional[bool] = None,
+                        progress=None) -> List[SweepResult]:
     """Shard a whole configuration grid at (cell, seed) granularity.
 
     All ``len(configurations) * len(seeds)`` runs share one work queue, so a
@@ -277,14 +393,17 @@ def parallel_grid_sweep(configurations: Sequence[SweepConfiguration],
     """
     configurations = list(configurations)
     cells = sweep_cells(configurations, seeds, legacy_seeding=legacy_seeding)
-    outcomes = run_cells(cells, workers=workers, bus=bus)
+    outcomes = run_cells(cells, workers=workers, bus=bus, capture=capture,
+                         progress=progress)
     return _merge_sweeps(configurations, outcomes)
 
 
 def grid_sweep_with_outcomes(configurations: Sequence[SweepConfiguration],
                              seeds: Sequence[int], workers: Optional[int] = None,
                              record_trace: bool = False,
-                             legacy_seeding: bool = False, bus=None):
+                             legacy_seeding: bool = False, bus=None,
+                             capture: Optional[bool] = None,
+                             progress=None):
     """Like :func:`parallel_grid_sweep`, also returning the raw envelopes.
 
     Returns ``(sweep_results, outcomes)``: the merged per-configuration
@@ -296,7 +415,8 @@ def grid_sweep_with_outcomes(configurations: Sequence[SweepConfiguration],
     configurations = list(configurations)
     cells = sweep_cells(configurations, seeds, record_trace=record_trace,
                         legacy_seeding=legacy_seeding)
-    outcomes = run_cells(cells, workers=workers, bus=bus)
+    outcomes = run_cells(cells, workers=workers, bus=bus, capture=capture,
+                         progress=progress)
     return _merge_sweeps(configurations, outcomes), outcomes
 
 
@@ -305,20 +425,29 @@ def grid_sweep_with_outcomes(configurations: Sequence[SweepConfiguration],
 # ---------------------------------------------------------------------- #
 
 
-def _scenario_grid(kind: str, scenarios, workers: Optional[int]) -> List[RunResult]:
+def _scenario_grid(kind: str, scenarios, workers: Optional[int], bus=None,
+                   capture: Optional[bool] = None,
+                   progress=None) -> List[RunResult]:
     cells = [GridCell(kind=kind, spec=scenario, index=index)
              for index, scenario in enumerate(scenarios)]
-    return [outcome.result for outcome in run_cells(cells, workers=workers)]
+    return [outcome.result
+            for outcome in run_cells(cells, workers=workers, bus=bus,
+                                     capture=capture, progress=progress)]
 
 
 def parallel_scenario_grid(scenarios: Sequence[Scenario],
-                           workers: Optional[int] = None) -> List[RunResult]:
+                           workers: Optional[int] = None, bus=None,
+                           capture: Optional[bool] = None,
+                           progress=None) -> List[RunResult]:
     """Run a list of static scenarios across a process pool (input order)."""
-    return _scenario_grid(_SCENARIO, scenarios, workers)
+    return _scenario_grid(_SCENARIO, scenarios, workers, bus=bus,
+                          capture=capture, progress=progress)
 
 
 def parallel_dynamic_grid(scenarios: Sequence[DynamicScenario],
-                          workers: Optional[int] = None) -> List[RunResult]:
+                          workers: Optional[int] = None, bus=None,
+                          capture: Optional[bool] = None,
+                          progress=None) -> List[RunResult]:
     """Run a list of dynamic scenarios across a process pool (input order).
 
     The per-scenario trajectories (``trace_max_min`` etc.) are bit-identical
@@ -327,4 +456,5 @@ def parallel_dynamic_grid(scenarios: Sequence[DynamicScenario],
     algorithms too, which is what makes many-seed recovery-time statistics
     cheap to scale out.
     """
-    return _scenario_grid(_DYNAMIC, scenarios, workers)
+    return _scenario_grid(_DYNAMIC, scenarios, workers, bus=bus,
+                          capture=capture, progress=progress)

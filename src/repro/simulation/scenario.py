@@ -27,8 +27,10 @@ from ..exceptions import ExperimentError
 from ..network import topologies
 from ..network.graph import Network
 from ..tasks import generators
-from .engine import ALL_ALGORITHMS, BACKEND_KINDS, CONTINUOUS_KINDS, RNG_MODES, run_algorithm
+from .engine import (ALL_ALGORITHMS, BACKEND_KINDS, CONTINUOUS_KINDS,
+                     RNG_MODES, make_schedule, run_algorithm)
 from .results import RunResult
+from .seeding import PurposeSeeds, purpose_seeds
 from .workloads import WORKLOADS
 
 __all__ = [
@@ -58,6 +60,12 @@ _SPEED_PROFILES = {
 #: and sweeps accept exactly the same workload names.
 _WORKLOADS = WORKLOADS
 
+#: Valid values of the ``seeding`` field: ``"legacy"`` reuses the scenario
+#: seed for every randomized component (the historical replay contract);
+#: ``"per-purpose"`` spawns independent child seeds per component (see
+#: :mod:`repro.simulation.seeding`).
+SEEDING_MODES = ("legacy", "per-purpose")
+
 
 # ---------------------------------------------------------------------- #
 # helpers shared by Scenario and DynamicScenario
@@ -86,6 +94,9 @@ def _validate_common(scenario) -> None:
     if scenario.rng_mode not in RNG_MODES:
         raise ExperimentError(
             f"unknown rng mode {scenario.rng_mode!r}; valid: {RNG_MODES}")
+    if scenario.seeding not in SEEDING_MODES:
+        raise ExperimentError(
+            f"unknown seeding mode {scenario.seeding!r}; valid: {SEEDING_MODES}")
     if scenario.max_task_weight < 1:
         raise ExperimentError("max_task_weight must be at least 1")
     if scenario.num_nodes < 2:
@@ -103,6 +114,19 @@ def _from_dict(cls, data: Dict[str, object]):
     if "name" not in data or "algorithm" not in data:
         raise ExperimentError("a scenario requires at least 'name' and 'algorithm'")
     return cls(**data)
+
+
+def _scenario_dict(scenario) -> Dict[str, object]:
+    """``asdict`` minus later-added fields at their defaults.
+
+    Dropping ``seeding="legacy"`` keeps the serialised form — and therefore
+    the run store's canonical config hashes — identical to what pre-``seeding``
+    versions produced for the same experiment.
+    """
+    data = asdict(scenario)
+    if data.get("seeding") == "legacy":
+        del data["seeding"]
+    return data
 
 
 def _write_json(payload: Dict[str, object], path: Union[str, pathlib.Path]) -> pathlib.Path:
@@ -184,6 +208,13 @@ class Scenario:
         How the randomized processes (algorithm2, randomized-rounding,
         excess-tokens) draw their randomness: "sequential" or the order-free,
         vectorisable edge/node-keyed "counter" mode.
+    seeding:
+        How ``seed`` is distributed over the randomized components:
+        ``"legacy"`` (default) reuses the one integer everywhere — the
+        historical replay contract — while ``"per-purpose"`` spawns
+        independent child seeds for the topology sample, workload placement,
+        matching schedule and algorithm randomness
+        (:mod:`repro.simulation.seeding`).
     """
 
     name: str
@@ -201,6 +232,7 @@ class Scenario:
     backend: str = "auto"
     max_task_weight: int = 1
     rng_mode: str = "sequential"
+    seeding: str = "legacy"
 
     def __post_init__(self) -> None:
         _validate_common(self)
@@ -214,8 +246,13 @@ class Scenario:
     # ------------------------------------------------------------------ #
 
     def to_dict(self) -> Dict[str, object]:
-        """Return a plain-dictionary representation (JSON friendly)."""
-        return asdict(self)
+        """Return a plain-dictionary representation (JSON friendly).
+
+        ``seeding`` is omitted at its ``"legacy"`` default, so configuration
+        dictionaries (and the run store's config hashes) of pre-existing
+        scenarios are unchanged by the field's introduction.
+        """
+        return _scenario_dict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Scenario":
@@ -230,14 +267,19 @@ class Scenario:
     # materialisation
     # ------------------------------------------------------------------ #
 
+    def _purpose_seeds(self) -> PurposeSeeds:
+        """Per-component seeds under this scenario's ``seeding`` mode."""
+        return purpose_seeds(self.seed, legacy=self.seeding == "legacy")
+
     def build_network(self) -> Network:
         """Instantiate the network (topology + speed profile) of this scenario."""
         return _build_network(self.topology, self.num_nodes, self.speed_profile,
-                              self.seed)
+                              self._purpose_seeds().topology)
 
     def build_load(self, network: Network) -> np.ndarray:
         """Instantiate the integer workload vector of this scenario."""
-        load = _WORKLOADS[self.workload](network, self.tokens_per_node, self.seed)
+        load = _WORKLOADS[self.workload](network, self.tokens_per_node,
+                                         self._purpose_seeds().workload)
         if self.base_load:
             load = load + generators.balanced_load(network, self.base_load)
         return load
@@ -245,7 +287,7 @@ class Scenario:
     def build_weighted_load(self, network: Network):
         """Instantiate the columnar weighted workload (``max_task_weight > 1``)."""
         return _build_weighted_load(self.build_load(network), self.max_task_weight,
-                                    self.seed)
+                                    self._purpose_seeds().workload)
 
 
 def load_scenario(path: Union[str, pathlib.Path]) -> Scenario:
@@ -257,19 +299,26 @@ def run_scenario(scenario: Scenario, bus=None) -> RunResult:
     """Materialise and execute a scenario, returning the run result.
 
     ``bus`` forwards a :class:`~repro.obs.bus.MetricsBus` to the engine for
-    per-round telemetry (see :mod:`repro.obs`).
+    per-round telemetry (see :mod:`repro.obs`).  Under
+    ``seeding="per-purpose"`` the matching schedule and the algorithm's
+    randomness draw from independent child seeds; the default ``"legacy"``
+    mode reproduces historical trajectories exactly.
     """
+    seeds = scenario._purpose_seeds()
     network = scenario.build_network()
     if scenario.max_task_weight > 1:
         workload = {"weighted_load": scenario.build_weighted_load(network)}
     else:
         workload = {"initial_load": scenario.build_load(network)}
+    if scenario.seeding != "legacy":
+        workload["schedule"] = make_schedule(scenario.continuous_kind, network,
+                                             seed=seeds.schedule)
     return run_algorithm(
         scenario.algorithm,
         network,
         continuous_kind=scenario.continuous_kind,
         rounds=scenario.rounds,
-        seed=scenario.seed,
+        seed=seeds.algorithm,
         record_trace=scenario.record_trace,
         backend=scenario.backend,
         rng_mode=scenario.rng_mode,
@@ -294,6 +343,11 @@ class DynamicScenario:
     ``max_task_weight > 1`` the stream starts from a weighted workload
     (``tokens_per_node`` then counts *tasks*; algorithm1 only) while events
     keep streaming unit tokens.
+
+    ``seeding`` mirrors :class:`Scenario`: ``"per-purpose"`` additionally
+    gives the event generator its own independent child seed (the
+    ``"events"`` purpose), so the arrival pattern decorrelates from the
+    topology/workload/algorithm randomness.
     """
 
     name: str
@@ -310,6 +364,7 @@ class DynamicScenario:
     backend: str = "auto"
     max_task_weight: int = 1
     rng_mode: str = "sequential"
+    seeding: str = "legacy"
 
     def __post_init__(self) -> None:
         from ..dynamic.events import EVENT_PROFILES
@@ -322,8 +377,12 @@ class DynamicScenario:
             raise ExperimentError("rounds must be non-negative")
 
     def to_dict(self) -> Dict[str, object]:
-        """Return a plain-dictionary representation (JSON friendly)."""
-        return asdict(self)
+        """Return a plain-dictionary representation (JSON friendly).
+
+        As for :class:`Scenario`, ``seeding`` is omitted at its ``"legacy"``
+        default to keep config hashes stable.
+        """
+        return _scenario_dict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "DynamicScenario":
@@ -334,19 +393,24 @@ class DynamicScenario:
         """Write the scenario to a JSON file and return the path."""
         return _write_json(self.to_dict(), path)
 
+    def _purpose_seeds(self) -> PurposeSeeds:
+        """Per-component seeds under this scenario's ``seeding`` mode."""
+        return purpose_seeds(self.seed, legacy=self.seeding == "legacy")
+
     def build_network(self) -> Network:
         """Instantiate the initial network (topology + speed profile)."""
         return _build_network(self.topology, self.num_nodes, self.speed_profile,
-                              self.seed)
+                              self._purpose_seeds().topology)
 
     def build_load(self, network: Network) -> np.ndarray:
         """Instantiate the initial integer workload vector."""
-        return _WORKLOADS[self.workload](network, self.tokens_per_node, self.seed)
+        return _WORKLOADS[self.workload](network, self.tokens_per_node,
+                                         self._purpose_seeds().workload)
 
     def build_weighted_load(self, network: Network):
         """Instantiate the columnar weighted workload (``max_task_weight > 1``)."""
         return _build_weighted_load(self.build_load(network), self.max_task_weight,
-                                    self.seed)
+                                    self._purpose_seeds().workload)
 
 
 def load_dynamic_scenario(path: Union[str, pathlib.Path]) -> DynamicScenario:
@@ -363,13 +427,14 @@ def run_dynamic_scenario(scenario: DynamicScenario, bus=None) -> RunResult:
     from ..dynamic.events import make_event_generator
     from ..dynamic.stream import run_stream
 
+    seeds = scenario._purpose_seeds()
     network = scenario.build_network()
     if scenario.max_task_weight > 1:
         load = scenario.build_weighted_load(network)
     else:
         load = scenario.build_load(network)
     generator = make_event_generator(scenario.events, network,
-                                     scenario.tokens_per_node, seed=scenario.seed)
+                                     scenario.tokens_per_node, seed=seeds.events)
     return run_stream(
         scenario.algorithm,
         network,
@@ -377,7 +442,7 @@ def run_dynamic_scenario(scenario: DynamicScenario, bus=None) -> RunResult:
         generator,
         rounds=scenario.rounds,
         continuous_kind=scenario.continuous_kind,
-        seed=scenario.seed,
+        seed=seeds.algorithm,
         backend=scenario.backend,
         rng_mode=scenario.rng_mode,
         bus=bus,
@@ -404,26 +469,38 @@ def expand_seeds(scenario, seeds: Sequence[int]) -> List:
 
 
 def run_scenario_grid(scenarios: Sequence[Scenario],
-                      workers: Optional[int] = None) -> List[RunResult]:
+                      workers: Optional[int] = None, bus=None,
+                      capture: Optional[bool] = None,
+                      progress=None) -> List[RunResult]:
     """Run several static scenarios, sharded across ``workers`` processes.
 
     ``workers=None`` uses one worker per available core; results come back
     in input order, bit-identical to serial :func:`run_scenario` calls.
+    Each scenario's ``seeding`` mode travels with it into the workers.
+    ``bus``/``capture``/``progress`` behave as in
+    :func:`repro.simulation.parallel.run_cells` (worker telemetry is
+    captured and relayed whenever the bus has a subscriber).
     """
     from .parallel import parallel_scenario_grid
 
-    return parallel_scenario_grid(scenarios, workers=workers)
+    return parallel_scenario_grid(scenarios, workers=workers, bus=bus,
+                                  capture=capture, progress=progress)
 
 
 def run_dynamic_grid(scenarios: Sequence[DynamicScenario],
-                     workers: Optional[int] = None) -> List[RunResult]:
+                     workers: Optional[int] = None, bus=None,
+                     capture: Optional[bool] = None,
+                     progress=None) -> List[RunResult]:
     """Run several dynamic scenarios, sharded across ``workers`` processes.
 
     ``workers=None`` uses one worker per available core; trajectories come
     back in input order, bit-identical to serial
     :func:`run_dynamic_scenario` calls (exactly so for randomized algorithms
-    under ``rng_mode="counter"``).
+    under ``rng_mode="counter"``).  Each scenario's ``seeding`` mode travels
+    with it into the workers; ``bus``/``capture``/``progress`` behave as in
+    :func:`repro.simulation.parallel.run_cells`.
     """
     from .parallel import parallel_dynamic_grid
 
-    return parallel_dynamic_grid(scenarios, workers=workers)
+    return parallel_dynamic_grid(scenarios, workers=workers, bus=bus,
+                                 capture=capture, progress=progress)

@@ -26,23 +26,31 @@ import numpy as np
 
 __all__ = ["SEED_PURPOSES", "PurposeSeeds", "purpose_seeds"]
 
-#: The independent randomness consumers of one run, in spawn order.
-SEED_PURPOSES = ("topology", "workload", "schedule", "algorithm")
+#: The independent randomness consumers of one run, in spawn order.  New
+#: purposes are appended: SeedSequence children are keyed by spawn index, so
+#: extending the tuple never changes the seeds of existing purposes.
+SEED_PURPOSES = ("topology", "workload", "schedule", "algorithm", "events")
 
 
 @dataclass(frozen=True)
 class PurposeSeeds:
-    """Independent child seeds for the components of one (cell, seed) run."""
+    """Independent child seeds for the components of one (cell, seed) run.
+
+    ``events`` seeds the dynamic-scenario event generator; it defaults to
+    ``None`` because static runs have no event stream.
+    """
 
     topology: Optional[int]
     workload: Optional[int]
     schedule: Optional[int]
     algorithm: Optional[int]
+    events: Optional[int] = None
 
     @classmethod
     def legacy(cls, seed: Optional[int]) -> "PurposeSeeds":
         """The historical behaviour: every purpose reuses the same integer."""
-        return cls(topology=seed, workload=seed, schedule=seed, algorithm=seed)
+        return cls(topology=seed, workload=seed, schedule=seed, algorithm=seed,
+                   events=seed)
 
 
 def purpose_seeds(seed: Optional[int], legacy: bool = False) -> PurposeSeeds:

@@ -166,9 +166,10 @@ def run_sweep_cell(configuration: SweepConfiguration, seed: int,
 
     ``bus`` forwards a :class:`~repro.obs.bus.MetricsBus` to
     :func:`~repro.simulation.engine.run_algorithm`, streaming per-round
-    telemetry from the cell (serial driver only — process-pool workers
-    cannot share a bus; the parallel driver emits ``cell_done`` envelopes
-    instead).
+    telemetry from the cell.  In a process-pool worker this is the worker's
+    private capture bus; the driver relays the captured stream back onto the
+    main bus with ``(worker, cell, seed)`` attribution (see
+    :mod:`repro.obs.relay`).
     """
     _validate_configuration(configuration)
     seeds = purpose_seeds(seed, legacy=legacy_seeding)
@@ -217,7 +218,7 @@ def run_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
 
         return parallel_sweep(configuration, seeds, workers=workers,
                               record_trace=record_trace, max_rounds=max_rounds,
-                              legacy_seeding=legacy_seeding)
+                              legacy_seeding=legacy_seeding, bus=bus)
     result = SweepResult(configuration=configuration)
     for seed in seeds:
         result.runs.append(

@@ -293,17 +293,28 @@ def record_sweep_outcomes(store: RunStore, label: str, outcomes,
     and seeding mode — exactly the pure-function inputs of
     :func:`~repro.simulation.sweep.run_sweep_cell` — so identical cells from
     any process or commit hash identically.
+
+    An outcome that carries a captured telemetry stream (a traced grid; see
+    :mod:`repro.obs.relay`) additionally stores its span summary — rounds,
+    kernel seconds, per-phase totals, flow counters — under
+    ``timing["trace"]``, which is what the ``trace`` CLI subcommand reads
+    back for hot-kernel tables and stored-trace conversion.
     """
     records = []
     for outcome in outcomes:
         cell = outcome.cell
         config = {**asdict(cell.spec), "seed": cell.seed,
                   "legacy_seeding": cell.legacy_seeding, "kind": cell.kind}
+        timing = {"seconds": outcome.seconds, "worker_pid": outcome.worker_pid}
+        if getattr(outcome, "events", None):
+            from ..obs.trace import cell_trace_summary
+
+            timing["trace"] = cell_trace_summary(outcome.events)
         records.append(record_run(
             store, label, cell.kind, config,
             seeds=[] if cell.seed is None else [cell.seed],
             result=outcome.result,
-            timing={"seconds": outcome.seconds, "worker_pid": outcome.worker_pid},
+            timing=timing,
             git_root=git_root,
         ))
     return records

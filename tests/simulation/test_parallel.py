@@ -144,7 +144,20 @@ class TestRunCells:
         assert summary["cells"] == 3
         assert summary["busy_seconds"] > 0
         assert summary["workers_used"] == 1
+        assert "wall_seconds" not in summary
         assert timing_summary([])["cells"] == 0
+
+    def test_timing_summary_reports_wall_clock_and_utilization(self):
+        outcomes = run_cells(self.make_cells(3), workers=1)
+        busy = sum(outcome.seconds for outcome in outcomes)
+        summary = timing_summary(outcomes, wall_seconds=busy * 2)
+        assert summary["wall_seconds"] == round(busy * 2, 4)
+        # one worker kept busy for half the wall-clock
+        assert summary["utilization"] == pytest.approx(0.5)
+        assert timing_summary(outcomes, wall_seconds=0.0)["utilization"] == 0.0
+        empty = timing_summary([], wall_seconds=1.5)
+        assert empty["wall_seconds"] == 1.5
+        assert empty["cells"] == 0
 
 
 class TestParallelEntryPoints:

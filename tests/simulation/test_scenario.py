@@ -8,7 +8,14 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ExperimentError
-from repro.simulation.scenario import Scenario, load_scenario, run_scenario
+from repro.simulation.scenario import (
+    DynamicScenario,
+    Scenario,
+    load_scenario,
+    run_dynamic_scenario,
+    run_scenario,
+)
+from repro.simulation.seeding import PurposeSeeds
 
 
 class TestScenarioValidation:
@@ -98,6 +105,61 @@ class TestMaterialisation:
         b = run_scenario(scenario)
         assert a.final_max_min == b.final_max_min
         assert a.rounds == b.rounds
+
+
+class TestSeedingModes:
+    def base(self, **overrides):
+        keyword_arguments = dict(name="mode", algorithm="algorithm2",
+                                 topology="expander", num_nodes=16,
+                                 tokens_per_node=8, workload="uniform", seed=7)
+        keyword_arguments.update(overrides)
+        return Scenario(**keyword_arguments)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ExperimentError):
+            self.base(seeding="quantum")
+
+    def test_legacy_reuses_the_scenario_seed_everywhere(self):
+        assert self.base()._purpose_seeds() == PurposeSeeds(7, 7, 7, 7, 7)
+
+    def test_per_purpose_derives_independent_seeds(self):
+        seeds = self.base(seeding="per-purpose")._purpose_seeds()
+        values = [seeds.topology, seeds.workload, seeds.schedule,
+                  seeds.algorithm, seeds.events]
+        assert len(set(values)) == len(values)
+        assert 7 not in values
+
+    def test_per_purpose_decorrelates_workload_placement(self):
+        legacy = self.base()
+        per_purpose = self.base(seeding="per-purpose")
+        network = legacy.build_network()
+        assert not np.array_equal(legacy.build_load(network),
+                                  per_purpose.build_load(network))
+
+    def test_to_dict_omits_default_and_roundtrips(self):
+        legacy = self.base()
+        assert "seeding" not in legacy.to_dict()
+        assert Scenario.from_dict(legacy.to_dict()) == legacy
+        per_purpose = self.base(seeding="per-purpose")
+        assert per_purpose.to_dict()["seeding"] == "per-purpose"
+        assert Scenario.from_dict(per_purpose.to_dict()) == per_purpose
+
+    def test_scenarios_run_under_both_modes(self):
+        for mode in ("legacy", "per-purpose"):
+            result = run_scenario(self.base(seeding=mode))
+            assert result.rounds > 0
+
+    def test_dynamic_events_purpose_decorrelates_arrivals(self):
+        base = dict(name="dyn", algorithm="round-down", topology="cycle",
+                    num_nodes=8, tokens_per_node=4, events="poisson",
+                    rounds=40, seed=11)
+        legacy = DynamicScenario(**base)
+        per_purpose = DynamicScenario(**base, seeding="per-purpose")
+        assert "seeding" not in legacy.to_dict()
+        assert DynamicScenario.from_dict(per_purpose.to_dict()) == per_purpose
+        a = run_dynamic_scenario(legacy)
+        b = run_dynamic_scenario(per_purpose)
+        assert a.event_timeline != b.event_timeline
 
 
 class TestRunScenario:

@@ -25,10 +25,27 @@ class TestPurposeSeeds:
 
     def test_none_passes_through(self):
         seeds = purpose_seeds(None)
-        assert seeds == PurposeSeeds(None, None, None, None)
+        assert seeds == PurposeSeeds(None, None, None, None, None)
 
     def test_legacy_reuses_the_integer(self):
-        assert purpose_seeds(5, legacy=True) == PurposeSeeds(5, 5, 5, 5)
+        assert purpose_seeds(5, legacy=True) == PurposeSeeds(5, 5, 5, 5, 5)
+
+    def test_extending_purposes_kept_existing_streams(self):
+        """Adding the "events" purpose must not move the first four seeds.
+
+        SeedSequence children are keyed by spawn index, so the derived
+        topology/workload/schedule/algorithm seeds are pinned forever; this
+        guards the recorded-trajectory replay contract across purpose-tuple
+        extensions.
+        """
+        import numpy as np
+
+        children = np.random.SeedSequence(9).spawn(4)
+        expected = [int(child.generate_state(1, dtype=np.uint64)[0])
+                    for child in children]
+        seeds = purpose_seeds(9)
+        assert [seeds.topology, seeds.workload,
+                seeds.schedule, seeds.algorithm] == expected
 
 
 class TestSweepSeeding:
