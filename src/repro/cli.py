@@ -41,6 +41,21 @@ from .tasks.generators import point_load
 __all__ = ["build_parser", "main"]
 
 
+def _add_fault_tolerance_arguments(command: argparse.ArgumentParser) -> None:
+    """The shared self-healing-grid flags (see ``run_cells``)."""
+    command.add_argument("--cell-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="kill and retry any grid cell running longer "
+                              "than this (pooled runs only)")
+    command.add_argument("--max-retries", type=int, default=0, metavar="N",
+                         help="retry a failed/timed-out/crashed cell up to N "
+                              "times with exponential backoff")
+    command.add_argument("--no-strict", dest="strict", action="store_false",
+                         help="degrade gracefully: report permanently failed "
+                              "cells and keep the surviving results instead "
+                              "of aborting the whole grid")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro-loadbalance`` entry point."""
     parser = argparse.ArgumentParser(
@@ -140,6 +155,36 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--progress", action="store_true",
                          help="render a live cells-done/ETA line on stderr "
                               "(--seeds grids)")
+    dynamic.add_argument("--checkpoint-every", type=int, default=None,
+                         metavar="N",
+                         help="snapshot the stream every N rounds so a killed "
+                              "run resumes bit-identically with 'resume' "
+                              "(single runs, not --seeds grids)")
+    dynamic.add_argument("--checkpoint-path", metavar="OUT.json",
+                         help="where --checkpoint-every writes its snapshot "
+                              "(default: <scenario>.checkpoint.json)")
+    _add_fault_tolerance_arguments(dynamic)
+
+    resume = subparsers.add_parser(
+        "resume", help="resume an interrupted dynamic run from its checkpoint")
+    resume.add_argument("--checkpoint", required=True, metavar="CKPT.json",
+                        help="checkpoint file written by 'dynamic "
+                             "--checkpoint-every' (the scenario travels "
+                             "inside it)")
+    resume.add_argument("--rounds", type=int, default=None,
+                        help="override the stored horizon (default: finish "
+                             "the original run)")
+    resume.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="keep checkpointing every N rounds while "
+                             "resuming (onto the same file)")
+    resume.add_argument("--warmup", type=int, default=0,
+                        help="trace entries to exclude from time_in_band")
+    resume.add_argument("--telemetry", nargs="?", const=1, type=int,
+                        default=None, metavar="N",
+                        help="stream per-round telemetry to stderr "
+                             "(every Nth round)")
+    resume.add_argument("--csv", help="optional path to write the summary row as CSV")
 
     sweep = subparsers.add_parser("sweep", help="run one configuration over several seeds")
     sweep.add_argument("--algorithm", required=True, choices=list(ALL_ALGORITHMS))
@@ -176,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(open in chrome://tracing / Perfetto)")
     sweep.add_argument("--progress", action="store_true",
                        help="render a live cells-done/ETA line on stderr")
+    _add_fault_tolerance_arguments(sweep)
 
     grid = subparsers.add_parser(
         "grid", help="sharded sweep grid: algorithms x topologies x seeds")
@@ -211,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "in chrome://tracing / Perfetto)")
     grid.add_argument("--progress", action="store_true",
                       help="render a live cells-done/ETA line on stderr")
+    _add_fault_tolerance_arguments(grid)
 
     audit = subparsers.add_parser(
         "audit", help="run a flow-imitation algorithm and check the paper's invariants each round")
@@ -288,6 +335,16 @@ def _instrument(telemetry: Optional[int], trace: Optional[str],
     return bus, tracer, renderer
 
 
+def _report_failed_cells(outcomes) -> None:
+    """Print the structured failure report of a ``--no-strict`` grid."""
+    from .simulation.parallel import failed_cells
+
+    for failure in failed_cells(outcomes):
+        print(f"WARNING: cell {failure.position} ({failure.label}) failed "
+              f"permanently after {failure.attempts} attempt(s): "
+              f"[{failure.kind}] {failure.error}", file=sys.stderr)
+
+
 def _finish_instrumentation(trace_path: Optional[str], tracer, renderer) -> None:
     """Close the progress line, then write the Chrome trace + hot kernels."""
     if renderer is not None:
@@ -306,11 +363,37 @@ def _finish_instrumentation(trace_path: Optional[str], tracer, renderer) -> None
           f"or https://ui.perfetto.dev")
 
 
+#: ``args`` attributes that point at on-disk artifacts a run may have
+#: partially written — surfaced on ^C so the user knows what survived.
+_ARTIFACT_ARGS = ("store", "csv", "trace", "checkpoint_path", "checkpoint",
+                  "out")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-loadbalance`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _run_command(args, parser)
+    except KeyboardInterrupt:
+        # The grid driver has already cancelled its futures and torn the
+        # pool down on the way out; store appends are fsync'd per record
+        # and checkpoints are written atomically, so whatever reached disk
+        # before the ^C is complete and usable.
+        print("\ninterrupted", file=sys.stderr)
+        partial = [getattr(args, attr, None) for attr in _ARTIFACT_ARGS]
+        for path in filter(None, partial):
+            print(f"partial results: {path}", file=sys.stderr)
+        if getattr(args, "checkpoint_path", None) or \
+                getattr(args, "checkpoint", None):
+            print("resume with: repro-loadbalance resume --checkpoint "
+                  f"{getattr(args, 'checkpoint_path', None) or args.checkpoint}",
+                  file=sys.stderr)
+        return 130
 
+
+def _run_command(args, parser: argparse.ArgumentParser) -> int:
+    """Dispatch one parsed command (the body of :func:`main`)."""
     if args.command == "compare":
         network = topologies.named_topology(args.topology, args.nodes, seed=args.seed)
         load = point_load(network, args.tokens_per_node * network.num_nodes)
@@ -370,24 +453,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backend=args.backend, max_task_weight=args.max_task_weight,
             rng_mode=args.rng_mode,
         )
+        if args.checkpoint_every is not None and args.seeds:
+            parser.error("--checkpoint-every applies to single runs; for "
+                         "--seeds grids use --max-retries/--no-strict instead")
         if args.seeds:
             scenarios = expand_seeds(scenario, args.seeds)
             bus, tracer, renderer = _instrument(
                 args.telemetry, args.trace, args.progress,
                 total_cells=len(scenarios), label="dynamic")
             results = run_dynamic_grid(scenarios, workers=args.workers,
-                                       bus=bus, progress=renderer)
+                                       bus=bus, progress=renderer,
+                                       cell_timeout=args.cell_timeout,
+                                       max_retries=args.max_retries,
+                                       strict=args.strict)
             timings = [None] * len(results)
         else:
             import time
 
+            if args.checkpoint_every is not None and not args.checkpoint_path:
+                args.checkpoint_path = f"{scenario.name}.checkpoint.json"
             scenarios = [scenario]
             bus, tracer, renderer = _instrument(
                 args.telemetry, args.trace, False, 0, label="dynamic")
             start = time.perf_counter()
-            results = [run_dynamic_scenario(scenario, bus=bus)]
+            results = [run_dynamic_scenario(
+                scenario, bus=bus, checkpoint_every=args.checkpoint_every,
+                checkpoint_path=args.checkpoint_path)]
             timings = [time.perf_counter() - start]
+            if args.checkpoint_every is not None:
+                print(f"checkpointed every {args.checkpoint_every} round(s) "
+                      f"to {args.checkpoint_path}")
         _finish_instrumentation(args.trace, tracer, renderer)
+        dropped = [cell for cell, result in zip(scenarios, results)
+                   if result is None]
+        if dropped:  # --no-strict grids keep going without the failed cells
+            survivors = [(cell, result, seconds) for cell, result, seconds
+                         in zip(scenarios, results, timings)
+                         if result is not None]
+            print(f"WARNING: {len(dropped)} of {len(results)} cell(s) failed "
+                  f"permanently (seeds "
+                  f"{[cell.seed for cell in dropped]}); reporting the "
+                  f"survivors", file=sys.stderr)
+            if not survivors:
+                print("error: every cell failed", file=sys.stderr)
+                return 1
+            scenarios, results, timings = map(list, zip(*survivors))
         rows = []
         for cell, result in zip(scenarios, results):
             band = theorem3_discrepancy_bound(result.max_degree,
@@ -427,6 +537,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            timing=None if seconds is None
                            else {"seconds": seconds})
             print(f"stored {len(results)} record(s) in {store.path}")
+    elif args.command == "resume":
+        from .checkpoint import read_checkpoint, resume_stream
+        from .core.algorithm1 import theorem3_discrepancy_bound
+        from .dynamic.metrics import recovery_report, summarize_dynamic
+        from .exceptions import CheckpointError
+        from .simulation.reporting import rows_to_csv
+
+        try:
+            checkpoint = read_checkpoint(args.checkpoint)
+            horizon = args.rounds if args.rounds is not None \
+                else checkpoint.total_rounds
+            meta = checkpoint.meta or {}
+            name = (meta.get("scenario") or {}).get("name", "resume")
+            print(f"resuming '{name}' from {args.checkpoint}: round "
+                  f"{checkpoint.round_index} of {horizon} "
+                  f"({checkpoint.config['algorithm']}, "
+                  f"rng_mode={checkpoint.config['rng_mode']}, config "
+                  f"{checkpoint.config_hash[:10]})")
+            bus, tracer, renderer = _instrument(
+                args.telemetry, None, False, 0, label="resume")
+            result = resume_stream(checkpoint, rounds=args.rounds, bus=bus,
+                                   checkpoint_every=args.checkpoint_every,
+                                   checkpoint_path=args.checkpoint)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        band = theorem3_discrepancy_bound(result.max_degree,
+                                          result.max_task_weight)
+        summary = summarize_dynamic(result, band, start=args.warmup)
+        row = {"scenario": name, **result.as_dict(), **summary}
+        print(format_table([row], columns=["scenario", "algorithm", "n",
+                                           "rounds", "events", "arrivals",
+                                           "departures", "recouplings",
+                                           "steady_state", "band",
+                                           "time_in_band", "max_min"]))
+        for burst in recovery_report(result, band):
+            recovered = burst["recovery_time"]
+            recovery = (f"recovered in {recovered} rounds"
+                        if recovered is not None else "did NOT recover")
+            print(f"  burst at round {burst['round']}: peak discrepancy "
+                  f"{burst['peak']:.1f}, {recovery} (band {band:.1f})")
+        if args.csv:
+            rows_to_csv([row], args.csv)
+            print(f"wrote {args.csv}")
     elif args.command == "sweep":
         from .simulation.sweep import SweepConfiguration, run_sweep
 
@@ -448,8 +602,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             results, outcomes = grid_sweep_with_outcomes(
                 [configuration], args.seeds, workers=args.workers,
                 record_trace=True, legacy_seeding=args.legacy_seeding, bus=bus,
-                progress=renderer)
+                progress=renderer, cell_timeout=args.cell_timeout,
+                max_retries=args.max_retries, strict=args.strict)
             result = results[0]
+            _report_failed_cells(outcomes)
             store = RunStore(args.store)
             record_sweep_outcomes(store, args.store_label, outcomes)
             _finish_instrumentation(args.trace, tracer, renderer)
@@ -458,11 +614,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             from .simulation.parallel import parallel_sweep
 
-            if args.workers > 1 or renderer is not None:
+            fault_tolerant = (args.cell_timeout is not None
+                              or args.max_retries > 0 or not args.strict)
+            if args.workers > 1 or renderer is not None or fault_tolerant:
                 result = parallel_sweep(configuration, args.seeds,
                                         workers=args.workers,
                                         legacy_seeding=args.legacy_seeding,
-                                        bus=bus, progress=renderer)
+                                        bus=bus, progress=renderer,
+                                        cell_timeout=args.cell_timeout,
+                                        max_retries=args.max_retries,
+                                        strict=args.strict)
             else:
                 result = run_sweep(configuration, seeds=args.seeds,
                                    workers=args.workers,
@@ -500,9 +661,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         results = parallel_grid_sweep(configurations, seeds=args.seeds,
                                       workers=args.workers,
                                       legacy_seeding=args.legacy_seeding,
-                                      bus=bus, progress=renderer)
+                                      bus=bus, progress=renderer,
+                                      cell_timeout=args.cell_timeout,
+                                      max_retries=args.max_retries,
+                                      strict=args.strict)
         _finish_instrumentation(args.trace, tracer, renderer)
-        print(format_table([result.as_row() for result in results]))
+        print(format_table([result.as_row() for result in results
+                            if result.runs]))
     elif args.command == "audit":
         from .continuous.fos import FirstOrderDiffusion
         from .core.algorithm1 import DeterministicFlowImitation

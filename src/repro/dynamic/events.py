@@ -154,11 +154,43 @@ class EventGenerator(ABC):
     Generators own their randomness: a generator constructed with the same
     seed yields the same event sequence when shown the same sequence of
     views, which is what makes dynamic runs reproducible end-to-end.
+
+    Generators are also **checkpointable**: :meth:`state_dict` captures the
+    internal randomness position (the numpy bit-generator state) as a
+    JSON-friendly dictionary, and :meth:`load_state_dict` restores it onto a
+    freshly constructed generator of the same shape, after which the two
+    yield identical event streams.  The default implementation handles the
+    single-``_rng`` generators above; containers override both methods.
     """
 
     @abstractmethod
     def events(self, view: StreamView) -> List[DynamicEvent]:
         """Return the events to apply at the start of round ``view.round_index``."""
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot of this generator's mutable state."""
+        state: Dict[str, object] = {"type": type(self).__name__}
+        rng = getattr(self, "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            state["rng"] = rng.bit_generator.state
+        return state
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this generator."""
+        expected = type(self).__name__
+        found = state.get("type", expected)
+        if found != expected:
+            raise ExperimentError(
+                f"checkpointed generator state is for {found!r}, "
+                f"cannot restore onto {expected!r}")
+        rng_state = state.get("rng")
+        if rng_state is not None:
+            rng = getattr(self, "_rng", None)
+            if not isinstance(rng, np.random.Generator):
+                raise ExperimentError(
+                    f"checkpointed state carries rng state but {expected!r} "
+                    f"has no generator to restore it onto")
+            rng.bit_generator.state = rng_state
 
 
 class ScheduledEvents(EventGenerator):
@@ -331,6 +363,20 @@ class CompositeGenerator(EventGenerator):
         for generator in self._generators:
             merged.extend(generator.events(view))
         return merged
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"type": type(self).__name__,
+                "children": [child.state_dict() for child in self._generators]}
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        children = state.get("children")
+        if not isinstance(children, list) or len(children) != len(self._generators):
+            raise ExperimentError(
+                f"checkpointed composite state has "
+                f"{len(children) if isinstance(children, list) else 'no'} "
+                f"children, this generator has {len(self._generators)}")
+        for child, child_state in zip(self._generators, children):
+            child.load_state_dict(child_state)
 
 
 # ---------------------------------------------------------------------- #

@@ -129,6 +129,7 @@ class StreamingEngine:
         self._seed = seed
         self._selection_policy = selection_policy
         self._rng_mode = rng_mode
+        self._requested_backend = backend
         self._weighted = weighted is not None
         # Unit-token streams resolve "auto" to the vectorised count-vector
         # backend; weighted streams to the columnar weight-bucket backend.
@@ -176,6 +177,12 @@ class StreamingEngine:
         self._used_infinite_source = False
         self._went_negative = False
         self._timeline: List[Dict[str, object]] = []
+        # Checkpoint support: snapshot of the stable-label state at the last
+        # coupling boundary plus the number of plain (event-free) rounds
+        # advanced since — everything after the boundary is deterministic
+        # replay (see state_dict / restore).
+        self._boundary: Dict[str, object] = {}
+        self._rounds_since_boundary = 0
 
         self._network: Network = None  # type: ignore[assignment]
         self._balancer = None
@@ -263,6 +270,164 @@ class StreamingEngine:
         return quadratic_potential(self._balancer.loads(), self._network)
 
     # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+
+    def config_dict(self) -> Dict[str, object]:
+        """The immutable run configuration a checkpoint must match to resume.
+
+        Hashed into the checkpoint's ``config_hash`` (via the run store's
+        canonical-JSON machinery) so a checkpoint can only be restored onto
+        the configuration that produced it.
+        """
+        return {
+            "algorithm": self._algorithm,
+            "continuous_kind": self._continuous_kind,
+            "seed": self._seed,
+            "selection_policy": self._selection_policy,
+            "rng_mode": self._rng_mode,
+            "backend": self._requested_backend,
+            "resolved_backend": self._backend,
+            "weighted": self._weighted,
+            "base_name": self._base_name,
+        }
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot of the full mutable stream state.
+
+        The snapshot holds the stable-label system (graph, speeds, tokens),
+        every run-level counter, the event generator's randomness position
+        and the last coupling **boundary** (workload + rounds advanced since).
+        :meth:`restore` re-couples at the boundary and deterministically
+        replays the post-boundary rounds, so the pair round-trips the engine
+        bit-identically at *any* round — no balancer internals need to be
+        serialised.
+        """
+        return {
+            "round": self._round,
+            "recouplings": self._recouplings,
+            "fast_recouplings": self._fast_recouplings,
+            "arrived": self._arrived,
+            "departed": self._departed,
+            "rejected_events": self._rejected_events,
+            "clamped_tokens": self._clamped_tokens,
+            "dummy_tokens": self._dummy_tokens,
+            "used_infinite_source": self._used_infinite_source,
+            "went_negative": self._went_negative,
+            "next_label": self._next_label,
+            "backend_reason": self._backend_reason,
+            "nodes": [int(node) for node in sorted(self._graph.nodes())],
+            "edges": sorted([int(u), int(v)] if u <= v else [int(v), int(u)]
+                            for u, v in self._graph.edges()),
+            "speeds": {int(label): float(speed)
+                       for label, speed in self._speeds.items()},
+            "tokens": dict(self._tokens),
+            "buckets": self.buckets_by_label() if self._weighted else None,
+            "boundary": {**{key: value for key, value in self._boundary.items()
+                            if key != "buckets"},
+                         "buckets": (self._boundary["buckets"]
+                                     if self._weighted else None),
+                         "rounds_since": self._rounds_since_boundary},
+            "timeline": self.timeline,
+            "generator": self._generator.state_dict(),
+        }
+
+    @staticmethod
+    def _int_keys(mapping, cast=int) -> Dict[int, object]:
+        """Undo JSON's string-keying of an integer-keyed mapping."""
+        return {int(key): cast(value) for key, value in mapping.items()}
+
+    @classmethod
+    def restore(cls, config: Dict[str, object], state: Dict[str, object],
+                generator: EventGenerator,
+                bus: Optional[MetricsBus] = None) -> "StreamingEngine":
+        """Rebuild an engine from :meth:`config_dict` + :meth:`state_dict`.
+
+        ``generator`` must be a *freshly constructed* event generator of the
+        same shape as the checkpointed run's (its randomness position is
+        restored from the snapshot).  The engine re-couples the balancer at
+        the checkpoint's last coupling boundary and replays the event-free
+        rounds since, which reproduces the balancer, schedule and substrate
+        state bit-identically — the restored engine continues exactly as the
+        uninterrupted run would have.  A post-replay integrity check
+        verifies the replayed loads match the snapshotted ones and raises
+        :class:`~repro.exceptions.CheckpointError` otherwise.
+        """
+        from ..exceptions import CheckpointError
+
+        engine = cls.__new__(cls)
+        engine._algorithm = config["algorithm"]
+        engine._continuous_kind = config["continuous_kind"]
+        engine._generator = generator
+        engine._seed = config["seed"]
+        engine._selection_policy = config["selection_policy"]
+        engine._rng_mode = config["rng_mode"]
+        engine._requested_backend = config["backend"]
+        engine._backend = config["resolved_backend"]
+        engine._backend_reason = state.get(
+            "backend_reason", "restored from checkpoint")
+        engine._weighted = bool(config["weighted"])
+        engine._base_name = config["base_name"]
+        engine._bus = None
+        engine._probe = None
+
+        boundary = state["boundary"]
+        engine._graph = nx.Graph()
+        engine._graph.add_nodes_from(int(node) for node in state["nodes"])
+        engine._graph.add_edges_from((int(u), int(v))
+                                     for u, v in state["edges"])
+        engine._speeds = cls._int_keys(state["speeds"], float)
+        engine._tokens = cls._int_keys(boundary["tokens"])
+        engine._buckets = {}
+        if engine._weighted:
+            engine._buckets = {
+                int(label): cls._int_keys(bucket)
+                for label, bucket in boundary["buckets"].items()}
+        engine._next_label = int(state["next_label"])
+
+        engine._round = int(state["round"])
+        engine._recouplings = int(state["recouplings"])
+        engine._fast_recouplings = int(state["fast_recouplings"])
+        engine._arrived = int(state["arrived"])
+        engine._departed = int(state["departed"])
+        engine._rejected_events = int(state["rejected_events"])
+        engine._clamped_tokens = int(boundary["clamped_tokens"])
+        engine._dummy_tokens = int(state["dummy_tokens"])
+        engine._used_infinite_source = bool(state["used_infinite_source"])
+        engine._went_negative = bool(state["went_negative"])
+        engine._timeline = [dict(entry) for entry in state["timeline"]]
+
+        engine._network = None
+        engine._balancer = None
+        engine._couple()
+        for _ in range(int(boundary["rounds_since"])):
+            engine._balancer.advance()
+            engine._sync_tokens_from_balancer()
+            engine._rounds_since_boundary += 1
+
+        expected_tokens = cls._int_keys(state["tokens"])
+        if engine._tokens != expected_tokens:
+            raise CheckpointError(
+                "checkpoint integrity failure: replaying "
+                f"{boundary['rounds_since']} round(s) from the coupling "
+                "boundary did not reproduce the snapshotted loads")
+        if engine._clamped_tokens != int(state["clamped_tokens"]):
+            raise CheckpointError(
+                "checkpoint integrity failure: replayed clamped-token "
+                f"count {engine._clamped_tokens} != snapshotted "
+                f"{state['clamped_tokens']}")
+        generator.load_state_dict(state["generator"])
+
+        if bus is not None:
+            engine._bus = bus
+            engine._probe = RoundProbe(
+                bus, source="stream", context={
+                    "algorithm": engine._algorithm, "backend": engine._backend,
+                    "rng_mode": engine._rng_mode})
+            engine._balancer.attach_probe(engine._probe)
+        return engine
+
+    # ------------------------------------------------------------------ #
     # coupling
     # ------------------------------------------------------------------ #
 
@@ -301,6 +466,26 @@ class StreamingEngine:
         )
         if self._probe is not None:
             self._balancer.attach_probe(self._probe)
+        self._mark_boundary()
+
+    def _mark_boundary(self) -> None:
+        """Snapshot the stable-label state at a coupling boundary.
+
+        Between boundaries the system evolves by plain ``advance()`` rounds —
+        a deterministic function of the boundary workload, the network and
+        the per-coupling seed — so a checkpoint only needs the boundary
+        state plus the round count since it; restoration re-couples at the
+        boundary and replays (:meth:`restore`).  ``clamped_tokens`` is
+        snapshotted too because the replayed syncs re-accumulate any
+        post-boundary clamping.
+        """
+        self._boundary = {
+            "tokens": dict(self._tokens),
+            "buckets": {label: dict(bucket)
+                        for label, bucket in self._buckets.items()},
+            "clamped_tokens": self._clamped_tokens,
+        }
+        self._rounds_since_boundary = 0
 
     def _recouple_loads(self) -> None:
         """O(n) re-coupling: only loads changed, so rewind the balancer in place.
@@ -318,6 +503,7 @@ class StreamingEngine:
         self._harvest_balancer_counters()
         self._balancer.recouple(self._current_workload(), seed=self._couple_seed())
         self._fast_recouplings += 1
+        self._mark_boundary()
 
     def _harvest_balancer_counters(self) -> None:
         """Fold the outgoing balancer's failure-mode counters into the run totals."""
@@ -499,6 +685,7 @@ class StreamingEngine:
                      recoupled=recouple_mode,
                      recouplings=self._recouplings)
         self._round += 1
+        self._rounds_since_boundary += 1
 
     def result(self,
                trace_max_min: Optional[List[float]] = None,
@@ -562,6 +749,9 @@ def run_stream(
     backend: str = "auto",
     rng_mode: str = "sequential",
     bus: Optional[MetricsBus] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path=None,
+    checkpoint_meta: Optional[Dict[str, object]] = None,
 ) -> RunResult:
     """Run ``algorithm`` for ``rounds`` rounds under a stream of events.
 
@@ -575,9 +765,22 @@ def run_stream(
     and the resolved load-state backend.  Apply :mod:`repro.dynamic.metrics`
     to the result to obtain steady-state discrepancy, per-burst recovery
     times and drain rates.
+
+    With ``checkpoint_every=N`` the engine state (plus the traces so far) is
+    snapshotted to ``checkpoint_path`` every ``N`` rounds and after the final
+    round, atomically; :func:`repro.checkpoint.resume_stream` continues an
+    interrupted run from the latest snapshot **bit-identically** to the
+    uninterrupted run.  ``checkpoint_meta`` is stored verbatim in each
+    snapshot (the CLI puts the originating
+    :class:`~repro.simulation.scenario.DynamicScenario` there so ``repro
+    resume`` can rebuild the event generator without extra arguments).
     """
     if rounds < 0:
         raise ExperimentError("rounds must be non-negative")
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ExperimentError("checkpoint_every must be at least 1")
+    if checkpoint_every is not None and checkpoint_path is None:
+        raise ExperimentError("checkpoint_every requires a checkpoint_path")
     engine = StreamingEngine(algorithm, network, initial_load, generator,
                              continuous_kind=continuous_kind, seed=seed,
                              selection_policy=selection_policy, backend=backend,
@@ -588,4 +791,13 @@ def run_stream(
         engine.step()
         trace.append(engine.current_discrepancy())
         totals.append(float(engine.total_real_load()))
+        if checkpoint_every is not None and (
+                engine.round_index % checkpoint_every == 0
+                or engine.round_index == rounds):
+            from ..checkpoint import checkpoint_engine, write_checkpoint
+
+            write_checkpoint(
+                checkpoint_engine(engine, total_rounds=rounds, trace=trace,
+                                  totals=totals, meta=checkpoint_meta),
+                checkpoint_path)
     return engine.result(trace_max_min=trace, trace_total_weight=totals)

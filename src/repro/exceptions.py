@@ -48,3 +48,22 @@ class ScheduleError(ProcessError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment or benchmark configuration is invalid."""
+
+
+class CheckpointError(ExperimentError):
+    """Raised when a stream checkpoint cannot be written, read or restored.
+
+    Covers truncated or corrupt checkpoint files, format-version mismatches,
+    configuration-hash mismatches (the checkpoint describes a different run
+    than the one being resumed) and post-restore integrity failures.
+    """
+
+
+class FaultInjected(ReproError):
+    """Raised by the fault-injection harness (:mod:`repro.faults`).
+
+    Tests and the fault-recovery benchmark inject this into grid cells to
+    exercise the retry and graceful-degradation paths of the parallel driver;
+    seeing it escape anywhere else means a fault plan leaked into a
+    production run.
+    """

@@ -41,6 +41,8 @@ class GridProgress:
         self._clock = clock
         self._started = clock()
         self.done = 0
+        self.retries = 0
+        self.failed = 0
         self.busy_by_worker: Dict[int, float] = {}
         self._is_tty = bool(getattr(self._stream, "isatty", lambda: False)())
         self._line_open = False
@@ -48,6 +50,10 @@ class GridProgress:
     # ------------------------------------------------------------------ #
 
     def __call__(self, event: TelemetryEvent) -> None:
+        if event.kind == "cell_retry":
+            self.note_retry()
+        elif event.kind == "cell_failed":
+            self.note_failure()
         if event.kind != "cell_done":
             return
         self.update(worker_pid=event.payload.get("worker_pid"),
@@ -55,11 +61,27 @@ class GridProgress:
 
     def update(self, worker_pid: Optional[int] = None,
                seconds: float = 0.0) -> None:
-        """Record one finished cell and redraw the status line."""
+        """Record one finished cell and redraw the status line.
+
+        ``seconds`` is the cell's successful-attempt wall-clock only — the
+        fault-tolerant driver reports wasted retry attempts via
+        :meth:`note_retry`, so busy-seconds never double-count a cell.
+        """
         self.done += 1
         if worker_pid is not None:
             pid = int(worker_pid)
             self.busy_by_worker[pid] = self.busy_by_worker.get(pid, 0.0) + seconds
+        self._render()
+
+    def note_retry(self) -> None:
+        """Record one failed-and-requeued attempt (drawn as ``N retries``)."""
+        self.retries += 1
+        self._render()
+
+    def note_failure(self) -> None:
+        """Record one permanently failed cell: it is done, but failed."""
+        self.done += 1
+        self.failed += 1
         self._render()
 
     # ------------------------------------------------------------------ #
@@ -86,6 +108,10 @@ class GridProgress:
         if self.busy_by_worker:
             busy = sum(self.busy_by_worker.values())
             parts.append(f"{len(self.busy_by_worker)} workers busy {busy:.1f}s")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
         return " · ".join(parts)
 
     def _render(self) -> None:
@@ -106,6 +132,10 @@ class GridProgress:
         summary = (f"[{self.label}] {self.done}/{self.total} cells in "
                    f"{wall:.1f}s wall · busy {busy:.1f}s across {workers} "
                    f"worker(s) · utilization {utilization * 100.0:.0f}%")
+        if self.retries:
+            summary += f" · {self.retries} retries"
+        if self.failed:
+            summary += f" · {self.failed} cells failed"
         if self._line_open:
             self._stream.write("\n")
             self._line_open = False

@@ -39,17 +39,30 @@ Dispatch is chunked: cells are handed to workers ``chunksize`` at a time
 (default: about four chunks per worker) to amortise pickling overhead while
 keeping the queue fine-grained enough that one slow cell does not serialise
 the grid.
+
+The driver is optionally **self-healing**: with ``cell_timeout`` /
+``max_retries`` / ``strict=False`` set, cells are submitted individually,
+failed attempts (in-cell exceptions, timeouts, worker crashes up to and
+including a broken pool, which is rebuilt) are retried with exponential
+backoff, and a grid degrades to partial results plus a structured
+:class:`CellFailure` report instead of losing everything — see
+:func:`run_cells`.  Because cells are pure functions of their specs, a
+fault-recovered grid is bit-identical to a fault-free one.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
+import random
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import ExperimentError
+from ..faults import FaultPlan
 from ..obs.bus import MetricsBus
 from ..obs.kernels import activate_kernel_clock, deactivate_kernel_clock
 from ..obs.relay import CapturedEvent, TelemetryRecorder, relay_outcome
@@ -60,8 +73,10 @@ from .sweep import SweepConfiguration, SweepResult, run_sweep_cell
 __all__ = [
     "GridCell",
     "CellOutcome",
+    "CellFailure",
     "default_workers",
     "run_cells",
+    "failed_cells",
     "parallel_sweep",
     "parallel_grid_sweep",
     "grid_sweep_with_outcomes",
@@ -99,6 +114,26 @@ class GridCell:
                 f"unknown grid cell kind {self.kind!r}; valid kinds: {_KINDS}")
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """Why one grid cell permanently failed (all retries exhausted).
+
+    ``kind`` classifies the last failure: ``"error"`` (the cell raised),
+    ``"timeout"`` (it exceeded the per-cell timeout), or ``"worker-crash"``
+    (its pool worker died — the cell was in flight when the pool broke, so
+    the crash is attributed to every in-flight cell, Spark-style).
+    ``attempts`` counts every execution attempt including the first.
+    """
+
+    position: int
+    index: int
+    seed: Optional[int]
+    label: str
+    kind: str
+    attempts: int
+    error: str
+
+
 @dataclass
 class CellOutcome:
     """A finished cell: its result plus scheduling metadata.
@@ -108,24 +143,48 @@ class CellOutcome:
     start; ``worker_pid`` identifies which pool process ran it.  When the
     cell ran with telemetry capture, ``events`` holds its complete in-worker
     event stream for the driver to relay.
+
+    Under the fault-tolerant scheduler, ``attempts`` counts executions
+    (1 = first try succeeded) and ``retry_seconds`` the driver-side
+    wall-clock burnt by failed attempts — kept separate from ``seconds`` so
+    utilization never double-counts a retried cell.  A permanently failed
+    cell (non-strict mode only) has ``result=None``, ``worker_pid=-1`` and
+    its :class:`CellFailure` attached.
     """
 
     cell: GridCell
-    result: RunResult
+    result: Optional[RunResult]
     seconds: float
     worker_pid: int
     started: Optional[float] = None
     events: Optional[List[CapturedEvent]] = field(default=None, repr=False)
+    attempts: int = 1
+    retry_seconds: float = 0.0
+    failure: Optional[CellFailure] = None
 
 
-def _execute_cell(cell: GridCell, capture: bool = False) -> CellOutcome:
+def failed_cells(outcomes: Sequence[CellOutcome]) -> List[CellFailure]:
+    """The structured failure report of a non-strict grid (empty = all ran)."""
+    return [outcome.failure for outcome in outcomes
+            if outcome.failure is not None]
+
+
+def _execute_cell(cell: GridCell, capture: bool = False,
+                  faults: Optional[FaultPlan] = None, position: int = 0,
+                  attempt: int = 1) -> CellOutcome:
     """Run one cell (in a pool worker or inline) — the only execution path.
 
     With ``capture=True`` the cell runs against a private bus with a
     :class:`~repro.obs.relay.TelemetryRecorder` subscribed and a kernel-phase
     clock active, and the recorded stream is returned on the outcome.  The
     probes are read-only, so the trajectory is bit-identical either way.
+
+    ``faults`` hooks in the test-only injection harness
+    (:mod:`repro.faults`): the plan fires before the run starts, keyed on the
+    cell's grid ``position`` and the 1-based ``attempt`` number.
     """
+    if faults is not None:
+        faults.apply(position, attempt)
     bus: Optional[MetricsBus] = None
     recorder: Optional[TelemetryRecorder] = None
     if capture:
@@ -207,7 +266,14 @@ def _deliver(bus, outcome: CellOutcome, position: int) -> None:
     per cell, unlike ``GridCell.index`` which identifies the *merge group*
     (the configuration) and is shared by all its seeds — so trace viewers
     get one lane per cell.
+
+    Permanently failed cells (``result=None``) deliver nothing here: their
+    ``cell_failed`` envelope was emitted at failure time, and keeping them
+    out of the relay is what makes the relayed stream invariant under
+    retries and worker counts.
     """
+    if outcome.result is None:
+        return
     if outcome.events is not None:
         relay_outcome(bus, outcome.events, worker=outcome.worker_pid,
                       cell=position, cell_seed=outcome.cell.seed)
@@ -217,7 +283,12 @@ def _deliver(bus, outcome: CellOutcome, position: int) -> None:
 def run_cells(cells: Sequence[GridCell], workers: Optional[int] = None,
               chunksize: Optional[int] = None, bus=None,
               capture: Optional[bool] = None,
-              progress=None) -> List[CellOutcome]:
+              progress=None,
+              cell_timeout: Optional[float] = None,
+              max_retries: int = 0,
+              strict: bool = True,
+              faults: Optional[FaultPlan] = None,
+              retry_backoff: float = 0.05) -> List[CellOutcome]:
     """Execute a list of grid cells, sharded across a process pool.
 
     Returns one :class:`CellOutcome` per cell **in input order** regardless
@@ -237,18 +308,52 @@ def run_cells(cells: Sequence[GridCell], workers: Optional[int] = None,
     ``progress`` is an optional callback with an ``update(worker_pid=...,
     seconds=...)`` method (see :class:`repro.obs.progress.GridProgress`),
     invoked in *completion* order so the status line moves in real time.
+
+    Fault tolerance (any of ``cell_timeout``/``max_retries``/``faults``
+    set, or ``strict=False``) switches to the self-healing scheduler:
+
+    * cells are submitted one at a time (never more in flight than
+      workers, so the per-cell clock starts at execution start);
+    * a failed attempt — an in-cell exception, a cell running past
+      ``cell_timeout`` seconds, or a worker crash (``BrokenProcessPool``,
+      after which the pool is rebuilt) — is retried up to ``max_retries``
+      times with exponential backoff (base ``retry_backoff`` seconds) and
+      deterministic jitter, emitting a ``cell_retry`` event per retry;
+    * a cell whose retries are exhausted raises under ``strict=True``
+      (today's behaviour) or, under ``strict=False``, yields a
+      ``result=None`` outcome with a :class:`CellFailure` attached and a
+      ``cell_failed`` event — the grid degrades to partial results (see
+      :func:`failed_cells`) instead of losing everything.
+
+    Because every retry re-executes the same pure per-cell function,
+    fault-recovered grids are bit-identical to fault-free ones.  With
+    ``workers=1`` there is no pool to police: retries work but
+    ``cell_timeout`` is not enforced, and a kill fault would take the
+    driver down (fault plans are test instruments — see
+    :mod:`repro.faults`).
     """
     cells = list(cells)
     if not cells:
         return []
     if workers is not None and workers < 1:
         raise ExperimentError("workers must be at least 1")
+    if max_retries < 0:
+        raise ExperimentError("max_retries must be non-negative")
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ExperimentError("cell_timeout must be positive")
     if workers is None:
         workers = default_workers(len(cells))
     workers = min(workers, len(cells))
     if capture is None:
         capture = bus is not None and bus.active
+    fault_tolerant = (cell_timeout is not None or max_retries > 0
+                      or not strict
+                      or (faults is not None and not faults.empty))
     if workers == 1:
+        if fault_tolerant:
+            return _run_cells_serial_tolerant(
+                cells, bus, capture, progress, max_retries=max_retries,
+                strict=strict, faults=faults, retry_backoff=retry_backoff)
         outcomes: List[CellOutcome] = []
         for position, cell in enumerate(cells):
             outcome = _execute_cell(cell, capture=capture)
@@ -258,13 +363,19 @@ def run_cells(cells: Sequence[GridCell], workers: Optional[int] = None,
                                 seconds=outcome.seconds)
             outcomes.append(outcome)
         return outcomes
+    if fault_tolerant:
+        return _run_cells_fault_tolerant(
+            cells, workers, bus, capture, progress,
+            cell_timeout=cell_timeout, max_retries=max_retries,
+            strict=strict, faults=faults, retry_backoff=retry_backoff)
     if chunksize is None:
         chunksize = _chunksize(len(cells), workers)
     chunks = [cells[offset:offset + chunksize]
               for offset in range(0, len(cells), chunksize)]
     slots: List[Optional[CellOutcome]] = [None] * len(cells)
     next_delivery = 0
-    with ProcessPoolExecutor(max_workers=workers) as executor:
+    executor = ProcessPoolExecutor(max_workers=workers)
+    try:
         pending = {executor.submit(_execute_chunk, chunk, capture): offset
                    for offset, chunk in zip(
                        range(0, len(cells), chunksize), chunks)}
@@ -283,6 +394,281 @@ def run_cells(cells: Sequence[GridCell], workers: Optional[int] = None,
                         and slots[next_delivery] is not None:
                     _deliver(bus, slots[next_delivery], next_delivery)
                     next_delivery += 1
+    except KeyboardInterrupt:
+        _abandon_pool(executor)
+        raise
+    executor.shutdown(wait=True)
+    return list(slots)
+
+
+# ---------------------------------------------------------------------- #
+# fault-tolerant scheduling
+# ---------------------------------------------------------------------- #
+
+
+def _abandon_pool(executor: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting: cancel queued work, kill workers.
+
+    Used on KeyboardInterrupt (don't block the user's ^C behind running
+    cells) and when a cell must be timed out — a running future cannot be
+    cancelled, so the only enforcement mechanism a process pool offers is
+    terminating the worker processes themselves.
+    """
+    for process in list(getattr(executor, "_processes", {}).values()):
+        process.terminate()
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _backoff_delay(retry_backoff: float, position: int, attempt: int) -> float:
+    """Exponential backoff with deterministic jitter for one retry.
+
+    Jitter is keyed on ``(position, attempt)`` so reruns of the same faulty
+    grid back off identically — scheduling stays reproducible even on the
+    failure path.
+    """
+    if retry_backoff <= 0:
+        return 0.0
+    jitter = random.Random(position * 1000003 + attempt).random()
+    return retry_backoff * (2.0 ** (attempt - 1)) * (1.0 + jitter)
+
+
+class _RetryState:
+    """Driver-side bookkeeping shared by the tolerant schedulers.
+
+    Tracks wasted seconds per cell, emits ``cell_retry``/``cell_failed``
+    telemetry, notifies the progress renderer, and decides retry vs
+    permanent failure.
+    """
+
+    def __init__(self, cells: Sequence[GridCell], bus, progress,
+                 max_retries: int, strict: bool, retry_backoff: float) -> None:
+        self.cells = cells
+        self.bus = bus
+        self.progress = progress
+        self.max_retries = max_retries
+        self.strict = strict
+        self.retry_backoff = retry_backoff
+        self.wasted: Dict[int, float] = {}
+        self.retries = 0
+
+    def _emit(self, kind: str, position: int, attempt: int, failure_kind: str,
+              message: str, **extra) -> None:
+        if self.bus is None or not self.bus.active:
+            return
+        cell = self.cells[position]
+        self.bus.emit(kind, "parallel", position=position, index=cell.index,
+                      seed=cell.seed, label=_cell_label(cell),
+                      attempts=attempt, failure_kind=failure_kind,
+                      error=message, **extra)
+
+    def note_failure(self, position: int, attempt: int, kind: str,
+                     message: str, elapsed: float,
+                     exc: Optional[BaseException] = None
+                     ) -> Tuple[bool, Optional[CellOutcome]]:
+        """Record one failed attempt.
+
+        Returns ``(retry, outcome)``: ``retry=True`` means the cell should
+        be resubmitted (after :meth:`delay`); otherwise the failure is
+        permanent — under ``strict`` the original error is re-raised,
+        otherwise ``outcome`` is the ``result=None`` envelope to slot in.
+        """
+        self.wasted[position] = self.wasted.get(position, 0.0) + elapsed
+        if attempt <= self.max_retries:
+            self.retries += 1
+            self._emit("cell_retry", position, attempt, kind, message,
+                       next_attempt=attempt + 1)
+            if hasattr(self.progress, "note_retry"):
+                self.progress.note_retry()
+            return True, None
+        cell = self.cells[position]
+        failure = CellFailure(position=position, index=cell.index,
+                              seed=cell.seed, label=_cell_label(cell),
+                              kind=kind, attempts=attempt, error=message)
+        if self.strict:
+            if exc is not None:
+                raise exc
+            raise ExperimentError(
+                f"grid cell {position} ({failure.label}) failed permanently "
+                f"after {attempt} attempt(s): [{kind}] {message}")
+        self._emit("cell_failed", position, attempt, kind, message)
+        if hasattr(self.progress, "note_failure"):
+            self.progress.note_failure()
+        return False, CellOutcome(
+            cell=cell, result=None, seconds=0.0, worker_pid=-1,
+            attempts=attempt, retry_seconds=self.wasted.pop(position, 0.0),
+            failure=failure)
+
+    def finish(self, outcome: CellOutcome, attempt: int,
+               position: int) -> CellOutcome:
+        """Stamp retry accounting onto a successful outcome."""
+        outcome.attempts = attempt
+        outcome.retry_seconds = self.wasted.pop(position, 0.0)
+        return outcome
+
+    def delay(self, position: int, attempt: int) -> float:
+        return _backoff_delay(self.retry_backoff, position, attempt)
+
+
+def _run_cells_serial_tolerant(cells: Sequence[GridCell], bus, capture,
+                               progress, max_retries: int, strict: bool,
+                               faults: Optional[FaultPlan],
+                               retry_backoff: float) -> List[CellOutcome]:
+    """The in-process (workers=1) retry path; no timeout enforcement."""
+    state = _RetryState(cells, bus, progress, max_retries, strict,
+                        retry_backoff)
+    outcomes: List[CellOutcome] = []
+    for position, cell in enumerate(cells):
+        attempt = 1
+        while True:
+            started = time.perf_counter()
+            try:
+                outcome = _execute_cell(cell, capture=capture, faults=faults,
+                                        position=position, attempt=attempt)
+            except Exception as exc:
+                retry, failed = state.note_failure(
+                    position, attempt, "error",
+                    f"{type(exc).__name__}: {exc}",
+                    elapsed=time.perf_counter() - started, exc=exc)
+                if retry:
+                    time.sleep(state.delay(position, attempt))
+                    attempt += 1
+                    continue
+                outcome = failed
+            else:
+                state.finish(outcome, attempt, position)
+                if progress is not None:
+                    progress.update(worker_pid=outcome.worker_pid,
+                                    seconds=outcome.seconds)
+            break
+        _deliver(bus, outcome, position)
+        outcomes.append(outcome)
+    return outcomes
+
+
+def _run_cells_fault_tolerant(cells: Sequence[GridCell], workers: int, bus,
+                              capture, progress, cell_timeout: Optional[float],
+                              max_retries: int, strict: bool,
+                              faults: Optional[FaultPlan],
+                              retry_backoff: float) -> List[CellOutcome]:
+    """The self-healing pool scheduler: per-cell submission, timeout, retry.
+
+    Cells are submitted individually with in-flight count capped at the
+    worker count, so a submitted cell starts executing (nearly) immediately
+    and ``cell_timeout`` measures execution, not queueing.  Three failure
+    modes are handled:
+
+    * the future raises an ordinary exception → that attempt failed;
+    * the pool breaks (a worker died) → every in-flight cell is charged an
+      attempt (the pool cannot say which cell crashed it), the pool is
+      rebuilt, survivors are resubmitted;
+    * a cell exceeds ``cell_timeout`` → the pool is killed (running futures
+      cannot be cancelled), the overdue cells are charged an attempt, and
+      the collateral in-flight cells are resubmitted **without** being
+      charged — they did not fail.
+
+    Delivery (relay + ``cell_done``) stays in input order exactly as on the
+    fast path.
+    """
+    state = _RetryState(cells, bus, progress, max_retries, strict,
+                        retry_backoff)
+    slots: List[Optional[CellOutcome]] = [None] * len(cells)
+    next_delivery = 0
+    # ready queue of (ready_at, position, attempt); ready_at in time.monotonic
+    ready: List[Tuple[float, int, int]] = [
+        (0.0, position, 1) for position in range(len(cells))]
+    heapq.heapify(ready)
+    inflight: Dict[object, Tuple[int, int, float]] = {}
+    executor = ProcessPoolExecutor(max_workers=workers)
+
+    def settle(position: int, attempt: int, kind: str, message: str,
+               elapsed: float, exc: Optional[BaseException] = None) -> None:
+        """One attempt failed: schedule the retry or slot the failure."""
+        retry, failed = state.note_failure(position, attempt, kind, message,
+                                           elapsed, exc=exc)
+        if retry:
+            heapq.heappush(ready, (time.monotonic()
+                                   + state.delay(position, attempt),
+                                   position, attempt + 1))
+        else:
+            slots[position] = failed
+
+    try:
+        while ready or inflight:
+            now = time.monotonic()
+            while ready and len(inflight) < workers and ready[0][0] <= now:
+                _, position, attempt = heapq.heappop(ready)
+                future = executor.submit(_execute_cell, cells[position],
+                                         capture, faults, position, attempt)
+                inflight[future] = (position, attempt, time.monotonic())
+            if not inflight:
+                # everything runnable is waiting out its backoff
+                time.sleep(max(0.0, ready[0][0] - time.monotonic()))
+                continue
+            timeout = None
+            if cell_timeout is not None:
+                deadline = min(started + cell_timeout
+                               for _, _, started in inflight.values())
+                timeout = max(0.0, deadline - time.monotonic())
+            if ready and len(inflight) < workers:
+                until_ready = max(0.0, ready[0][0] - time.monotonic())
+                timeout = until_ready if timeout is None \
+                    else min(timeout, until_ready)
+            done, _ = wait(set(inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                position, attempt, started = inflight.pop(future)
+                elapsed = time.monotonic() - started
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    settle(position, attempt, "worker-crash",
+                           "worker process died", elapsed)
+                except Exception as exc:
+                    settle(position, attempt, "error",
+                           f"{type(exc).__name__}: {exc}", elapsed, exc=exc)
+                else:
+                    state.finish(outcome, attempt, position)
+                    slots[position] = outcome
+                    if progress is not None:
+                        progress.update(worker_pid=outcome.worker_pid,
+                                        seconds=outcome.seconds)
+            if broken:
+                # the pool is unusable; every other in-flight cell died too
+                for position, attempt, started in inflight.values():
+                    settle(position, attempt, "worker-crash",
+                           "worker process died",
+                           time.monotonic() - started)
+                inflight.clear()
+                _abandon_pool(executor)
+                executor = ProcessPoolExecutor(max_workers=workers)
+            elif cell_timeout is not None and inflight:
+                now = time.monotonic()
+                overdue = [(future, meta) for future, meta in inflight.items()
+                           if now - meta[2] > cell_timeout]
+                if overdue:
+                    for future, (position, attempt, started) in overdue:
+                        del inflight[future]
+                        settle(position, attempt, "timeout",
+                               f"cell exceeded cell_timeout={cell_timeout}s",
+                               now - started)
+                    # collateral damage: resubmit without charging an attempt
+                    for position, attempt, _ in inflight.values():
+                        heapq.heappush(ready, (0.0, position, attempt))
+                    inflight.clear()
+                    _abandon_pool(executor)
+                    executor = ProcessPoolExecutor(max_workers=workers)
+            while next_delivery < len(slots) \
+                    and slots[next_delivery] is not None:
+                _deliver(bus, slots[next_delivery], next_delivery)
+                next_delivery += 1
+    except BaseException:
+        # strict failure or ^C: don't block behind still-running cells —
+        # they are pure functions, killing them loses nothing
+        _abandon_pool(executor)
+        raise
+    executor.shutdown(wait=True)
     return list(slots)
 
 
@@ -294,6 +680,12 @@ def timing_summary(outcomes: Sequence[CellOutcome],
     call) to additionally report ``wall_seconds`` and ``utilization`` —
     busy seconds divided by ``wall * workers_used``, the fraction of the
     pool's capacity the grid actually kept busy.
+
+    Retried and failed cells never inflate utilization: ``busy_seconds``
+    (and the per-cell extremes) count only each cell's *successful* attempt,
+    while wasted attempts are reported separately as ``retries`` /
+    ``retry_seconds`` and permanent failures as ``failed_cells`` — keys that
+    appear only when the grid actually retried or failed something.
     """
     if not outcomes:
         summary: Dict[str, object] = {"cells": 0, "busy_seconds": 0.0,
@@ -301,20 +693,32 @@ def timing_summary(outcomes: Sequence[CellOutcome],
         if wall_seconds is not None:
             summary["wall_seconds"] = round(wall_seconds, 4)
         return summary
-    seconds = [outcome.seconds for outcome in outcomes]
+    succeeded = [outcome for outcome in outcomes
+                 if outcome.result is not None]
+    failed = len(outcomes) - len(succeeded)
+    seconds = [outcome.seconds for outcome in succeeded]
     by_worker: Dict[int, float] = {}
-    for outcome in outcomes:
+    for outcome in succeeded:
         by_worker[outcome.worker_pid] = by_worker.get(outcome.worker_pid, 0.0) \
             + outcome.seconds
+    retries = sum(outcome.attempts - (1 if outcome.result is not None else 0)
+                  for outcome in outcomes)
+    retry_seconds = sum(outcome.retry_seconds for outcome in outcomes)
     summary = {
         "cells": len(outcomes),
         "busy_seconds": round(sum(seconds), 4),
-        "max_cell_seconds": round(max(seconds), 4),
-        "min_cell_seconds": round(min(seconds), 4),
         "workers_used": len(by_worker),
-        "per_worker_busy_seconds": [round(value, 4)
-                                    for value in sorted(by_worker.values())],
     }
+    if seconds:
+        summary["max_cell_seconds"] = round(max(seconds), 4)
+        summary["min_cell_seconds"] = round(min(seconds), 4)
+        summary["per_worker_busy_seconds"] = [
+            round(value, 4) for value in sorted(by_worker.values())]
+    if retries:
+        summary["retries"] = retries
+        summary["retry_seconds"] = round(retry_seconds, 4)
+    if failed:
+        summary["failed_cells"] = failed
     if wall_seconds is not None:
         summary["wall_seconds"] = round(wall_seconds, 4)
         capacity = wall_seconds * len(by_worker)
@@ -355,7 +759,8 @@ def _merge_sweeps(configurations: Sequence[SweepConfiguration],
     results = [SweepResult(configuration=configuration)
                for configuration in configurations]
     for outcome in outcomes:
-        results[outcome.cell.index].runs.append(outcome.result)
+        if outcome.result is not None:  # non-strict grids may drop cells
+            results[outcome.cell.index].runs.append(outcome.result)
     return results
 
 
@@ -364,7 +769,10 @@ def parallel_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
                    max_rounds: int = 200_000,
                    legacy_seeding: bool = False, bus=None,
                    capture: Optional[bool] = None,
-                   progress=None) -> SweepResult:
+                   progress=None,
+                   cell_timeout: Optional[float] = None,
+                   max_retries: int = 0, strict: bool = True,
+                   faults: Optional[FaultPlan] = None) -> SweepResult:
     """Sharded :func:`~repro.simulation.sweep.run_sweep`: one cell per seed.
 
     Bit-identical to ``run_sweep(configuration, seeds, ...)`` for every
@@ -374,7 +782,8 @@ def parallel_sweep(configuration: SweepConfiguration, seeds: Sequence[int],
     cells = sweep_cells([configuration], seeds, record_trace=record_trace,
                         max_rounds=max_rounds, legacy_seeding=legacy_seeding)
     outcomes = run_cells(cells, workers=workers, bus=bus, capture=capture,
-                         progress=progress)
+                         progress=progress, cell_timeout=cell_timeout,
+                         max_retries=max_retries, strict=strict, faults=faults)
     return _merge_sweeps([configuration], outcomes)[0]
 
 
@@ -382,7 +791,10 @@ def parallel_grid_sweep(configurations: Sequence[SweepConfiguration],
                         seeds: Sequence[int], workers: Optional[int] = None,
                         legacy_seeding: bool = False, bus=None,
                         capture: Optional[bool] = None,
-                        progress=None) -> List[SweepResult]:
+                        progress=None,
+                        cell_timeout: Optional[float] = None,
+                        max_retries: int = 0, strict: bool = True,
+                        faults: Optional[FaultPlan] = None) -> List[SweepResult]:
     """Shard a whole configuration grid at (cell, seed) granularity.
 
     All ``len(configurations) * len(seeds)`` runs share one work queue, so a
@@ -394,7 +806,8 @@ def parallel_grid_sweep(configurations: Sequence[SweepConfiguration],
     configurations = list(configurations)
     cells = sweep_cells(configurations, seeds, legacy_seeding=legacy_seeding)
     outcomes = run_cells(cells, workers=workers, bus=bus, capture=capture,
-                         progress=progress)
+                         progress=progress, cell_timeout=cell_timeout,
+                         max_retries=max_retries, strict=strict, faults=faults)
     return _merge_sweeps(configurations, outcomes)
 
 
@@ -403,7 +816,10 @@ def grid_sweep_with_outcomes(configurations: Sequence[SweepConfiguration],
                              record_trace: bool = False,
                              legacy_seeding: bool = False, bus=None,
                              capture: Optional[bool] = None,
-                             progress=None):
+                             progress=None,
+                             cell_timeout: Optional[float] = None,
+                             max_retries: int = 0, strict: bool = True,
+                             faults: Optional[FaultPlan] = None):
     """Like :func:`parallel_grid_sweep`, also returning the raw envelopes.
 
     Returns ``(sweep_results, outcomes)``: the merged per-configuration
@@ -416,7 +832,8 @@ def grid_sweep_with_outcomes(configurations: Sequence[SweepConfiguration],
     cells = sweep_cells(configurations, seeds, record_trace=record_trace,
                         legacy_seeding=legacy_seeding)
     outcomes = run_cells(cells, workers=workers, bus=bus, capture=capture,
-                         progress=progress)
+                         progress=progress, cell_timeout=cell_timeout,
+                         max_retries=max_retries, strict=strict, faults=faults)
     return _merge_sweeps(configurations, outcomes), outcomes
 
 
@@ -427,34 +844,55 @@ def grid_sweep_with_outcomes(configurations: Sequence[SweepConfiguration],
 
 def _scenario_grid(kind: str, scenarios, workers: Optional[int], bus=None,
                    capture: Optional[bool] = None,
-                   progress=None) -> List[RunResult]:
+                   progress=None,
+                   cell_timeout: Optional[float] = None,
+                   max_retries: int = 0, strict: bool = True,
+                   faults: Optional[FaultPlan] = None) -> List[Optional[RunResult]]:
     cells = [GridCell(kind=kind, spec=scenario, index=index)
              for index, scenario in enumerate(scenarios)]
     return [outcome.result
             for outcome in run_cells(cells, workers=workers, bus=bus,
-                                     capture=capture, progress=progress)]
+                                     capture=capture, progress=progress,
+                                     cell_timeout=cell_timeout,
+                                     max_retries=max_retries, strict=strict,
+                                     faults=faults)]
 
 
 def parallel_scenario_grid(scenarios: Sequence[Scenario],
                            workers: Optional[int] = None, bus=None,
                            capture: Optional[bool] = None,
-                           progress=None) -> List[RunResult]:
-    """Run a list of static scenarios across a process pool (input order)."""
+                           progress=None,
+                           cell_timeout: Optional[float] = None,
+                           max_retries: int = 0, strict: bool = True,
+                           faults: Optional[FaultPlan] = None) -> List[Optional[RunResult]]:
+    """Run a list of static scenarios across a process pool (input order).
+
+    Under ``strict=False`` a permanently failed scenario's slot holds
+    ``None`` so the surviving results keep their input positions.
+    """
     return _scenario_grid(_SCENARIO, scenarios, workers, bus=bus,
-                          capture=capture, progress=progress)
+                          capture=capture, progress=progress,
+                          cell_timeout=cell_timeout, max_retries=max_retries,
+                          strict=strict, faults=faults)
 
 
 def parallel_dynamic_grid(scenarios: Sequence[DynamicScenario],
                           workers: Optional[int] = None, bus=None,
                           capture: Optional[bool] = None,
-                          progress=None) -> List[RunResult]:
+                          progress=None,
+                          cell_timeout: Optional[float] = None,
+                          max_retries: int = 0, strict: bool = True,
+                          faults: Optional[FaultPlan] = None) -> List[Optional[RunResult]]:
     """Run a list of dynamic scenarios across a process pool (input order).
 
     The per-scenario trajectories (``trace_max_min`` etc.) are bit-identical
     to serial :func:`~repro.simulation.scenario.run_dynamic_scenario` calls;
     with ``rng_mode="counter"`` this holds exactly for the randomized
     algorithms too, which is what makes many-seed recovery-time statistics
-    cheap to scale out.
+    cheap to scale out.  Under ``strict=False`` a permanently failed
+    scenario's slot holds ``None`` (see :func:`run_cells`).
     """
     return _scenario_grid(_DYNAMIC, scenarios, workers, bus=bus,
-                          capture=capture, progress=progress)
+                          capture=capture, progress=progress,
+                          cell_timeout=cell_timeout, max_retries=max_retries,
+                          strict=strict, faults=faults)

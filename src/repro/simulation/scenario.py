@@ -418,11 +418,17 @@ def load_dynamic_scenario(path: Union[str, pathlib.Path]) -> DynamicScenario:
     return DynamicScenario.from_dict(_read_json(path))
 
 
-def run_dynamic_scenario(scenario: DynamicScenario, bus=None) -> RunResult:
+def run_dynamic_scenario(scenario: DynamicScenario, bus=None,
+                         checkpoint_every: Optional[int] = None,
+                         checkpoint_path=None) -> RunResult:
     """Materialise and execute a dynamic scenario, returning the run result.
 
     ``bus`` forwards a :class:`~repro.obs.bus.MetricsBus` to the streaming
-    engine for per-round telemetry (see :mod:`repro.obs`).
+    engine for per-round telemetry (see :mod:`repro.obs`).  With
+    ``checkpoint_every``/``checkpoint_path`` the stream snapshots itself
+    periodically; the checkpoint embeds the scenario so ``repro resume`` (or
+    :func:`repro.checkpoint.resume_stream`) can rebuild the event generator
+    without further input.
     """
     from ..dynamic.events import make_event_generator
     from ..dynamic.stream import run_stream
@@ -446,6 +452,10 @@ def run_dynamic_scenario(scenario: DynamicScenario, bus=None) -> RunResult:
         backend=scenario.backend,
         rng_mode=scenario.rng_mode,
         bus=bus,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        checkpoint_meta=({"scenario": scenario.to_dict()}
+                         if checkpoint_every is not None else None),
     )
 
 
@@ -471,36 +481,51 @@ def expand_seeds(scenario, seeds: Sequence[int]) -> List:
 def run_scenario_grid(scenarios: Sequence[Scenario],
                       workers: Optional[int] = None, bus=None,
                       capture: Optional[bool] = None,
-                      progress=None) -> List[RunResult]:
+                      progress=None,
+                      cell_timeout: Optional[float] = None,
+                      max_retries: int = 0, strict: bool = True,
+                      faults=None) -> List[Optional[RunResult]]:
     """Run several static scenarios, sharded across ``workers`` processes.
 
     ``workers=None`` uses one worker per available core; results come back
     in input order, bit-identical to serial :func:`run_scenario` calls.
     Each scenario's ``seeding`` mode travels with it into the workers.
-    ``bus``/``capture``/``progress`` behave as in
+    ``bus``/``capture``/``progress`` and the fault-tolerance knobs
+    (``cell_timeout``/``max_retries``/``strict``/``faults``) behave as in
     :func:`repro.simulation.parallel.run_cells` (worker telemetry is
-    captured and relayed whenever the bus has a subscriber).
+    captured and relayed whenever the bus has a subscriber; under
+    ``strict=False`` a failed scenario's slot holds ``None``).
     """
     from .parallel import parallel_scenario_grid
 
     return parallel_scenario_grid(scenarios, workers=workers, bus=bus,
-                                  capture=capture, progress=progress)
+                                  capture=capture, progress=progress,
+                                  cell_timeout=cell_timeout,
+                                  max_retries=max_retries, strict=strict,
+                                  faults=faults)
 
 
 def run_dynamic_grid(scenarios: Sequence[DynamicScenario],
                      workers: Optional[int] = None, bus=None,
                      capture: Optional[bool] = None,
-                     progress=None) -> List[RunResult]:
+                     progress=None,
+                     cell_timeout: Optional[float] = None,
+                     max_retries: int = 0, strict: bool = True,
+                     faults=None) -> List[Optional[RunResult]]:
     """Run several dynamic scenarios, sharded across ``workers`` processes.
 
     ``workers=None`` uses one worker per available core; trajectories come
     back in input order, bit-identical to serial
     :func:`run_dynamic_scenario` calls (exactly so for randomized algorithms
     under ``rng_mode="counter"``).  Each scenario's ``seeding`` mode travels
-    with it into the workers; ``bus``/``capture``/``progress`` behave as in
+    with it into the workers; ``bus``/``capture``/``progress`` and the
+    fault-tolerance knobs behave as in
     :func:`repro.simulation.parallel.run_cells`.
     """
     from .parallel import parallel_dynamic_grid
 
     return parallel_dynamic_grid(scenarios, workers=workers, bus=bus,
-                                 capture=capture, progress=progress)
+                                 capture=capture, progress=progress,
+                                 cell_timeout=cell_timeout,
+                                 max_retries=max_retries, strict=strict,
+                                 faults=faults)

@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 import platform
 import subprocess
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -210,28 +212,52 @@ class RunStore:
         return self._path.exists()
 
     def append(self, record: RunRecord) -> RunRecord:
-        """Append one record (creating parent directories) and return it."""
+        """Append one record (creating parent directories) and return it.
+
+        The line is flushed and ``fsync``'d before the file closes, so a
+        crash immediately after :meth:`append` returns cannot lose the
+        record, and a crash *during* the append can at worst leave one
+        truncated trailing line — which :meth:`records` tolerates.
+        """
         self._path.parent.mkdir(parents=True, exist_ok=True)
         with self._path.open("a") as handle:
             handle.write(record.as_line() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         return record
 
     def records(self) -> List[RunRecord]:
-        """All records, in append order."""
+        """All records, in append order.
+
+        A *truncated* final line — unparseable JSON with no trailing
+        newline, the signature of an append cut off mid-write by a crash —
+        is skipped with a :class:`UserWarning`; the completed records before
+        it stay readable.  Any other corruption (a garbage line that *was*
+        newline-terminated, or damage mid-file) still raises: that means
+        something worse than a torn write, and a regression gate must not
+        silently run against it.
+        """
         if not self._path.exists():
             raise ExperimentError(f"no such run store: {self._path}")
+        text = self._path.read_text()
+        truncated_tail = bool(text) and not text.endswith("\n")
         records = []
-        with self._path.open() as handle:
-            for number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(RunRecord.from_line(line))
-                except (json.JSONDecodeError, TypeError) as exc:
-                    raise ExperimentError(
-                        f"{self._path}:{number}: corrupt run-store line ({exc})"
-                    ) from exc
+        numbered = [(number, line.strip())
+                    for number, line in enumerate(text.splitlines(), start=1)
+                    if line.strip()]
+        for position, (number, line) in enumerate(numbered):
+            try:
+                records.append(RunRecord.from_line(line))
+            except (json.JSONDecodeError, TypeError) as exc:
+                if truncated_tail and position == len(numbered) - 1 \
+                        and isinstance(exc, json.JSONDecodeError):
+                    warnings.warn(
+                        f"{self._path}:{number}: skipping truncated trailing "
+                        f"record (interrupted append?)", stacklevel=2)
+                    break
+                raise ExperimentError(
+                    f"{self._path}:{number}: corrupt run-store line ({exc})"
+                ) from exc
         return records
 
     def select(self, selector: Optional[str] = None,
@@ -306,6 +332,12 @@ def record_sweep_outcomes(store: RunStore, label: str, outcomes,
         config = {**asdict(cell.spec), "seed": cell.seed,
                   "legacy_seeding": cell.legacy_seeding, "kind": cell.kind}
         timing = {"seconds": outcome.seconds, "worker_pid": outcome.worker_pid}
+        if getattr(outcome, "attempts", 1) > 1:
+            timing["attempts"] = outcome.attempts
+            timing["retry_seconds"] = outcome.retry_seconds
+        failure = getattr(outcome, "failure", None)
+        if failure is not None:
+            timing["failure"] = asdict(failure)
         if getattr(outcome, "events", None):
             from ..obs.trace import cell_trace_summary
 

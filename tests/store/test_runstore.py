@@ -120,6 +120,35 @@ class TestRunStore:
             handle.write("\n\n")
         assert len(store.records()) == 1
 
+    def test_truncated_trailing_record_skipped_with_warning(self, tmp_path):
+        """A torn append (no trailing newline) is forgiven, not fatal."""
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        record_run(store, "kept", "engine", {"seed": 1}, seeds=[1])
+        record_run(store, "kept-too", "engine", {"seed": 2}, seeds=[2])
+        with path.open("a") as handle:
+            handle.write('{"label": "torn", "config"')  # crash mid-append
+        with pytest.warns(UserWarning, match="truncated trailing record"):
+            records = store.records()
+        assert [record.label for record in records] == ["kept", "kept-too"]
+
+    def test_truncated_tail_only_forgiven_at_end_of_file(self, tmp_path):
+        """Garbage followed by a valid record is real corruption: raise."""
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        record_run(store, "first", "engine", {"seed": 1}, seeds=[1])
+        with path.open("a") as handle:
+            handle.write('{"half": \n')
+        record_run(store, "after", "engine", {"seed": 2}, seeds=[2])
+        with pytest.raises(ExperimentError, match=r"runs\.jsonl:2"):
+            store.records()
+
+    def test_append_survives_reread_after_fsync(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        record_run(store, "durable", "engine", {"seed": 1}, seeds=[1])
+        assert RunStore(path).records()[0].label == "durable"
+
 
 class TestSelect:
     @pytest.fixture()
@@ -186,6 +215,32 @@ class TestRecordSweepOutcomes:
                                       in outcome.result.trace_max_min]
         # the seed is part of the stored config, so the two cells differ
         assert records[0].config_hash != records[1].config_hash
+
+    def test_retry_and_failure_metadata_stored(self, tmp_path):
+        from repro.faults import FaultPlan
+        from repro.simulation.parallel import GridCell, run_cells
+        from repro.simulation.scenario import DynamicScenario
+
+        cells = [GridCell(kind="dynamic",
+                          spec=DynamicScenario(
+                              name=f"s{i}", algorithm="randomized-rounding",
+                              topology="cycle", num_nodes=8, tokens_per_node=4,
+                              rounds=8, events="mixed", seed=i,
+                              rng_mode="counter"),
+                          index=i)
+                 for i in range(3)]
+        plan = FaultPlan(raise_at={0: 1, 2: 99})
+        outcomes = run_cells(cells, workers=1, max_retries=1, strict=False,
+                             faults=plan, retry_backoff=0.0)
+        store = RunStore(tmp_path / "faulty.jsonl")
+        records = record_sweep_outcomes(store, "faulty", outcomes)
+        assert records[0].timing["attempts"] == 2
+        assert records[0].timing["retry_seconds"] >= 0.0
+        assert "attempts" not in records[1].timing
+        assert records[2].result is None
+        failure = records[2].timing["failure"]
+        assert failure["kind"] == "error"
+        assert failure["attempts"] == 2
 
 
 class TestBenchWriter:

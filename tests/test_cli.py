@@ -318,3 +318,84 @@ class TestStoreAndReportCommands:
         captured = capsys.readouterr()
         assert "[parallel] cell_done" in captured.err
         assert len(RunStore(store_path).records()) == 1
+
+
+
+class TestFaultToleranceCLI:
+    def test_fault_tolerance_flags_parse_with_defaults(self):
+        for argv in (["sweep", "--algorithm", "algorithm2"],
+                     ["grid", "--algorithms", "algorithm2"],
+                     ["dynamic"]):
+            args = build_parser().parse_args(argv)
+            assert args.cell_timeout is None
+            assert args.max_retries == 0
+            assert args.strict is True
+        args = build_parser().parse_args(
+            ["dynamic", "--cell-timeout", "2.5", "--max-retries", "3",
+             "--no-strict"])
+        assert args.cell_timeout == 2.5
+        assert args.max_retries == 3
+        assert args.strict is False
+
+    def test_checkpoint_every_rejected_on_seed_grids(self):
+        with pytest.raises(SystemExit):
+            main(["dynamic", "--seeds", "1", "2", "--checkpoint-every", "5"])
+
+    def test_dynamic_checkpoint_then_resume_round_trip(self, tmp_path, capsys):
+        checkpoint = tmp_path / "run.checkpoint.json"
+        exit_code = main(["dynamic", "--nodes", "12", "--rounds", "20",
+                          "--rng-mode", "counter", "--seed", "7",
+                          "--checkpoint-every", "5",
+                          "--checkpoint-path", str(checkpoint)])
+        assert exit_code == 0
+        first = capsys.readouterr().out
+        assert "checkpointed every 5 round(s)" in first
+        assert checkpoint.exists()
+
+        exit_code = main(["resume", "--checkpoint", str(checkpoint)])
+        assert exit_code == 0
+        resumed = capsys.readouterr().out
+        assert "resuming" in resumed
+        assert "round 20 of 20" in resumed
+        # the summary row of the completed run is reproduced exactly:
+        # dynamic prints [scenario, seed, algorithm, ...], resume prints
+        # [scenario, algorithm, ...] — the metric tail must match
+        original_row = [line.split()[2:] for line in first.splitlines()
+                        if line.startswith("burst ")]
+        resumed_row = [line.split()[1:] for line in resumed.splitlines()
+                       if line.startswith("cli-burst ")]
+        assert original_row and original_row == resumed_row
+
+    def test_resume_corrupt_checkpoint_exits_2(self, tmp_path, capsys):
+        from repro.faults import truncate_checkpoint
+
+        checkpoint = tmp_path / "run.checkpoint.json"
+        assert main(["dynamic", "--nodes", "8", "--rounds", "8",
+                     "--rng-mode", "counter", "--checkpoint-every", "4",
+                     "--checkpoint-path", str(checkpoint)]) == 0
+        truncate_checkpoint(checkpoint, keep_fraction=0.4)
+        capsys.readouterr()
+        assert main(["resume", "--checkpoint", str(checkpoint)]) == 2
+        assert "corrupt or truncated" in capsys.readouterr().err
+
+    def test_resume_missing_checkpoint_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["resume", "--checkpoint", str(missing)]) == 2
+        assert "no such checkpoint" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130_with_partial_paths(
+            self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        def boom(args, parser):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "_run_command", boom)
+        checkpoint = tmp_path / "partial.checkpoint.json"
+        exit_code = main(["dynamic", "--checkpoint-every", "5",
+                          "--checkpoint-path", str(checkpoint)])
+        assert exit_code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert f"partial results: {checkpoint}" in err
+        assert "resume with:" in err
