@@ -13,7 +13,7 @@ spectral predictions of Section 2.1 (used by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -19,7 +19,7 @@ analysis matches the simulation and where it stops being informative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
 import numpy as np
 

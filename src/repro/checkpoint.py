@@ -102,6 +102,7 @@ class StreamCheckpoint:
         if not self.config_hash:
             self.config_hash = config_hash(self.config)
         if not self.created:
+            # repro: allow[R002] provenance timestamp, never read back into logic
             self.created = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
     @property

@@ -19,14 +19,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .network import topologies
 from .simulation.engine import ALL_ALGORITHMS, BACKEND_KINDS, RNG_MODES, compare_algorithms
 from .simulation.workloads import WORKLOADS
 from .simulation.experiments import (
-    DEFAULT_TABLE1_ALGORITHMS,
-    DEFAULT_TABLE2_ALGORITHMS,
     continuous_convergence_rows,
     format_table,
     initial_load_condition_rows,
@@ -307,6 +305,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "(open in chrome://tracing / Perfetto)")
     trace.add_argument("--top", type=int, default=10,
                        help="rows in the hot-kernel table (default 10)")
+
+    check = subparsers.add_parser(
+        "check", help="static determinism-and-invariants analysis "
+                      "(see repro.staticcheck)")
+    check.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                       help="files or directories to analyse (default: src)")
+    check.add_argument("--format", dest="output_format", default="text",
+                       choices=["text", "json"],
+                       help="report format (json is version-tagged)")
+    check.add_argument("--rules", default=None, metavar="IDS",
+                       help="comma-separated rule ids to run "
+                            "(e.g. R001,R003; default: all)")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule registry and exit")
+    check.add_argument("--show-suppressed", action="store_true",
+                       help="also print findings disarmed by "
+                            "'# repro: allow[...]' comments")
     return parser
 
 
@@ -475,10 +490,11 @@ def _run_command(args, parser: argparse.ArgumentParser) -> int:
             scenarios = [scenario]
             bus, tracer, renderer = _instrument(
                 args.telemetry, args.trace, False, 0, label="dynamic")
-            start = time.perf_counter()
+            start = time.perf_counter()  # repro: allow[R002] run timing envelope
             results = [run_dynamic_scenario(
                 scenario, bus=bus, checkpoint_every=args.checkpoint_every,
                 checkpoint_path=args.checkpoint_path)]
+            # repro: allow[R002] run timing envelope (stored, never in logic)
             timings = [time.perf_counter() - start]
             if args.checkpoint_every is not None:
                 print(f"checkpointed every {args.checkpoint_every} round(s) "
@@ -768,6 +784,12 @@ def _run_command(args, parser: argparse.ArgumentParser) -> int:
             print(f"wrote Chrome trace ({len(trace['traceEvents'])} events) "
                   f"to {out} — open in chrome://tracing or "
                   f"https://ui.perfetto.dev")
+    elif args.command == "check":
+        from .staticcheck import run_check
+
+        return run_check(args.paths, output_format=args.output_format,
+                         rule_ids=args.rules, list_rules=args.list_rules,
+                         show_suppressed=args.show_suppressed)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

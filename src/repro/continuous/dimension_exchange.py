@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
 
 from ..exceptions import ProcessError
 from ..network.graph import Network

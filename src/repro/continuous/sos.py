@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from ..exceptions import ProcessError
 from ..network.graph import Edge, Network

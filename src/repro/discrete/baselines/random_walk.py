@@ -24,7 +24,7 @@ negative load when too many negative tokens concentrate on one node.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

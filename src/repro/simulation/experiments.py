@@ -10,7 +10,7 @@ benchmarks in ``benchmarks/`` call these functions, print the rows with
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,11 +29,7 @@ from ..tasks.generators import (
     weighted_assignment,
 )
 from .engine import (
-    ALL_ALGORITHMS,
-    DIFFUSION_BASELINES,
-    MATCHING_BASELINES,
     compare_algorithms,
-    determine_balancing_time,
     make_continuous,
     make_schedule,
     run_algorithm,

@@ -17,7 +17,7 @@ Algorithm 1 under the different task-selection policies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import networkx as nx
 import numpy as np

@@ -193,7 +193,7 @@ def _execute_cell(cell: GridCell, capture: bool = False,
         bus.subscribe(recorder)
         activate_kernel_clock()
     try:
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[R002] cell timing envelope
         if cell.kind == _SWEEP:
             result = run_sweep_cell(cell.spec, cell.seed,
                                     record_trace=cell.record_trace,
@@ -204,6 +204,7 @@ def _execute_cell(cell: GridCell, capture: bool = False,
             result = run_scenario(cell.spec, bus=bus)
         else:
             result = run_dynamic_scenario(cell.spec, bus=bus)
+        # repro: allow[R002] cell timing envelope (CellOutcome.seconds)
         seconds = time.perf_counter() - start
     finally:
         if capture:
@@ -520,7 +521,7 @@ def _run_cells_serial_tolerant(cells: Sequence[GridCell], bus, capture,
     for position, cell in enumerate(cells):
         attempt = 1
         while True:
-            started = time.perf_counter()
+            started = time.perf_counter()  # repro: allow[R002] cell timing envelope
             try:
                 outcome = _execute_cell(cell, capture=capture, faults=faults,
                                         position=position, attempt=attempt)
@@ -528,6 +529,7 @@ def _run_cells_serial_tolerant(cells: Sequence[GridCell], bus, capture,
                 retry, failed = state.note_failure(
                     position, attempt, "error",
                     f"{type(exc).__name__}: {exc}",
+                    # repro: allow[R002] failure timing envelope
                     elapsed=time.perf_counter() - started, exc=exc)
                 if retry:
                     time.sleep(state.delay(position, attempt))
@@ -586,6 +588,7 @@ def _run_cells_fault_tolerant(cells: Sequence[GridCell], workers: int, bus,
         retry, failed = state.note_failure(position, attempt, kind, message,
                                            elapsed, exc=exc)
         if retry:
+            # repro: allow[R002] retry-backoff deadline (driver scheduling)
             heapq.heappush(ready, (time.monotonic()
                                    + state.delay(position, attempt),
                                    position, attempt + 1))
@@ -594,22 +597,26 @@ def _run_cells_fault_tolerant(cells: Sequence[GridCell], workers: int, bus,
 
     try:
         while ready or inflight:
-            now = time.monotonic()
+            now = time.monotonic()  # repro: allow[R002] dispatch deadline clock
             while ready and len(inflight) < workers and ready[0][0] <= now:
                 _, position, attempt = heapq.heappop(ready)
                 future = executor.submit(_execute_cell, cells[position],
                                          capture, faults, position, attempt)
+                # repro: allow[R002] cell-timeout deadline bookkeeping
                 inflight[future] = (position, attempt, time.monotonic())
             if not inflight:
                 # everything runnable is waiting out its backoff
+                # repro: allow[R002] retry-backoff wait (driver scheduling)
                 time.sleep(max(0.0, ready[0][0] - time.monotonic()))
                 continue
             timeout = None
             if cell_timeout is not None:
                 deadline = min(started + cell_timeout
                                for _, _, started in inflight.values())
+                # repro: allow[R002] cell-timeout deadline (driver scheduling)
                 timeout = max(0.0, deadline - time.monotonic())
             if ready and len(inflight) < workers:
+                # repro: allow[R002] retry-backoff deadline (driver scheduling)
                 until_ready = max(0.0, ready[0][0] - time.monotonic())
                 timeout = until_ready if timeout is None \
                     else min(timeout, until_ready)
@@ -618,6 +625,7 @@ def _run_cells_fault_tolerant(cells: Sequence[GridCell], workers: int, bus,
             broken = False
             for future in done:
                 position, attempt, started = inflight.pop(future)
+                # repro: allow[R002] attempt timing envelope
                 elapsed = time.monotonic() - started
                 try:
                     outcome = future.result()
@@ -639,11 +647,13 @@ def _run_cells_fault_tolerant(cells: Sequence[GridCell], workers: int, bus,
                 for position, attempt, started in inflight.values():
                     settle(position, attempt, "worker-crash",
                            "worker process died",
+                           # repro: allow[R002] attempt timing envelope
                            time.monotonic() - started)
                 inflight.clear()
                 _abandon_pool(executor)
                 executor = ProcessPoolExecutor(max_workers=workers)
             elif cell_timeout is not None and inflight:
+                # repro: allow[R002] cell-timeout overdue scan
                 now = time.monotonic()
                 overdue = [(future, meta) for future, meta in inflight.items()
                            if now - meta[2] > cell_timeout]

@@ -1,0 +1,7 @@
+"""``python -m repro.staticcheck [paths...]`` — delegate to the runner."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

@@ -1,0 +1,313 @@
+"""AST analysis engine: modules, rules, suppressions, reports, exit codes.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``tokenize``
+only) so ``repro check`` runs anywhere the library imports, including the CI
+gate before the heavy scientific stack is exercised.
+
+Pieces
+------
+:class:`ModuleContext`
+    One parsed source file plus the path predicates rules scope by
+    (``in_directory("backend")``, ``is_test``, ...) and its parsed
+    ``# repro: allow[rule-id]`` suppression comments.
+:class:`Rule` / :class:`RuleVisitor` / :class:`VisitorRule`
+    The visitor framework: a rule declares an id/name/description, scopes
+    itself with :meth:`Rule.applies_to` and emits :class:`Finding`\\ s — for
+    the common case by subclassing :class:`RuleVisitor` and calling
+    :meth:`RuleVisitor.report` from ``visit_*`` methods.
+:func:`check_paths`
+    Walk files, run every applicable rule, split findings into live and
+    suppressed, and return a :class:`CheckReport` with the 0/1/2 exit-code
+    contract (0 clean, 1 unsuppressed findings, 2 unreadable/unparseable
+    input).
+
+Suppressions
+------------
+A comment ``# repro: allow[R001] why it is fine`` disarms the named rule(s)
+for findings on the same line, or — when the comment stands alone on its own
+line — for findings on the line immediately below.  Multiple ids separate
+with commas; ``*`` allows every rule.  The reason text is carried into the
+report so reviewers can audit suppressions without chasing the diff.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from .findings import Finding
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_ERROR",
+    "Suppression",
+    "parse_suppressions",
+    "ModuleContext",
+    "Rule",
+    "RuleVisitor",
+    "VisitorRule",
+    "CheckReport",
+    "check_paths",
+    "render_text",
+    "render_json",
+]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s_-]+)\]\s*(.*)")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+    standalone: bool
+
+    def covers(self, rule_id: str) -> bool:
+        """Whether this comment disarms ``rule_id`` (``*`` matches all)."""
+        return "*" in self.rule_ids or rule_id in self.rule_ids
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """Extract suppression comments, keyed by physical line number."""
+    suppressions: Dict[int, Suppression] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions  # the AST parse reports the real error
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        rule_ids = tuple(part.strip() for part in match.group(1).split(",")
+                         if part.strip())
+        if not rule_ids:
+            continue
+        line = token.start[0]
+        suppressions[line] = Suppression(
+            line=line,
+            rule_ids=rule_ids,
+            reason=match.group(2).strip(),
+            standalone=token.line.strip().startswith("#"),
+        )
+    return suppressions
+
+
+class ModuleContext:
+    """One parsed python file plus the predicates rules scope by."""
+
+    def __init__(self, path: Path, display: str, source: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        self.display = display
+        self.source = source
+        self.tree = tree
+        self.parts: Tuple[str, ...] = PurePosixPath(
+            display.replace("\\", "/")).parts
+        self.suppressions = parse_suppressions(source)
+
+    @property
+    def filename(self) -> str:
+        """The file's base name (``flow.py``)."""
+        return self.parts[-1] if self.parts else ""
+
+    def in_directory(self, name: str) -> bool:
+        """Whether any *directory* component of the path equals ``name``."""
+        return name in self.parts[:-1]
+
+    @property
+    def is_test(self) -> bool:
+        """Test modules are exempt from most rules (they *probe* hazards)."""
+        return (self.in_directory("tests")
+                or self.filename.startswith("test_")
+                or self.filename == "conftest.py")
+
+    def suppression_for(self, line: int) -> Optional[Suppression]:
+        """The suppression covering ``line``: same line, or standalone above."""
+        same = self.suppressions.get(line)
+        if same is not None:
+            return same
+        above = self.suppressions.get(line - 1)
+        if above is not None and above.standalone:
+            return above
+        return None
+
+
+class Rule(ABC):
+    """One static check: an id, a scope predicate and a finding generator."""
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Whether this rule runs on ``module`` (path-based scoping)."""
+        return True
+
+    @abstractmethod
+    def check(self, module: ModuleContext) -> List[Finding]:
+        """Analyse one module and return its findings (suppressed included)."""
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Base visitor for rules: collect findings via :meth:`report`."""
+
+    def __init__(self, rule: Rule, module: ModuleContext) -> None:
+        self.rule = rule
+        self.module = module
+        self.findings: List[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``, honouring suppressions."""
+        line = int(getattr(node, "lineno", 1))
+        col = int(getattr(node, "col_offset", 0))
+        suppression = self.module.suppression_for(line)
+        suppressed = suppression is not None and suppression.covers(
+            self.rule.rule_id)
+        reason = suppression.reason if (suppressed and suppression) else ""
+        self.findings.append(Finding(
+            path=self.module.display, line=line, col=col,
+            rule_id=self.rule.rule_id, message=message,
+            suppressed=suppressed, suppression_reason=reason))
+
+
+class VisitorRule(Rule):
+    """A rule implemented by walking the AST with a :class:`RuleVisitor`."""
+
+    visitor_class: Type[RuleVisitor] = RuleVisitor
+
+    def check(self, module: ModuleContext) -> List[Finding]:
+        visitor = self.visitor_class(self, module)
+        visitor.visit(module.tree)
+        return visitor.findings
+
+
+@dataclass
+class CheckReport:
+    """The outcome of one :func:`check_paths` run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """The 0/1/2 contract: clean / findings / unreadable input."""
+        if self.errors:
+            return EXIT_ERROR
+        if self.findings:
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
+
+def _display_path(path: Path) -> str:
+    """The path as reported in findings: as given, posix separators."""
+    return str(path).replace("\\", "/")
+
+
+def iter_python_files(paths: Sequence[str],
+                      errors: Optional[List[Tuple[str, str]]] = None,
+                      ) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: Dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.parts
+                if any(part == "__pycache__" or part.startswith(".")
+                       for part in parts):
+                    continue
+                seen.setdefault(candidate, None)
+        elif path.is_file():
+            seen.setdefault(path, None)
+        elif errors is not None:
+            errors.append((_display_path(path), "no such file or directory"))
+    return sorted(seen)
+
+
+def check_paths(paths: Sequence[str],
+                rules: Optional[Iterable[Rule]] = None) -> CheckReport:
+    """Run ``rules`` (default: all registered) over ``paths``."""
+    if rules is None:
+        from .rules import ALL_RULES
+
+        active: List[Rule] = list(ALL_RULES)
+    else:
+        active = list(rules)
+    report = CheckReport()
+    for path in iter_python_files(paths, errors=report.errors):
+        display = _display_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.errors.append((display, f"unreadable: {exc}"))
+            continue
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            report.errors.append(
+                (display, f"syntax error: {exc.msg} (line {exc.lineno})"))
+            continue
+        report.files_checked += 1
+        module = ModuleContext(path, display, source, tree)
+        for rule in active:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                if finding.suppressed:
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+    report.findings.sort()
+    report.suppressed.sort()
+    return report
+
+
+def render_text(report: CheckReport, show_suppressed: bool = False) -> str:
+    """The human-readable report (one ``path:line:col: RULE ...`` per line)."""
+    lines: List[str] = []
+    for display, message in report.errors:
+        lines.append(f"{display}: error: {message}")
+    for finding in report.findings:
+        lines.append(finding.render())
+    if show_suppressed:
+        for finding in report.suppressed:
+            lines.append(finding.render())
+    summary = (f"{report.files_checked} file(s) checked: "
+               f"{len(report.findings)} finding(s), "
+               f"{len(report.suppressed)} suppressed")
+    if report.errors:
+        summary += f", {len(report.errors)} error(s)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> Dict[str, object]:
+    """The machine-readable report shape (stable; version-tagged)."""
+    return {
+        "version": 1,
+        "files_checked": report.files_checked,
+        "exit_code": report.exit_code,
+        "findings": [finding.as_dict() for finding in report.findings],
+        "suppressed": [finding.as_dict() for finding in report.suppressed],
+        "errors": [{"path": display, "message": message}
+                   for display, message in report.errors],
+    }

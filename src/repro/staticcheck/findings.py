@@ -1,0 +1,53 @@
+"""Finding datatypes for the static determinism-and-invariants checker.
+
+A :class:`Finding` is one rule violation anchored to a ``path:line:col``
+location.  Findings are plain frozen dataclasses ordered by location so
+reports are stable regardless of rule execution order — the same property
+the run store relies on for canonical-JSON config hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``suppressed`` findings matched a ``# repro: allow[rule-id]`` comment on
+    (or immediately above) the offending line; they are reported separately
+    and never fail the check.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    suppressed: bool = False
+    suppression_reason: str = ""
+
+    def render(self) -> str:
+        """The one-line ``path:line:col: RULE message`` text form."""
+        text = f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+        if self.suppressed:
+            reason = f" ({self.suppression_reason})" if self.suppression_reason else ""
+            text += f" [suppressed{reason}]"
+        return text
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (the ``--format json`` shape)."""
+        data: Dict[str, object] = {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col + 1,
+            "message": self.message,
+        }
+        if self.suppressed:
+            data["suppressed"] = True
+            if self.suppression_reason:
+                data["reason"] = self.suppression_reason
+        return data

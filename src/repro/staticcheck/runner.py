@@ -1,0 +1,77 @@
+"""The ``repro check`` entry point: argument handling, output, exit code.
+
+Kept separate from :mod:`repro.cli` so the checker is importable and
+scriptable (``python -m repro.staticcheck src``) without the full CLI, and
+separate from :mod:`.engine` so the engine stays pure (no printing).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from .engine import EXIT_CLEAN, EXIT_ERROR, Rule, check_paths, render_json, render_text
+from .rules import ALL_RULES, RULES_BY_ID
+
+__all__ = ["run_check", "rule_table"]
+
+
+def rule_table() -> str:
+    """A plain-text table of the registered rules."""
+    width = max(len(rule.name) for rule in ALL_RULES)
+    lines = [f"{rule.rule_id}  {rule.name.ljust(width)}  {rule.description}"
+             for rule in ALL_RULES]
+    return "\n".join(lines)
+
+
+def _select_rules(rule_ids: Optional[str],
+                  stream: TextIO) -> Optional[List[Rule]]:
+    """Resolve a ``--rules R001,R003`` selection (``None`` = every rule)."""
+    if rule_ids is None:
+        return list(ALL_RULES)
+    selected: List[Rule] = []
+    for raw in rule_ids.split(","):
+        rule_id = raw.strip()
+        if not rule_id:
+            continue
+        rule = RULES_BY_ID.get(rule_id)
+        if rule is None:
+            print(f"error: unknown rule {rule_id!r}; known: "
+                  f"{', '.join(sorted(RULES_BY_ID))}", file=stream)
+            return None
+        selected.append(rule)
+    if not selected:
+        print("error: --rules selected no rules", file=stream)
+        return None
+    return selected
+
+
+def run_check(paths: Sequence[str],
+              output_format: str = "text",
+              rule_ids: Optional[str] = None,
+              list_rules: bool = False,
+              show_suppressed: bool = False) -> int:
+    """Run the checker the way the CLI does; return the process exit code."""
+    if list_rules:
+        print(rule_table())
+        return EXIT_CLEAN
+    rules = _select_rules(rule_ids, sys.stderr)
+    if rules is None:
+        return EXIT_ERROR
+    report = check_paths(list(paths) or ["src"], rules=rules)
+    if output_format == "json":
+        print(json.dumps(render_json(report), indent=2, sort_keys=True))
+    else:
+        print(render_text(report, show_suppressed=show_suppressed))
+    return report.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.staticcheck [paths...]`` — the bare-bones driver."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    return run_check(arguments or ["src"])
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI tests
+    sys.exit(main())

@@ -11,7 +11,7 @@ with :attr:`Task.is_dummy` and removed at the end of the balancing process.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from ..exceptions import TaskError

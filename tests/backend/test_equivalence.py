@@ -17,10 +17,8 @@ from repro.backend import (
     ArrayDeterministicFlowImitation,
     ArrayRandomizedFlowImitation,
 )
-from repro.continuous.fos import FirstOrderDiffusion
 from repro.continuous.sos import SecondOrderDiffusion
 from repro.core.algorithm1 import DeterministicFlowImitation
-from repro.core.algorithm2 import RandomizedFlowImitation
 from repro.network import topologies
 from repro.simulation.engine import (
     DIFFUSION_BASELINES,

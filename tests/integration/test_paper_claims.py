@@ -15,7 +15,6 @@ reported by the paper:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.algorithm1 import theorem3_discrepancy_bound

@@ -11,7 +11,6 @@ from repro.continuous.sos import SecondOrderDiffusion
 from repro.exceptions import ExperimentError
 from repro.network import topologies
 from repro.simulation.engine import (
-    ALL_ALGORITHMS,
     compare_algorithms,
     determine_balancing_time,
     make_continuous,

@@ -1,0 +1,25 @@
+"""Shared fixtures: write fixture snippets into a fake repo layout and check.
+
+The rules scope themselves by path (``backend/``, ``counter_rng.py``,
+``test_*.py``), so every fixture writes its snippet at a chosen relative
+path under ``tmp_path`` and runs the checker over the whole tree.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.staticcheck import check_paths
+
+
+@pytest.fixture
+def check_snippet(tmp_path):
+    """``check_snippet(source, relpath=...)`` -> CheckReport for one file."""
+
+    def run(source, relpath="src/repro/module.py", rules=None):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return check_paths([str(tmp_path)], rules=rules)
+
+    return run

@@ -1,0 +1,6 @@
+"""Tiny assertion helpers shared by the staticcheck tests."""
+
+
+def rule_ids(report):
+    """The unsuppressed rule ids of a report, in report order."""
+    return [finding.rule_id for finding in report.findings]

@@ -1,0 +1,29 @@
+"""The acceptance gate: the repo's own sources pass their static checks.
+
+This is the in-suite twin of the CI ``repro check src`` step — any rule
+violation introduced anywhere under ``src/`` fails tier-1 immediately, and
+every suppression must carry a written reason.
+"""
+
+import pathlib
+
+from repro.staticcheck import check_paths
+
+REPO_SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+def test_repo_sources_have_no_unsuppressed_findings():
+    report = check_paths([str(REPO_SRC)])
+    assert report.errors == []
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert not report.findings, f"repro check src is dirty:\n{rendered}"
+    assert report.files_checked > 50  # the whole tree was actually walked
+
+
+def test_every_suppression_carries_a_reason():
+    report = check_paths([str(REPO_SRC)])
+    unexplained = [finding.render() for finding in report.suppressed
+                   if not finding.suppression_reason]
+    assert not unexplained, (
+        "suppressions need a reason after the rule id:\n"
+        + "\n".join(unexplained))

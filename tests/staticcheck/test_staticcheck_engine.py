@@ -1,0 +1,193 @@
+"""Engine behaviour: suppressions, report shapes, exit-code contract."""
+
+import json
+import textwrap
+
+from staticcheck_helpers import rule_ids
+
+from repro.staticcheck import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    check_paths,
+    parse_suppressions,
+    render_json,
+    render_text,
+)
+
+R001_SNIPPET = """
+    import random
+
+    def jitter():
+        return random.random()
+"""
+
+
+class TestSuppressions:
+    def test_same_line_comment_suppresses(self, check_snippet):
+        report = check_snippet("""
+            import random
+
+            def jitter():
+                return random.random()  # repro: allow[R001] fixture noise
+        """)
+        assert rule_ids(report) == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].suppression_reason == "fixture noise"
+
+    def test_standalone_comment_above_suppresses(self, check_snippet):
+        report = check_snippet("""
+            import random
+
+            def jitter():
+                # repro: allow[R001] fixture noise
+                return random.random()
+        """)
+        assert rule_ids(report) == []
+        assert len(report.suppressed) == 1
+
+    def test_trailing_comment_on_previous_code_line_does_not_leak(
+            self, check_snippet):
+        report = check_snippet("""
+            import random
+
+            def jitter():
+                a = 1  # repro: allow[R001] only covers this line
+                return random.random()
+        """)
+        assert rule_ids(report) == ["R001"]
+
+    def test_wildcard_suppresses_every_rule(self, check_snippet):
+        report = check_snippet("""
+            import random
+
+            def jitter():
+                return random.random()  # repro: allow[*] anything goes
+        """)
+        assert rule_ids(report) == []
+
+    def test_wrong_rule_id_does_not_suppress(self, check_snippet):
+        report = check_snippet("""
+            import random
+
+            def jitter():
+                return random.random()  # repro: allow[R002] wrong rule
+        """)
+        assert rule_ids(report) == ["R001"]
+
+    def test_multiple_ids_in_one_comment(self, check_snippet):
+        report = check_snippet("""
+            import random
+            import time
+
+            def jitter():
+                # repro: allow[R001, R002] fixture covering both
+                return random.random() + time.time()
+        """)
+        assert rule_ids(report) == []
+        assert {f.rule_id for f in report.suppressed} == {"R001", "R002"}
+
+    def test_parse_suppressions_records_standalone_flag(self):
+        source = textwrap.dedent("""
+            x = 1  # repro: allow[R001] inline
+            # repro: allow[R002] standalone
+        """)
+        parsed = parse_suppressions(source)
+        assert parsed[2].standalone is False
+        assert parsed[3].standalone is True
+        assert parsed[3].rule_ids == ("R002",)
+        assert parsed[3].covers("R002") and not parsed[3].covers("R001")
+
+
+class TestReportShapes:
+    def test_json_shape(self, check_snippet):
+        report = check_snippet(R001_SNIPPET)
+        payload = render_json(report)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["exit_code"] == EXIT_FINDINGS
+        assert payload["errors"] == []
+        assert payload["suppressed"] == []
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "R001"
+        assert finding["path"].endswith("src/repro/module.py")
+        assert finding["line"] == 5
+        assert isinstance(finding["col"], int) and finding["col"] >= 1
+        assert "process-global RNG" in finding["message"]
+        json.dumps(payload)  # round-trips
+
+    def test_json_carries_suppression_reason(self, check_snippet):
+        report = check_snippet("""
+            import random
+
+            def jitter():
+                return random.random()  # repro: allow[R001] because fixture
+        """)
+        payload = render_json(report)
+        assert payload["findings"] == []
+        (suppressed,) = payload["suppressed"]
+        assert suppressed["suppressed"] is True
+        assert suppressed["reason"] == "because fixture"
+
+    def test_text_report_lists_location_and_summary(self, check_snippet):
+        report = check_snippet(R001_SNIPPET)
+        text = render_text(report)
+        assert "src/repro/module.py:5:" in text
+        assert "R001" in text
+        assert "1 file(s) checked: 1 finding(s), 0 suppressed" in text
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        for name, line in (("b.py", "x = random.random()"),
+                           ("a.py", "y = random.random()")):
+            (tmp_path / name).write_text(f"import random\n{line}\n")
+        report = check_paths([str(tmp_path)])
+        paths = [finding.path for finding in report.findings]
+        assert paths == sorted(paths)
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, check_snippet):
+        report = check_snippet("""
+            def pure(seed):
+                return seed * 2
+        """)
+        assert report.exit_code == EXIT_CLEAN
+
+    def test_findings_exit_one(self, check_snippet):
+        report = check_snippet(R001_SNIPPET)
+        assert report.exit_code == EXIT_FINDINGS
+
+    def test_suppressed_findings_still_exit_zero(self, check_snippet):
+        report = check_snippet("""
+            import random
+
+            def jitter():
+                return random.random()  # repro: allow[R001] fixture
+        """)
+        assert report.exit_code == EXIT_CLEAN
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        report = check_paths([str(bad)])
+        assert report.exit_code == EXIT_ERROR
+        ((path, message),) = report.errors
+        assert path.endswith("broken.py")
+        assert "syntax error" in message
+
+    def test_missing_path_exits_two(self, tmp_path):
+        report = check_paths([str(tmp_path / "nowhere")])
+        assert report.exit_code == EXIT_ERROR
+        assert report.errors[0][1] == "no such file or directory"
+
+    def test_pycache_and_hidden_files_are_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "stale.py").write_text("import random\nrandom.random()\n")
+        hidden = tmp_path / ".venv"
+        hidden.mkdir()
+        (hidden / "vendored.py").write_text("import random\nrandom.random()\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = check_paths([str(tmp_path)])
+        assert report.files_checked == 1
+        assert report.exit_code == EXIT_CLEAN

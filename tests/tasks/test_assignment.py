@@ -8,7 +8,7 @@ import pytest
 from repro.exceptions import TaskError
 from repro.network import topologies
 from repro.tasks.assignment import TaskAssignment
-from repro.tasks.task import Task, TaskFactory
+from repro.tasks.task import TaskFactory
 
 
 @pytest.fixture
